@@ -1,0 +1,29 @@
+# Convenience targets for the Sigil reproduction.
+
+.PHONY: install test property benches figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+property:
+	pytest tests/property/ -q
+
+benches figures:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/partitioning_study.py
+	python examples/reuse_study.py
+	python examples/critical_path_study.py
+	python examples/custom_workload.py
+	python examples/parallel_pipeline.py
+	python -m repro run examples/toy_program.s
+	python -m repro run examples/matmul.s
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,132 @@
+"""Shared machinery for the experiment benches.
+
+Every bench regenerates one table or figure from the paper's evaluation:
+it profiles the workloads it needs (cached across benches within one pytest
+session), renders the paper-style table/series to stdout, and saves the
+text artifact under ``benchmarks/results/``.  The pytest-benchmark fixture
+times the operative tool step so ``--benchmark-only`` also yields a
+performance baseline for the tooling itself.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.callgrind import CallgrindCollector
+from repro.core import LineReuseProfiler, SigilConfig, SigilProfiler
+from repro.harness import ProfiledRun
+from repro.trace import NullObserver, ObserverPipe
+from repro.workloads import get_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workloads the paper's overhead/reuse figures sweep (PARSEC subset used
+#: throughout section III-A / IV-B).
+OVERHEAD_SUITE = (
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "freqmine",
+    "raytrace",
+    "streamcluster",
+    "swaptions",
+    "vips",
+    "x264",
+)
+
+#: Benchmarks analysed in the critical-path study (Figure 13): "a few
+#: PARSEC benchmarks and the libquantum benchmark from SPEC".
+PARALLELISM_SUITE = (
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "fluidanimate",
+    "raytrace",
+    "streamcluster",
+    "swaptions",
+    "x264",
+    "libquantum",
+)
+
+
+@functools.lru_cache(maxsize=None)
+def full_run(name: str, size: str = "simsmall") -> ProfiledRun:
+    """Sigil (reuse+event) + Callgrind profile of one workload, cached."""
+    workload = get_workload(name, size)
+    sigil = SigilProfiler(SigilConfig(reuse_mode=True, event_mode=True))
+    cg = CallgrindCollector()
+    start = time.perf_counter()
+    workload.run(ObserverPipe([sigil, cg]))
+    wall = time.perf_counter() - start
+    return ProfiledRun(workload, sigil.profile(), cg.profile, wall)
+
+
+_TIMING_REPEATS = 3
+
+
+def _best_of(run_once) -> float:
+    """Minimum of a few repetitions: the least-noise wall-clock estimate."""
+    return min(run_once() for _ in range(_TIMING_REPEATS))
+
+
+@functools.lru_cache(maxsize=None)
+def timed_native(name: str, size: str = "simsmall") -> float:
+    def once() -> float:
+        workload = get_workload(name, size)
+        start = time.perf_counter()
+        workload.run(NullObserver())
+        return time.perf_counter() - start
+
+    return _best_of(once)
+
+
+@functools.lru_cache(maxsize=None)
+def timed_callgrind(name: str, size: str = "simsmall") -> float:
+    def once() -> float:
+        workload = get_workload(name, size)
+        start = time.perf_counter()
+        workload.run(CallgrindCollector())
+        return time.perf_counter() - start
+
+    return _best_of(once)
+
+
+@functools.lru_cache(maxsize=None)
+def timed_sigil(
+    name: str, size: str = "simsmall", reuse: bool = False
+) -> Tuple[float, SigilProfiler]:
+    best = None
+    best_profiler = None
+    for _ in range(_TIMING_REPEATS):
+        workload = get_workload(name, size)
+        profiler = SigilProfiler(SigilConfig(reuse_mode=reuse))
+        start = time.perf_counter()
+        workload.run(profiler)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            best_profiler = profiler
+    return best, best_profiler
+
+
+@functools.lru_cache(maxsize=None)
+def line_run(name: str, size: str = "simsmall", line_size: int = 64) -> LineReuseProfiler:
+    profiler = LineReuseProfiler(line_size)
+    get_workload(name, size).run(profiler)
+    return profiler
+
+
+def save_artifact(filename: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it for the console."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    print()
+    print(text)

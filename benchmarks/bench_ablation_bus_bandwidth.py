@@ -1,0 +1,80 @@
+"""Ablation: SoC bus bandwidth vs. breakeven speedups.
+
+The partitioning heuristic assumes "a fixed SoC bus bandwidth" (section
+II-C1).  This ablation sweeps that bandwidth and regenerates the candidate
+ranking: narrow buses inflate every breakeven (and push comm-heavy
+candidates to infinity); wide buses drive all candidates toward 1, washing
+out the signal.  The *relative order* of candidates should be stable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _support import full_run, save_artifact
+from repro.analysis import render_table, trim_calltree
+from repro.analysis.partition import BusModel, PartitionPolicy
+
+BANDWIDTHS = (1.0, 4.0, 8.0, 32.0, 128.0)
+
+
+def _reference_candidates(name: str):
+    """Trim once at the default bandwidth to fix the node set under study."""
+    run = full_run(name)
+    trimmed = trim_calltree(run.sigil, run.callgrind)
+    return run, trimmed.sorted_candidates()
+
+
+def _breakeven_at(run, candidate, bandwidth: float) -> float:
+    from repro.analysis.partition import PARTITION_CYCLE_MODEL, breakeven_speedup
+
+    bus = BusModel(bytes_per_cycle=bandwidth)
+    costs = candidate.costs
+    t_sw = PARTITION_CYCLE_MODEL.estimate(
+        costs.instructions, costs.branch_misses, costs.l1_misses, costs.ll_misses
+    )
+    return breakeven_speedup(
+        t_sw,
+        bus.offload_cycles(costs.unique_input_bytes, costs.calls),
+        bus.offload_cycles(costs.unique_output_bytes, costs.calls),
+    )
+
+
+def test_ablation_bus_bandwidth(benchmark):
+    benchmark.pedantic(lambda: _reference_candidates("canneal"), rounds=3, iterations=1)
+
+    run, candidates = _reference_candidates("canneal")
+    rows = []
+    sweeps = {}
+    for cand in candidates:
+        values = [_breakeven_at(run, cand, bw) for bw in BANDWIDTHS]
+        sweeps[cand.name] = values
+        rows.append(
+            [cand.name]
+            + [f"{v:.3f}" if math.isfinite(v) else "inf" for v in values]
+        )
+    table = render_table(
+        ["function"] + [f"{bw:g} B/cy" for bw in BANDWIDTHS],
+        rows,
+        title="Ablation: canneal breakeven speedups vs bus bandwidth "
+              "(fixed candidate set)",
+    )
+    save_artifact("ablation_bus_bandwidth.txt", table)
+
+    # Narrower bus -> larger (or equal) breakeven for every candidate.
+    for name, values in sweeps.items():
+        for narrow, wide in zip(values, values[1:]):
+            assert narrow >= wide - 1e-12, name
+    # At very wide buses every finite candidate approaches 1.
+    assert all(
+        values[-1] < 1.10
+        for values in sweeps.values()
+        if math.isfinite(values[-1])
+    )
+    # The ranking at the default bandwidth is preserved when narrowing to
+    # 4 B/cy (same monotone transformation of the comm term).
+    default_rank = [c.name for c in candidates]
+    narrow_rank = sorted(sweeps, key=lambda n: sweeps[n][1])
+    finite_default = [n for n in default_rank if math.isfinite(sweeps[n][1])]
+    finite_narrow = [n for n in narrow_rank if math.isfinite(sweeps[n][1])]
+    assert finite_default[0] == finite_narrow[0]

@@ -1,0 +1,78 @@
+"""Ablation: per-transfer bus latency vs. candidate granularity.
+
+The paper's offload model charges bandwidth only; real SoC buses also pay a
+fixed latency per transfer.  Since a candidate pays that latency once per
+*call*, latency punishes fine-grained candidates (thousands of tiny calls)
+far more than coarse merged sub-trees -- quantifying why the merging model
+of section II-C1 ("an accelerator ... should include all of the functions
+in the sub-tree") matters beyond bandwidth alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _support import full_run, save_artifact
+from repro.analysis import render_table, trim_calltree
+from repro.analysis.partition import (
+    PARTITION_CYCLE_MODEL,
+    BusModel,
+    breakeven_speedup,
+)
+
+LATENCIES = (0.0, 20.0, 100.0)
+
+
+def _breakeven(costs, latency: float) -> float:
+    bus = BusModel(bytes_per_cycle=8.0, per_transfer_latency=latency)
+    t_sw = PARTITION_CYCLE_MODEL.estimate(
+        costs.instructions, costs.branch_misses, costs.l1_misses, costs.ll_misses
+    )
+    return breakeven_speedup(
+        t_sw,
+        bus.offload_cycles(costs.unique_input_bytes, costs.calls),
+        bus.offload_cycles(costs.unique_output_bytes, costs.calls),
+    )
+
+
+def test_ablation_bus_latency(benchmark):
+    run = full_run("blackscholes")
+    benchmark.pedantic(
+        lambda: trim_calltree(run.sigil, run.callgrind), rounds=3, iterations=1
+    )
+
+    trimmed = trim_calltree(run.sigil, run.callgrind)
+    candidates = trimmed.sorted_candidates()
+    rows = []
+    sweeps = {}
+    for cand in candidates:
+        values = [_breakeven(cand.costs, lat) for lat in LATENCIES]
+        sweeps[cand.name] = (cand.costs.calls, values)
+        rows.append(
+            [cand.name, cand.costs.calls]
+            + [f"{v:.3f}" if math.isfinite(v) else "inf" for v in values]
+        )
+    table = render_table(
+        ["function", "calls"] + [f"lat={lat:g}cy" for lat in LATENCIES],
+        rows,
+        title="Ablation: blackscholes breakeven vs per-transfer bus latency",
+    )
+    save_artifact("ablation_bus_latency.txt", table)
+
+    # Latency never helps.
+    for name, (_, values) in sweeps.items():
+        finite = [v for v in values if math.isfinite(v)]
+        assert finite == sorted(finite), name
+    # Fine-grained candidates (many calls) degrade faster than coarse ones.
+    # Compare growth from lat=0 to the first nonzero latency among
+    # candidates that stay finite there.
+    scored = [
+        (calls, values[1] / values[0])
+        for calls, values in sweeps.values()
+        if math.isfinite(values[0]) and math.isfinite(values[1])
+    ]
+    assert len(scored) >= 2
+    many_calls = max(scored, key=lambda cv: cv[0])
+    few_calls = min(scored, key=lambda cv: cv[0])
+    assert many_calls[0] > few_calls[0]
+    assert many_calls[1] > few_calls[1]

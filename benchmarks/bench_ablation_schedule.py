@@ -1,0 +1,54 @@
+"""Ablation: achievable scheduled speedup vs. the Figure 13 limit.
+
+Section IV-C closes with the scheduling application: mapping dependency
+chains onto a fixed number of cores.  This bench list-schedules the event
+DAGs onto 1..32 cores and places the achievable curve under the theoretical
+function-level parallelism limit for a high-limit benchmark (streamcluster)
+and a serial one (fluidanimate).
+"""
+
+from __future__ import annotations
+
+from _support import full_run, save_artifact
+from repro.analysis import analyze_critical_path, render_table
+from repro.analysis.schedule import speedup_curve
+
+CORES = [1, 2, 4, 8, 16, 32]
+
+
+def test_ablation_schedule(benchmark):
+    events = full_run("streamcluster").sigil.events
+    benchmark.pedantic(
+        lambda: speedup_curve(events, [8]), rounds=3, iterations=1
+    )
+
+    sections = []
+    for name in ("streamcluster", "fluidanimate", "libquantum"):
+        run = full_run(name)
+        ev = run.sigil.events
+        limit = analyze_critical_path(ev).max_parallelism
+        curve = speedup_curve(ev, CORES)
+        rows = [
+            (r.n_cores, f"{r.speedup:.2f}", f"{r.efficiency:.2f}",
+             r.cross_core_bytes)
+            for r in curve
+        ]
+        sections.append(render_table(
+            ["cores", "speedup", "efficiency", "cross_core_B"],
+            rows,
+            title=f"-- {name} (theoretical limit {limit:.2f}) --",
+        ))
+        # The schedule approaches but never exceeds the limit.
+        for r in curve:
+            assert r.speedup <= limit + 1e-9
+        # With many cores a high-limit benchmark beats a serial one.
+        if name == "streamcluster":
+            assert curve[-1].speedup > 4.0
+        if name == "fluidanimate":
+            assert curve[-1].speedup < 1.5
+
+    save_artifact(
+        "ablation_schedule.txt",
+        "Ablation: list-scheduled speedup vs theoretical parallelism\n\n"
+        + "\n\n".join(sections),
+    )

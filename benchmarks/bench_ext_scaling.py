@@ -1,0 +1,51 @@
+"""Extension: how work and communication scale with input size.
+
+Uses the profile-diff machinery (the callgrind_diff analogue) to compare
+simsmall against simmedium for several workloads: per-context operation
+ratios should track the input scaling, and the paper's platform-independence
+argument implies the *communication structure* (the set of call paths and
+edges) stays fixed while only magnitudes grow.
+"""
+
+from __future__ import annotations
+
+from _support import full_run, save_artifact
+from repro.analysis import diff_profiles, render_table
+
+WORKLOADS = ("blackscholes", "dedup", "vips")
+
+
+def test_ext_size_scaling(benchmark):
+    benchmark.pedantic(
+        lambda: diff_profiles(
+            full_run("vips", "simsmall").sigil, full_run("vips", "simmedium").sigil
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for name in WORKLOADS:
+        small = full_run(name, "simsmall").sigil
+        medium = full_run(name, "simmedium").sigil
+        diff = diff_profiles(small, medium)
+        appeared = len(diff.appeared())
+        gone = len(diff.disappeared())
+        rows.append((
+            name,
+            f"{diff.ops_ratio:.2f}x",
+            f"{diff.total_time[1] / diff.total_time[0]:.2f}x",
+            appeared,
+            gone,
+        ))
+        # Structure is size-invariant: the same call paths exist at both
+        # scales, only magnitudes change.
+        assert appeared == 0 and gone == 0, name
+        assert 1.2 < diff.ops_ratio < 4.0, name
+    table = render_table(
+        ["workload", "ops_ratio", "time_ratio", "new_contexts", "lost_contexts"],
+        rows,
+        title="Extension: simsmall -> simmedium scaling "
+              "(structure fixed, magnitudes grow)",
+    )
+    save_artifact("ext_scaling.txt", table)

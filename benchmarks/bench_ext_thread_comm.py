@@ -1,0 +1,65 @@
+"""Extension: thread-to-thread communication matrix for parallel SPH.
+
+The paper analyses serial workloads but frames threads as first-class
+communicating entities; this bench runs the threaded fluidanimate variant
+(grid partitions + ghost-zone exchange) and regenerates the thread
+communication matrix a NoC designer would start from.  Ghost exchange is
+nearest-neighbour, so the matrix must be ring-shaped: adjacent threads
+dominate, non-adjacent pairs are (near) silent.
+"""
+
+from __future__ import annotations
+
+from _support import save_artifact
+from repro.analysis import render_table
+from repro.analysis.threads import per_thread_ops, thread_comm_matrix
+from repro.core import SigilConfig, SigilProfiler
+from repro.workloads.fluidanimate_parallel import ParallelFluidanimate
+
+
+def _run():
+    profiler = SigilProfiler(SigilConfig(event_mode=True))
+    ParallelFluidanimate("simsmall").run(profiler)
+    return profiler.profile()
+
+
+def test_ext_thread_comm_matrix(benchmark):
+    profile = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    summary = thread_comm_matrix(profile.events)
+    workers = [t for t in summary.threads if t > 0]
+    rows = []
+    for src in workers:
+        rows.append(
+            [f"T{src}"]
+            + [summary.matrix.get((src, dst), 0) for dst in workers]
+        )
+    table = render_table(
+        ["from\\to"] + [f"T{t}" for t in workers],
+        rows,
+        title="Extension: thread communication matrix, parallel fluidanimate "
+              "(unique bytes)",
+    )
+    loads = per_thread_ops(profile.events)
+    balance = "\n".join(f"T{t}: {loads.get(t, 0)} ops" for t in workers)
+    save_artifact(
+        "ext_thread_comm.txt", table + "\n\nper-thread load:\n" + balance
+    )
+
+    n = len(workers)
+    assert n == 4
+    ring_bytes = 0
+    far_bytes = 0
+    for (src, dst), count in summary.matrix.items():
+        if src == dst or 0 in (src, dst):
+            continue
+        distance = min((src - dst) % n, (dst - src) % n)
+        if distance == 1:
+            ring_bytes += count
+        else:
+            far_bytes += count
+    assert ring_bytes > 0, "ghost exchange must cross thread boundaries"
+    assert ring_bytes > 3 * far_bytes, "communication must be neighbour-dominated"
+    # Static partitioning balances the load.
+    ops = [loads.get(t, 0) for t in workers]
+    assert max(ops) - min(ops) <= 0.05 * max(ops)

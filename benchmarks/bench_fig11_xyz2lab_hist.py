@@ -1,0 +1,39 @@
+"""Figure 11: data re-use lifetime distribution of "imb_XYZ2Lab" in vips.
+
+Paper: "'imb_XYZ2Lab' has a peak at 0 re-use and a short tail ... The
+'imb_XYZ2Lab' function reuses data at a higher frequency, which indicates
+increased temporal locality."
+"""
+
+from __future__ import annotations
+
+from _support import full_run, save_artifact
+from repro.analysis import lifetime_histogram, render_histogram
+
+
+def test_fig11_xyz2lab_histogram(benchmark):
+    profile = full_run("vips").sigil
+    ctx = profile.tree.by_name("imb_XYZ2Lab")[0]
+    benchmark.pedantic(
+        lambda: lifetime_histogram(profile, ctx.id), rounds=5, iterations=1
+    )
+
+    hist = lifetime_histogram(profile, ctx.id)
+    chart = render_histogram(
+        hist,
+        title="Figure 11: re-use lifetime distribution of imb_XYZ2Lab "
+              "(bin size 1000, log count scale)",
+    )
+    save_artifact("fig11_xyz2lab_hist.txt", chart)
+
+    bins = dict(hist)
+    assert bins, "imb_XYZ2Lab should show re-use (its LUT)"
+    # Peak at the zero bin.
+    assert max(bins, key=bins.get) == 0
+    # Short tail: compare against conv_gen's spread.
+    conv = max(
+        profile.tree.by_name("conv_gen"),
+        key=lambda n: profile.reuse.per_fn[n.id].reused_windows,
+    )
+    conv_hist = lifetime_histogram(profile, conv.id)
+    assert hist[-1][0] < conv_hist[-1][0]

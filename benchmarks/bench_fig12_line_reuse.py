@@ -1,0 +1,60 @@
+"""Figure 12: breakdown of memory lines based on re-use counts.
+
+Paper: "Sigil can also capture line-level re-use when configured with the
+cache line size. ... Figure 12 shows the breakdown of lines in memory by
+reuse count.  While almost all benchmarks have lines re-used more than
+10,000 times, Dedup, Bodytrack and Streamcluster have a significant number
+of lines that are re-used fewer times."
+"""
+
+from __future__ import annotations
+
+from _support import OVERHEAD_SUITE, line_run, save_artifact
+from repro.analysis import render_stacked_bars
+
+
+def test_fig12_line_reuse(benchmark):
+    benchmark.pedantic(lambda: line_run("dedup"), rounds=3, iterations=1)
+
+    bars = {}
+    for name in OVERHEAD_SUITE:
+        profiler = line_run(name)
+        breakdown = profiler.reuse_breakdown()
+        total = sum(breakdown.values()) or 1
+        bars[name] = {
+            "<10": breakdown["0"] + breakdown["1-9"],
+            "<100": breakdown["10-99"],
+            "<1000": breakdown["100-999"],
+            "<10000": breakdown["1000-9999"],
+            ">10000": breakdown[">=10000"],
+        }
+    chart = render_stacked_bars(
+        bars,
+        title="Figure 12: breakdown of memory lines by re-use count "
+              "(64B lines, simsmall)",
+        width=40,
+    )
+    save_artifact("fig12_line_reuse.txt", chart)
+
+    def low_share(b):
+        total = sum(b.values()) or 1
+        return (b["<10"] + b["<100"]) / total
+
+    # Shape: dedup, bodytrack and streamcluster carry a significant share
+    # of low-re-use lines relative to the heaviest re-users.
+    lows = {name: low_share(b) for name, b in bars.items()}
+    heavy = min(lows, key=lows.get)
+    for name in ("dedup", "bodytrack", "streamcluster"):
+        assert lows[name] > lows[heavy], name
+    assert sum(1 for share in lows.values() if share > 0.2) >= 3
+
+
+def test_fig12_line_size_sensitivity(benchmark):
+    """Line granularity is architecture-dependent: larger lines fold more
+    bytes together, so the line count drops monotonically."""
+    sizes = (32, 64, 128)
+    counts = benchmark.pedantic(
+        lambda: [line_run("vips", line_size=s).n_lines for s in sizes],
+        rounds=1, iterations=1,
+    )
+    assert counts[0] > counts[1] > counts[2]

@@ -1,0 +1,58 @@
+"""Figure 13: maximum speedup based on function-level parallelism.
+
+Paper: "The maximum theoretical function-level parallelism is the ratio of
+overall serial length of the program to the critical path length. ... We
+analyze the serial versions of a few PARSEC benchmarks and the libquantum
+benchmark from SPEC to establish their limit."  Streamcluster (and
+libquantum, "a similar situation") are characterised by many short paths
+and a high limit; fluidanimate's path is one heavy ComputeForces chain and
+its limit is near 1.
+"""
+
+from __future__ import annotations
+
+from _support import PARALLELISM_SUITE, full_run, save_artifact
+from repro.analysis import analyze_critical_path, render_barchart
+
+
+def _parallelism(name: str):
+    run = full_run(name)
+    return analyze_critical_path(run.sigil.events), run.sigil.tree
+
+
+def test_fig13_parallelism(benchmark):
+    benchmark.pedantic(
+        lambda: analyze_critical_path(full_run("streamcluster").sigil.events),
+        rounds=5,
+        iterations=1,
+    )
+
+    values = {}
+    chains = {}
+    for name in PARALLELISM_SUITE:
+        result, tree = _parallelism(name)
+        values[name] = result.max_parallelism
+        chains[name] = " -> ".join(result.path_functions(tree))
+    chart = render_barchart(
+        values,
+        title="Figure 13: maximum speedup from function-level parallelism",
+        fmt="{:.1f}",
+    )
+    chain_lines = "\n".join(
+        f"{name}: {chain}" for name, chain in chains.items()
+    )
+    save_artifact(
+        "fig13_parallelism.txt",
+        chart + "\n\ncritical-path chains (leaf -> main):\n" + chain_lines,
+    )
+
+    # Shape checks from section IV-C.
+    assert values["fluidanimate"] < 2.0
+    assert values["streamcluster"] > 5.0
+    assert values["libquantum"] > 5.0
+    assert all(v >= 1.0 for v in values.values())
+    # streamcluster's chain threads the rand48 functions into pkmedian.
+    assert "drand48_iterate" in chains["streamcluster"]
+    assert "pkmedian" in chains["streamcluster"]
+    # fluidanimate's chain is carried by ComputeForces.
+    assert "ComputeForces" in chains["fluidanimate"]

@@ -1,0 +1,55 @@
+"""Figure 7: normalized coverage of the leaf nodes of the trimmed calltree.
+
+Paper: "we see that many applications spend over 50% of their execution in
+the leaf nodes of the trimmed call tree.  The exceptions are Canneal,
+Ferret and Swaptions, whose candidate functions show low 'coverage' of the
+overall application in terms of execution time.  Functions with low
+coverage indicate fewer 'hot code' regions."
+"""
+
+from __future__ import annotations
+
+from _support import OVERHEAD_SUITE, full_run, save_artifact
+from repro.analysis import coverage_report, render_stacked_bars, trim_calltree
+
+
+def _coverages():
+    reports = {}
+    for name in OVERHEAD_SUITE:
+        run = full_run(name)
+        trimmed = trim_calltree(run.sigil, run.callgrind)
+        reports[name] = coverage_report(name, trimmed)
+    return reports
+
+
+def test_fig7_coverage(benchmark):
+    def trim_blackscholes():
+        run = full_run("blackscholes")
+        return trim_calltree(run.sigil, run.callgrind)
+
+    benchmark.pedantic(trim_blackscholes, rounds=5, iterations=1)
+
+    reports = _coverages()
+    bars = {
+        name: {"candidates": rep.coverage, "rest": rep.uncovered}
+        for name, rep in reports.items()
+    }
+    chart = render_stacked_bars(
+        bars,
+        title="Figure 7: normalized coverage of trimmed-calltree leaf nodes",
+    )
+    detail = "\n".join(
+        f"{name}: coverage={rep.coverage:.2f} candidates={rep.n_candidates}"
+        for name, rep in reports.items()
+    )
+    save_artifact("fig7_coverage.txt", chart + "\n\n" + detail)
+
+    # Shape checks straight from the paper's text.
+    low = {"canneal", "ferret", "swaptions"}
+    for name in low:
+        assert reports[name].coverage < 0.60, name
+    over_half = [n for n, r in reports.items() if r.coverage > 0.5]
+    assert len(over_half) >= 8, "many applications spend over 50% in leaves"
+    for name in OVERHEAD_SUITE:
+        if name not in low:
+            assert reports[name].coverage > reports["canneal"].coverage

@@ -1,0 +1,42 @@
+"""Figure 9: average re-use lifetimes of the top vips functions.
+
+Paper: "we sort the functions in vips based on their contribution to the
+total amount of data re-use ... we look at the top list of functions and
+examine the average lifetime of a re-used data byte ... In vips, the
+'conv_gen(1)' function has the highest and 'imb_XYZ2Lab' has the smallest
+average re-use lifetime."
+"""
+
+from __future__ import annotations
+
+from _support import full_run, save_artifact
+from repro.analysis import render_barchart, top_reuse_functions
+
+
+def test_fig9_vips_lifetimes(benchmark):
+    benchmark.pedantic(
+        lambda: top_reuse_functions(full_run("vips").sigil, n=8),
+        rounds=5,
+        iterations=1,
+    )
+
+    profile = full_run("vips").sigil
+    rankings = top_reuse_functions(profile, n=8)
+    chart = render_barchart(
+        {r.label: r.average_lifetime for r in rankings},
+        title="Figure 9: average re-use lifetimes of top vips functions "
+              "(instructions)",
+        fmt="{:.0f}",
+    )
+    save_artifact("fig9_vips_lifetimes.txt", chart)
+
+    # The paper compares the *top* re-users (sorted by contribution); weigh
+    # only functions with a substantial share of the re-use.
+    floor = max(r.reused_windows for r in rankings) * 0.01
+    major = {r.label: r.average_lifetime for r in rankings if r.reused_windows >= floor}
+    conv_lifetimes = [v for k, v in major.items() if k.startswith("conv_gen")]
+    lab_lifetimes = [v for k, v in major.items() if k.startswith("imb_XYZ2Lab")]
+    assert conv_lifetimes and lab_lifetimes
+    # conv_gen highest, imb_XYZ2Lab smallest among the major re-users.
+    assert max(major.values()) == max(conv_lifetimes)
+    assert min(lab_lifetimes) == min(major.values())

@@ -1,0 +1,64 @@
+"""Tooling throughput: primitive events per second, per configuration.
+
+Not a paper artifact -- a performance baseline for the reproduction itself,
+so regressions in the hot paths (shadow classification, cache simulation)
+show up in ``--benchmark-compare`` runs.  The workload is a fixed synthetic
+event stream (mixed scalar and block accesses across several functions),
+replayed into each observer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.callgrind import CallgrindCollector
+from repro.core import LineReuseProfiler, SigilConfig, SigilProfiler
+from repro.trace.events import OpKind
+
+N_ROUNDS = 400
+
+
+def drive(observer) -> int:
+    """A deterministic mixed stream; returns the number of primitives."""
+    observer.on_run_begin()
+    observer.on_fn_enter("main")
+    events = 2
+    for i in range(N_ROUNDS):
+        observer.on_fn_enter("producer")
+        observer.on_op(OpKind.INT, 20)
+        observer.on_mem_write(0x1000 + (i % 64) * 8, 8)
+        observer.on_mem_write(0x8000 + (i % 16) * 512, 512)
+        observer.on_fn_exit("producer")
+        observer.on_fn_enter("consumer")
+        observer.on_mem_read(0x1000 + (i % 64) * 8, 8)
+        observer.on_mem_read(0x8000 + (i % 16) * 512, 512)
+        observer.on_op(OpKind.FLOAT, 30)
+        observer.on_branch(i % 7, i % 3 == 0)
+        observer.on_fn_exit("consumer")
+        events += 11
+    observer.on_fn_exit("main")
+    observer.on_run_end()
+    return events
+
+
+@pytest.mark.parametrize(
+    "make_observer",
+    [
+        pytest.param(lambda: SigilProfiler(SigilConfig()), id="sigil-baseline"),
+        pytest.param(
+            lambda: SigilProfiler(SigilConfig(reuse_mode=True)), id="sigil-reuse"
+        ),
+        pytest.param(
+            lambda: SigilProfiler(SigilConfig(event_mode=True)), id="sigil-events"
+        ),
+        pytest.param(lambda: CallgrindCollector(), id="callgrind"),
+        pytest.param(lambda: LineReuseProfiler(64), id="line-reuse"),
+    ],
+)
+def test_observer_throughput(benchmark, make_observer):
+    def once():
+        return drive(make_observer())
+
+    events = benchmark.pedantic(once, rounds=5, iterations=1)
+    assert events > 4000
+    benchmark.extra_info["primitives"] = events

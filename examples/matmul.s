@@ -1,0 +1,91 @@
+; Blocked 4x4 matrix multiply written for the mini-VM.
+;
+;   repro run examples/matmul.s --events
+;
+; Memory layout (f64, row-major):
+;   A at 0x1000, B at 0x1080, C at 0x1100.
+; main stages A and B, `matmul` drives `dot_row` per output row, and the
+; result matrix is checksummed by `checksum`.  Under Sigil this shows:
+;   - init -> dot_row unique edges (each input read once per row/column use,
+;     re-reads classified non-unique),
+;   - matmul -> checksum dataflow through C,
+;   - a critical path threading dot_row calls through the C accumulator.
+
+.func main
+    const r0, 4096            ; A
+    const r1, 4224            ; B
+    const r2, 4352            ; C
+    call  init, r0
+    call  init, r1
+    call  matmul, r0, r1, r2
+    call  checksum, r2 -> r3
+    syscall write, in=128
+    ret   r3
+
+; Fill a 4x4 matrix with i+1 in each slot (i = linear index).
+.func init/1
+    const r1, 0               ; i
+loop:
+    addi  r2, r1, 1           ; value = i + 1
+    muli  r3, r1, 8
+    add   r4, r0, r3
+    store r2, [r4+0], 8
+    addi  r1, r1, 1
+    lti   r5, r1, 16
+    br    r5, loop
+    ret
+
+; C = A x B, one dot_row call per (row, col) pair.
+.func matmul/3
+    const r3, 0               ; row
+rows:
+    const r4, 0               ; col
+cols:
+    call  dot_row, r0, r1, r3, r4 -> r5
+    muli  r6, r3, 32          ; row * 4 * 8
+    muli  r7, r4, 8
+    add   r8, r2, r6
+    add   r8, r8, r7
+    store r5, [r8+0], 8
+    addi  r4, r4, 1
+    lti   r9, r4, 4
+    br    r9, cols
+    addi  r3, r3, 1
+    lti   r9, r3, 4
+    br    r9, rows
+    ret
+
+; dot product of A[row,*] and B[*,col]
+.func dot_row/4
+    const r4, 0               ; k
+    const r5, 0               ; acc
+dot:
+    muli  r6, r2, 32          ; A index: row*4 + k
+    muli  r7, r4, 8
+    add   r8, r0, r6
+    add   r8, r8, r7
+    load  r9, [r8+0], 8
+    muli  r10, r4, 32         ; B index: k*4 + col
+    muli  r11, r3, 8
+    add   r12, r1, r10
+    add   r12, r12, r11
+    load  r13, [r12+0], 8
+    mul   r14, r9, r13
+    add   r5, r5, r14
+    addi  r4, r4, 1
+    lti   r15, r4, 4
+    br    r15, dot
+    ret   r5
+
+.func checksum/1
+    const r1, 0
+    const r2, 0
+sum:
+    muli  r3, r1, 8
+    add   r4, r0, r3
+    load  r5, [r4+0], 8
+    add   r2, r2, r5
+    addi  r1, r1, 1
+    lti   r6, r1, 16
+    br    r6, sum
+    ret   r2

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Multi-threaded tracing: a parallel pipeline under Sigil.
+
+The paper treats threads as first-class communicating entities but profiles
+serial binaries; this example exercises the reproduction's thread support:
+a three-stage pipeline (decode -> transform -> encode) whose stages run on
+separate virtual threads and hand off frames through shared ring buffers.
+
+Shows: per-thread call stacks, cross-thread producer-consumer edges, the
+thread communication matrix, per-thread load balance, and how threading
+shows up in the dependency-chain parallelism.
+
+Run:  python examples/parallel_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    analyze_critical_path,
+    per_thread_ops,
+    render_table,
+    thread_comm_matrix,
+)
+from repro.core import SigilConfig, SigilProfiler
+from repro.runtime import TracedRuntime, run_interleaved, traced
+
+FRAMES = 6
+FRAME = 64  # elements per frame
+
+
+@traced("decode")
+def decode(rt, raw, ring_a, frame):
+    data = raw.read_block(frame * FRAME, FRAME)
+    rt.iops(4 * FRAME)
+    ring_a.write_block(np.abs(data) + 1.0, (frame % 2) * FRAME)
+
+
+@traced("transform")
+def transform(rt, ring_a, ring_b, frame):
+    data = ring_a.read_block((frame % 2) * FRAME, FRAME)
+    rt.flops(8 * FRAME)
+    ring_b.write_block(np.sqrt(data) * 16.0, (frame % 2) * FRAME)
+
+
+@traced("encode")
+def encode(rt, ring_b, out, frame):
+    data = ring_b.read_block((frame % 2) * FRAME, FRAME)
+    rt.iops(6 * FRAME)
+    out.write_block((data % 251).astype(np.float64), frame * FRAME)
+
+
+def main() -> None:
+    profiler = SigilProfiler(SigilConfig(event_mode=True))
+    rt = TracedRuntime(profiler)
+
+    with rt.run("main"):
+        raw = rt.arena.alloc_f64("raw", FRAMES * FRAME)
+        ring_a = rt.arena.alloc_f64("ring_a", 2 * FRAME)
+        ring_b = rt.arena.alloc_f64("ring_b", 2 * FRAME)
+        out = rt.arena.alloc_f64("out", FRAMES * FRAME)
+        raw.poke_block(np.linspace(-100, 100, FRAMES * FRAME))
+        rt.syscall("read", output_bytes=raw.nbytes)
+
+        # Stage workers: each yields after every frame (its scheduler
+        # quantum); the ring buffers give a two-frame pipeline depth.
+        def decoder():
+            for f in range(FRAMES):
+                decode(rt, raw, ring_a, f)
+                yield
+
+        def transformer():
+            yield  # one-frame pipeline delay
+            for f in range(FRAMES):
+                transform(rt, ring_a, ring_b, f)
+                yield
+
+        def encoder():
+            yield
+            yield  # two-frame pipeline delay
+            for f in range(FRAMES):
+                encode(rt, ring_b, out, f)
+                yield
+
+        run_interleaved(rt, {1: decoder(), 2: transformer(), 3: encoder()})
+        rt.syscall("write", input_bytes=out.nbytes)
+
+    profile = profiler.profile()
+    summary = thread_comm_matrix(profile.events)
+
+    print("thread communication matrix (unique bytes):")
+    threads = summary.threads
+    rows = []
+    for src in threads:
+        rows.append(
+            [f"T{src}"] + [summary.matrix.get((src, dst), 0) for dst in threads]
+        )
+    print(render_table(["from\\to"] + [f"T{t}" for t in threads], rows))
+    print(f"\ncross-thread bytes: {summary.cross_thread_bytes} "
+          f"({summary.sharing_fraction():.0%} of communicated bytes)")
+
+    print("\nper-thread load (operations):")
+    for tid, ops in sorted(per_thread_ops(profile.events).items()):
+        print(f"  T{tid}: {ops}")
+
+    cp = analyze_critical_path(profile.events)
+    print(f"\nserial length {cp.serial_length} ops, "
+          f"critical path {cp.critical_length} ops")
+    print(f"function-level parallelism limit: {cp.max_parallelism:.2f}")
+    print("(true dependencies only: one decode->transform->encode chain per "
+          "frame; like the paper, write-after-read reuse of the ring slots "
+          "is not a dependency, so the limit equals the frame count)")
+
+
+if __name__ == "__main__":
+    main()

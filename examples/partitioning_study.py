@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""HW/SW partitioning case study (paper section IV-A).
+
+Profiles PARSEC-like workloads with Sigil + the Callgrind-equivalent,
+trims each control data flow graph with the max-coverage /
+min-communication heuristic, and reports:
+
+* Figure 7 -- coverage of the trimmed-calltree leaf nodes,
+* Table II -- best acceleration candidates by breakeven speedup,
+* Table III -- worst candidates (utility functions).
+
+Run:  python examples/partitioning_study.py [workload ...]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro import SigilConfig, profile_workload
+from repro.analysis import (
+    coverage_report,
+    render_stacked_bars,
+    render_table,
+    trim_calltree,
+)
+
+DEFAULT_WORKLOADS = ("blackscholes", "bodytrack", "canneal", "dedup",
+                     "fluidanimate", "swaptions")
+
+
+def fmt(value: float) -> str:
+    return f"{value:.3f}" if math.isfinite(value) else "inf"
+
+
+def main(argv) -> None:
+    names = argv[1:] or list(DEFAULT_WORKLOADS)
+    bars = {}
+    for name in names:
+        run = profile_workload(name, "simsmall", config=SigilConfig())
+        trimmed = trim_calltree(run.sigil, run.callgrind)
+        report = coverage_report(name, trimmed)
+        bars[name] = {"candidates": report.coverage, "rest": report.uncovered}
+
+        print(f"\n===== {name} ({report.n_candidates} candidates, "
+              f"coverage {report.coverage:.0%}) =====")
+        ranked = trimmed.sorted_candidates()
+        top = [
+            (c.name, fmt(c.breakeven), c.costs.ops, c.costs.unique_comm_bytes)
+            for c in ranked[:5]
+        ]
+        print(render_table(
+            ["function", "S(breakeven)", "incl_ops", "unique_comm_B"],
+            top,
+            title="best candidates (Table II rows)",
+        ))
+        bottom = [
+            (c.name, fmt(c.breakeven), c.costs.ops, c.costs.unique_comm_bytes)
+            for c in trimmed.sorted_candidates(worst_first=True)[:5]
+        ]
+        print(render_table(
+            ["function", "S(breakeven)", "incl_ops", "unique_comm_B"],
+            bottom,
+            title="worst candidates (Table III rows)",
+        ))
+
+    print()
+    print(render_stacked_bars(
+        bars, title="Figure 7: normalized coverage of trimmed-calltree leaves"
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Quickstart: profile a toy program and inspect everything Sigil sees.
+
+Builds a small program on the mini-VM (the same shape as the paper's toy
+example in Figures 1-3), runs it under the Sigil profiler alongside the
+Callgrind-equivalent, and prints:
+
+* the control data flow graph (calltree + weighted data-dependency edges),
+* the per-context communication classification (unique/non-unique x
+  input/output/local),
+* merged sub-tree costs and breakeven speedups (Figure 2 / Equation 1),
+* the dependency chains and critical path (Figure 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    CDFG,
+    analyze_critical_path,
+    breakeven_speedup,
+    compute_inclusive,
+    render_table,
+    trim_calltree,
+)
+from repro.callgrind import CallgrindCollector
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace import ObserverPipe
+from repro.vm import Machine, ProgramBuilder
+
+
+def build_program():
+    """main writes for A and C; A feeds C and D; C feeds D (Figure 1)."""
+    pb = ProgramBuilder()
+
+    main = pb.function("main")
+    buf = main.const(0x1000)
+    seed = main.const(21)
+    main.store(seed, buf, offset=0, size=8)
+    main.store(seed, buf, offset=8, size=8)
+    main.call("A", args=[buf])
+    main.call("C", args=[buf])
+    result = main.load(buf, offset=40, size=8)
+    main.ret(result)
+
+    a = pb.function("A", n_params=1)
+    v = a.load(a.param(0), offset=0, size=8)
+    doubled = a.alui("mul", v, 2)
+    a.store(doubled, a.param(0), offset=16, size=8)   # consumed by C
+    a.store(doubled, a.param(0), offset=24, size=8)   # consumed by D
+    a.call("D", args=[a.param(0)])
+    a.ret()
+
+    c = pb.function("C", n_params=1)
+    x = c.load(c.param(0), offset=8, size=8)
+    y = c.load(c.param(0), offset=16, size=8)
+    s = c.alu("add", x, y)
+    c.store(s, c.param(0), offset=32, size=8)
+    c.call("D", args=[c.param(0)])
+    c.ret()
+
+    d = pb.function("D", n_params=1)
+    p = d.load(d.param(0), offset=24, size=8)
+    q = d.load(d.param(0), offset=32, size=8)
+    total = d.alu("add", p, q)
+    d.store(total, d.param(0), offset=40, size=8)
+    d.ret()
+
+    return pb.build()
+
+
+def main() -> None:
+    program = build_program()
+    sigil = SigilProfiler(SigilConfig(reuse_mode=True, event_mode=True))
+    callgrind = CallgrindCollector()
+    result = Machine().run(program, ObserverPipe([sigil, callgrind]))
+    profile = sigil.profile()
+
+    print(f"program result: {result.value} "
+          f"({result.instructions} instructions retired)\n")
+
+    cdfg = CDFG(profile)
+    print("=== Control data flow graph (Figure 1) ===")
+    print("call edges (bold):")
+    for edge in cdfg.call_edges():
+        print(f"  {cdfg.label(edge.caller)} -> {cdfg.label(edge.callee)} "
+              f"[{edge.calls} call(s)]")
+    print("data edges (dashed, weighted by unique bytes):")
+    for dedge in cdfg.data_edges():
+        print(f"  {cdfg.label(dedge.writer)} --{dedge.unique_bytes}B--> "
+              f"{cdfg.label(dedge.reader)}")
+
+    print("\n=== Per-context communication ===")
+    rows = []
+    for node in profile.contexts():
+        rows.append((
+            cdfg.label(node.id),
+            node.calls,
+            profile.fn_comm(node.id).ops,
+            profile.unique_input_bytes(node.id),
+            profile.unique_output_bytes(node.id),
+            profile.unique_local_bytes(node.id),
+        ))
+    print(render_table(
+        ["context", "calls", "ops", "uniq_in_B", "uniq_out_B", "local_B"], rows
+    ))
+
+    print("\n=== Merged sub-tree costs (Figure 2) ===")
+    a_node = profile.tree.find(("main", "A"))
+    merged = compute_inclusive(profile, callgrind.profile, a_node)
+    print(f"A merged with its sub-tree: ops={merged.ops}, "
+          f"input={merged.unique_input_bytes}B, "
+          f"output={merged.unique_output_bytes}B, "
+          f"t_sw={merged.est_cycles:.0f} cycles")
+    s_be = breakeven_speedup(
+        merged.est_cycles,
+        merged.unique_input_bytes / 8.0,
+        merged.unique_output_bytes / 8.0,
+    )
+    print(f"breakeven speedup (Equation 1): {s_be:.3f}")
+
+    trimmed = trim_calltree(profile, callgrind.profile)
+    print("\naccelerator candidates (trimmed calltree leaves):")
+    for cand in trimmed.sorted_candidates():
+        print(f"  {cand.name}: S_be={cand.breakeven:.3f}")
+
+    print("\n=== Dependency chains (Figure 3) ===")
+    cp = analyze_critical_path(profile.events)
+    print(f"serial length:   {cp.serial_length} ops")
+    print(f"critical path:   {cp.critical_length} ops")
+    print(f"max parallelism: {cp.max_parallelism:.2f}")
+    chain = " -> ".join(cp.path_functions(profile.tree))
+    print(f"critical chain (leaf to main): {chain}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Data re-use case study (paper section IV-B).
+
+Reproduces the three levels of the paper's re-use drill-down:
+
+1. suite-wide byte re-use breakdown (Figure 8),
+2. the vips function ranking with average re-use lifetimes (Figure 9),
+3. per-function lifetime histograms for conv_gen and imb_XYZ2Lab
+   (Figures 10 and 11),
+4. the architecture-dependent line-granularity view (Figure 12).
+
+Run:  python examples/reuse_study.py
+"""
+
+from __future__ import annotations
+
+from repro import SigilConfig, line_reuse_run, profile_workload
+from repro.analysis import (
+    byte_reuse_breakdown,
+    lifetime_histogram,
+    render_barchart,
+    render_histogram,
+    render_stacked_bars,
+    top_reuse_functions,
+    top_unique_contributors,
+)
+
+SUITE = ("blackscholes", "canneal", "dedup", "freqmine", "streamcluster",
+         "swaptions", "vips", "x264")
+
+
+def main() -> None:
+    # -- Figure 8: byte-level re-use across the suite --------------------
+    bars = {}
+    for name in SUITE:
+        run = profile_workload(
+            name, "simsmall", config=SigilConfig(reuse_mode=True),
+            with_callgrind=False,
+        )
+        bars[name] = byte_reuse_breakdown(run.sigil)
+    print(render_stacked_bars(
+        bars, title="Figure 8: breakdown of data bytes by re-use count"
+    ))
+
+    # -- Figures 9-11: drill into vips -------------------------------------
+    vips = profile_workload(
+        "vips", "simsmall", config=SigilConfig(reuse_mode=True),
+        with_callgrind=False,
+    ).sigil
+
+    print("\nvips: top contributors to unique data bytes "
+          "(the paper's ~10% trio):")
+    for label, volume, share in top_unique_contributors(vips, n=6):
+        print(f"  {label:20s} {volume:>8} B  ({share:.1%})")
+
+    rankings = top_reuse_functions(vips, n=8)
+    print()
+    print(render_barchart(
+        {r.label: r.average_lifetime for r in rankings},
+        title="Figure 9: average re-use lifetimes of top vips functions",
+        fmt="{:.0f}",
+    ))
+
+    conv = max(
+        vips.tree.by_name("conv_gen"),
+        key=lambda n: vips.reuse.per_fn[n.id].reused_windows,
+    )
+    lab = vips.tree.by_name("imb_XYZ2Lab")[0]
+    print()
+    print(render_histogram(
+        lifetime_histogram(vips, conv.id),
+        title="Figure 10: conv_gen re-use lifetime distribution "
+              "(long tail, central peak)",
+    ))
+    print()
+    print(render_histogram(
+        lifetime_histogram(vips, lab.id),
+        title="Figure 11: imb_XYZ2Lab re-use lifetime distribution "
+              "(peak at 0, short tail)",
+    ))
+
+    # -- Figure 12: line granularity ------------------------------------------
+    line_bars = {}
+    for name in ("bodytrack", "dedup", "raytrace", "streamcluster", "vips"):
+        profiler = line_reuse_run(name, "simsmall", line_size=64)
+        line_bars[name] = {
+            k: float(v) for k, v in profiler.reuse_breakdown().items()
+        }
+    print()
+    print(render_stacked_bars(
+        line_bars,
+        title="Figure 12: breakdown of 64B memory lines by re-use count",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+; Toy producer/consumer program for `repro run examples/toy_program.s`.
+;
+; main stages two values, the workers exchange results through memory, and
+; the result is written out. Profile with:
+;
+;   repro run examples/toy_program.s --events -o toy.profile
+.func main
+    const r0, 4096          ; buffer base
+    const r1, 21
+    store r1, [r0+0], 8     ; input for produce
+    call  produce, r0
+    call  consume, r0 -> r2
+    syscall write, in=8
+    ret   r2
+
+.func produce/1
+    load  r1, [r0+0], 8     ; consume main's value (unique input)
+    muli  r2, r1, 2
+    store r2, [r0+8], 8     ; produce for consume
+    ret
+
+.func consume/1
+    load  r1, [r0+8], 8     ; consume produce's value
+    load  r3, [r0+8], 8     ; re-read: non-unique
+    add   r2, r1, r3
+    shri  r2, r2, 1
+    ret   r2

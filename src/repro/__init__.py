@@ -1,0 +1,35 @@
+"""repro: reproduction of "Platform-independent analysis of function-level
+communication in workloads" (Nilakantan & Hempstead, IISWC 2013) -- the
+Sigil communication profiler, its Callgrind-equivalent substrate, a
+synthetic PARSEC-like workload suite, and the paper's post-processing
+analyses (CDFG partitioning, data re-use, critical paths).
+
+Quick start::
+
+    from repro import profile_workload, SigilConfig
+    run = profile_workload("blackscholes", "simsmall",
+                           config=SigilConfig(reuse_mode=True, event_mode=True))
+    print(run.sigil.total_time, len(run.sigil.tree))
+"""
+
+from repro.core.config import SigilConfig
+from repro.core.profiler import SigilProfile, SigilProfiler
+from repro.harness import ProfiledRun, line_reuse_run, native_seconds, profile_workload
+from repro.workloads import ALL_NAMES, PARSEC_NAMES, InputSize, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SigilConfig",
+    "SigilProfile",
+    "SigilProfiler",
+    "ProfiledRun",
+    "line_reuse_run",
+    "native_seconds",
+    "profile_workload",
+    "ALL_NAMES",
+    "PARSEC_NAMES",
+    "InputSize",
+    "get_workload",
+    "__version__",
+]

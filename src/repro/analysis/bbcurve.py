@@ -1,0 +1,145 @@
+"""BB-curves: accelerator buffer size versus external bandwidth pressure.
+
+Section IV-B2 connects Sigil's re-use data to accelerator buffer sizing:
+"The re-use data captured by Sigil shows how many data bytes need to stay in
+an accelerator's local buffer after being consumed once.  This will help
+determine buffer sizes ... For example, Cong et al use the concept of
+BB-curves that indicate tradeoffs in increasing local buffer area for an
+accelerated function against external bandwidth pressure."
+
+This module computes those curves: for selected functions, it records the
+LRU stack distances of the function's *own* line accesses (everything the
+accelerator's local buffer would see).  A local buffer of capacity ``C``
+lines then has to fetch externally exactly the accesses whose distance is
+>= C (plus cold fetches), so one profiling pass yields external traffic as
+a function of buffer size -- and, combined with the bus model, breakeven
+speedup as a function of buffer area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.partition import BusModel, breakeven_speedup
+from repro.core.distance import ReuseDistanceProfiler
+from repro.trace.events import OpKind
+from repro.trace.observer import BaseObserver
+
+__all__ = ["BBPoint", "BBCurve", "BBCurveProfiler"]
+
+
+@dataclass(frozen=True)
+class BBPoint:
+    """One point of a BB-curve."""
+
+    buffer_lines: int
+    buffer_bytes: int
+    external_bytes: int
+    external_fraction: float
+
+
+@dataclass
+class BBCurve:
+    """External-traffic curve of one function."""
+
+    function: str
+    line_size: int
+    total_accesses: int
+    total_bytes: int
+    ops: int
+    points: List[BBPoint]
+
+    def external_bytes_at(self, buffer_lines: int) -> int:
+        for point in self.points:
+            if point.buffer_lines == buffer_lines:
+                return point.external_bytes
+        raise KeyError(f"no BB point for {buffer_lines} lines")
+
+    def breakeven_at(
+        self, buffer_lines: int, bus: Optional[BusModel] = None
+    ) -> float:
+        """Equation 1 with offload traffic taken from the curve.
+
+        ``t_sw`` is approximated by the function's operation count (its
+        instruction-side cost); the offload traffic is what a buffer of the
+        given size cannot keep local.
+        """
+        bus = bus if bus is not None else BusModel()
+        t_comm = bus.offload_cycles(self.external_bytes_at(buffer_lines))
+        return breakeven_speedup(float(self.ops), t_comm, 0.0)
+
+
+class BBCurveProfiler(BaseObserver):
+    """Observer computing per-function stack-distance data for BB-curves.
+
+    Only accesses made while one of ``targets`` is the innermost target
+    function on the call stack are recorded, each into that function's own
+    distance profiler -- the access stream an accelerator implementing the
+    function (with its entire sub-tree, per the merging model) would see.
+    """
+
+    def __init__(self, targets: Sequence[str], *, line_size: int = 64):
+        self.targets = set(targets)
+        self.line_size = line_size
+        self._stack: List[str] = []
+        self._active: List[str] = []  # innermost-target stack
+        self._profilers: Dict[str, ReuseDistanceProfiler] = {
+            name: ReuseDistanceProfiler(line_size) for name in self.targets
+        }
+        self._ops: Dict[str, int] = {name: 0 for name in self.targets}
+
+    # -- observer ----------------------------------------------------------
+
+    def on_fn_enter(self, name: str) -> None:
+        self._stack.append(name)
+        if name in self.targets:
+            self._active.append(name)
+
+    def on_fn_exit(self, name: str) -> None:
+        self._stack.pop()
+        if name in self.targets and self._active and self._active[-1] == name:
+            self._active.pop()
+
+    def on_op(self, kind: OpKind, count: int) -> None:
+        if self._active:
+            self._ops[self._active[-1]] += count
+
+    def on_mem_read(self, addr: int, size: int) -> None:
+        if self._active:
+            self._profilers[self._active[-1]]._access(addr, size)
+
+    def on_mem_write(self, addr: int, size: int) -> None:
+        if self._active:
+            self._profilers[self._active[-1]]._access(addr, size)
+
+    # -- results -------------------------------------------------------------
+
+    def curve(
+        self, function: str, capacities: Optional[Sequence[int]] = None
+    ) -> BBCurve:
+        """The BB-curve of one target function."""
+        if function not in self.targets:
+            raise KeyError(f"{function!r} was not a profiling target")
+        profiler = self._profilers[function]
+        if capacities is None:
+            capacities = [2 ** k for k in range(0, 13)]
+        total_bytes = profiler.accesses * self.line_size
+        points = []
+        for capacity in capacities:
+            miss_ratio = profiler.miss_ratio(capacity) if profiler.accesses else 0.0
+            external = round(miss_ratio * profiler.accesses) * self.line_size
+            points.append(BBPoint(
+                buffer_lines=capacity,
+                buffer_bytes=capacity * self.line_size,
+                external_bytes=external,
+                external_fraction=miss_ratio,
+            ))
+        return BBCurve(
+            function=function,
+            line_size=self.line_size,
+            total_accesses=profiler.accesses,
+            total_bytes=total_bytes,
+            ops=self._ops[function],
+            points=points,
+        )

@@ -1,0 +1,93 @@
+"""Annotated calltree rendering, in the spirit of ``callgrind_annotate``.
+
+Callgrind's headline use is "a breakdown ... of parameters such as cache
+misses and branch mispredictions" per function; this renderer gives the
+equivalent view over our profiles: the calling-context tree with inclusive
+and self operation counts, per-node shares, call counts, and (for Sigil
+profiles) unique input/output bytes -- the quickest way to read a workload's
+shape before drilling into a specific study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.callgrind.collector import CallgrindProfile
+from repro.common.cct import ContextNode
+from repro.core.profiler import SigilProfile
+
+__all__ = ["render_calltree"]
+
+
+def _inclusive_ops(profile: SigilProfile, cache: Dict[int, int], node: ContextNode) -> int:
+    cached = cache.get(node.id)
+    if cached is None:
+        cached = profile.fn_comm(node.id).ops + sum(
+            _inclusive_ops(profile, cache, child) for child in node.children.values()
+        )
+        cache[node.id] = cached
+    return cached
+
+
+def render_calltree(
+    profile: SigilProfile,
+    *,
+    max_depth: int = 6,
+    min_share: float = 0.002,
+    show_comm: bool = True,
+) -> str:
+    """Render the calling-context tree with cost annotations.
+
+    ``min_share`` prunes nodes whose inclusive operations fall below that
+    fraction of the program total (pruned subtrees are summarised so nothing
+    disappears silently).
+    """
+    cache: Dict[int, int] = {}
+    total = max(_inclusive_ops(profile, cache, profile.tree.root), 1)
+    lines: List[str] = []
+    header = "incl%   self%   calls      function"
+    if show_comm:
+        header += "  [uniq_in_B/uniq_out_B]"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def visit(node: ContextNode, depth: int, prefix: str) -> None:
+        children = sorted(
+            node.children.values(),
+            key=lambda c: cache.get(c.id, _inclusive_ops(profile, cache, c)),
+            reverse=True,
+        )
+        shown = [
+            c for c in children
+            if _inclusive_ops(profile, cache, c) / total >= min_share
+        ]
+        hidden = len(children) - len(shown)
+        for i, child in enumerate(shown):
+            last = i == len(shown) - 1 and not hidden
+            branch = "`- " if last else "|- "
+            incl = _inclusive_ops(profile, cache, child)
+            self_ops = profile.fn_comm(child.id).ops
+            line = (
+                f"{100 * incl / total:5.1f}%  "
+                f"{100 * self_ops / total:5.1f}%  "
+                f"{child.calls:>8}   "
+                f"{prefix}{branch}{child.name}"
+            )
+            if show_comm:
+                line += (
+                    f"  [{profile.unique_input_bytes(child.id)}"
+                    f"/{profile.unique_output_bytes(child.id)}]"
+                )
+            lines.append(line)
+            if depth + 1 < max_depth:
+                visit(child, depth + 1, prefix + ("   " if last else "|  "))
+            elif child.children:
+                lines.append(f"{'':23}{prefix}   ... (depth limit)")
+        if hidden:
+            lines.append(
+                f"{'':23}{prefix}`- ... {hidden} subtree(s) below "
+                f"{min_share:.1%} of total"
+            )
+
+    visit(profile.tree.root, 0, "")
+    return "\n".join(lines)

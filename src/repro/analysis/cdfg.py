@@ -1,0 +1,136 @@
+"""Control data flow graphs: call trees annotated with data dependencies.
+
+"Figure 1 shows a sample control data flow graph for a toy program generated
+using Sigil's profiling data.  This graph is essentially a calltree with
+edges representing dependencies and the graph nodes represent functions. ...
+Call edges are represented by the bold edges and data dependencies are
+represented by the dashed edges.  The directed data dependency edges are
+weighted by the number of bytes needed by the receiving function."
+(section II-C1)
+
+The CDFG is a *view* over a :class:`~repro.core.profiler.SigilProfile`: call
+edges come from the calling-context tree, data edges from the unique-byte
+communication matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.cct import INVALID_CTX, ContextNode
+from repro.core.profiler import SigilProfile
+
+__all__ = ["CallEdge", "DataEdge", "CDFG"]
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A bold edge of Figure 1: ``caller`` invokes ``callee`` ``calls`` times."""
+
+    caller: int
+    callee: int
+    calls: int
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A dashed edge of Figure 1, weighted by unique bytes consumed.
+
+    ``writer`` may be :data:`~repro.common.cct.INVALID_CTX` for program
+    input (bytes with no recorded producer).
+    """
+
+    writer: int
+    reader: int
+    unique_bytes: int
+    nonunique_bytes: int
+
+
+class CDFG:
+    """Calltree-with-dependencies view of a Sigil profile."""
+
+    def __init__(self, profile: SigilProfile):
+        self.profile = profile
+        self.tree = profile.tree
+
+    # -- nodes -------------------------------------------------------------
+
+    def nodes(self) -> List[ContextNode]:
+        return self.profile.contexts()
+
+    def node(self, ctx_id: int) -> ContextNode:
+        return self.tree.node(ctx_id)
+
+    def label(self, ctx_id: int) -> str:
+        """Human-readable context label; repeated names get ordinal suffixes.
+
+        The paper distinguishes contexts of the same function as D1/D2
+        (Figure 2) or ``conv_gen(1)`` (Figure 9).
+        """
+        if ctx_id == INVALID_CTX:
+            return "<input>"
+        node = self.tree.node(ctx_id)
+        same_name = [n for n in self.tree.by_name(node.name)]
+        if len(same_name) <= 1:
+            return node.name
+        ordinal = sorted(n.id for n in same_name).index(node.id) + 1
+        return f"{node.name}({ordinal})"
+
+    # -- edges ---------------------------------------------------------------
+
+    def call_edges(self) -> List[CallEdge]:
+        edges = []
+        for node in self.nodes():
+            assert node.parent is not None
+            edges.append(CallEdge(node.parent.id, node.id, node.calls))
+        return edges
+
+    def data_edges(self, *, include_local: bool = False) -> List[DataEdge]:
+        edges = []
+        for (writer, reader), edge in self.profile.comm.items():
+            if writer == reader and not include_local:
+                continue
+            edges.append(
+                DataEdge(writer, reader, edge.unique_bytes, edge.nonunique_bytes)
+            )
+        return edges
+
+    def data_edges_into(self, ctx_id: int) -> List[DataEdge]:
+        return [e for e in self.data_edges() if e.reader == ctx_id]
+
+    def data_edges_from(self, ctx_id: int) -> List[DataEdge]:
+        return [e for e in self.data_edges() if e.writer == ctx_id]
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dot(self, *, max_nodes: Optional[int] = None) -> str:
+        """Graphviz rendering: bold call edges, dashed weighted data edges."""
+        nodes = self.nodes()
+        if max_nodes is not None:
+            nodes = sorted(
+                nodes,
+                key=lambda n: self.profile.fn_comm(n.id).ops,
+                reverse=True,
+            )[:max_nodes]
+        keep = {n.id for n in nodes}
+        lines = ["digraph cdfg {", "  node [shape=ellipse];"]
+        for node in nodes:
+            ops = self.profile.fn_comm(node.id).ops
+            lines.append(
+                f'  n{node.id} [label="{self.label(node.id)}\\nops={ops}"];'
+            )
+        for edge in self.call_edges():
+            if edge.caller in keep and edge.callee in keep:
+                lines.append(
+                    f"  n{edge.caller} -> n{edge.callee} "
+                    f'[style=bold, label="{edge.calls}"];'
+                )
+        for dedge in self.data_edges():
+            if dedge.writer in keep and dedge.reader in keep:
+                lines.append(
+                    f"  n{dedge.writer} -> n{dedge.reader} "
+                    f'[style=dashed, label="{dedge.unique_bytes}B"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Coverage of trimmed-calltree leaves (section IV-A, Figure 7).
+
+"Figure 7 shows the breakdown of an application's native execution time by
+fraction of candidate functions.  The coverage represented by the leaf nodes
+of the trimmed call tree is the lower bar and the rest of the application is
+the upper bar."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.partition import TrimmedTree
+
+__all__ = ["CoverageReport", "coverage_report"]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Time split between candidate leaves and the rest of an application."""
+
+    benchmark: str
+    covered_cycles: float
+    total_cycles: float
+    n_candidates: int
+
+    @property
+    def coverage(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.covered_cycles / self.total_cycles)
+
+    @property
+    def uncovered(self) -> float:
+        return 1.0 - self.coverage
+
+
+def coverage_report(benchmark: str, trimmed: TrimmedTree) -> CoverageReport:
+    """Summarise one benchmark's trimmed tree into a Figure 7 bar."""
+    return CoverageReport(
+        benchmark=benchmark,
+        covered_cycles=trimmed.coverage_cycles(),
+        total_cycles=trimmed.total_cycles,
+        n_candidates=len(trimmed.candidates),
+    )

@@ -1,0 +1,162 @@
+"""Critical-path analysis over event files (sections II-C2 and IV-C).
+
+"We can post-process these files to separate the dependent chains of events
+in the program.  These dependent chains reveal the critical path of an
+application and the theoretical limits of scheduling parallel tasks."
+
+Nodes are function-call segments; a node's self-cost is the operations
+performed in the fragment, its inclusive cost "the sum of the self-costs of
+the longest chain from 'main' to that node" (Figure 3).  Functions are
+modeled as non-blocking -- "calls to child functions can be non-blocking and
+are only limited by their data dependencies" -- with conservative ordering
+between fragments of the same call.
+
+"The maximum theoretical function-level parallelism is the ratio of overall
+serial length of the program to the critical path length." (Figure 13)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.cct import ContextTree
+from repro.core.segments import EventLog, Segment
+
+__all__ = ["CriticalPathResult", "analyze_critical_path", "events_to_dot"]
+
+
+@dataclass
+class CriticalPathResult:
+    """Outcome of dependency-chain construction."""
+
+    #: Sum of all segment self-costs: the program's serial length.
+    serial_length: int
+    #: Longest dependent chain, in operations.
+    critical_length: int
+    #: Segments on the critical path, in execution order.
+    path: List[Segment]
+    #: Per-segment inclusive cost (longest chain from the start to it).
+    inclusive: List[int]
+
+    @property
+    def max_parallelism(self) -> float:
+        """Figure 13's maximum speedup from function-level parallelism."""
+        if self.critical_length <= 0:
+            return 1.0
+        return self.serial_length / self.critical_length
+
+    def path_functions(self, tree: ContextTree) -> List[str]:
+        """Distinct function names on the critical path, leaf to main order
+        (the presentation used for streamcluster and fluidanimate in IV-C)."""
+        names: List[str] = []
+        seen = set()
+        for seg in reversed(self.path):
+            name = tree.node(seg.ctx_id).name
+            if name != "<root>" and name not in seen:
+                seen.add(name)
+                names.append(name)
+        return names
+
+
+def events_to_dot(
+    events: EventLog,
+    tree: Optional[ContextTree] = None,
+    result: Optional[CriticalPathResult] = None,
+    *,
+    max_segments: int = 400,
+) -> str:
+    """Graphviz rendering of the dependency chains (Figure 3's picture).
+
+    Nodes are function-call fragments labelled with self cost (and, when a
+    :class:`CriticalPathResult` is supplied, the inclusive cost of the
+    longest chain to them); the critical path is highlighted in bold/grey,
+    matching the paper's presentation.  Large logs are truncated to the
+    ``max_segments`` highest-cost segments plus everything on the path.
+    """
+    result = result if result is not None else analyze_critical_path(events)
+    on_path = {seg.seg_id for seg in result.path}
+    keep = set(on_path)
+    by_cost = sorted(events.segments, key=lambda s: s.ops, reverse=True)
+    for seg in by_cost:
+        if len(keep) >= max_segments:
+            break
+        keep.add(seg.seg_id)
+
+    def label(seg: Segment) -> str:
+        name = tree.node(seg.ctx_id).name if tree is not None else f"ctx{seg.ctx_id}"
+        text = f"{name}\\nself: {seg.ops}"
+        if result.inclusive:
+            text += f"\\ncost = {result.inclusive[seg.seg_id]}"
+        return text
+
+    lines = ["digraph chains {", "  rankdir=TB;", "  node [shape=box];"]
+    for seg in events.segments:
+        if seg.seg_id not in keep:
+            continue
+        style = ' style=filled fillcolor="grey80"' if seg.seg_id in on_path else ""
+        lines.append(f'  s{seg.seg_id} [label="{label(seg)}"{style}];')
+    for edge in events.edges():
+        if edge.src not in keep or edge.dst not in keep:
+            continue
+        attrs = []
+        if edge.kind == "data":
+            attrs.append(f'label="{edge.bytes}B"')
+        if edge.kind == "order":
+            attrs.append("style=dashed")
+        if edge.src in on_path and edge.dst in on_path:
+            attrs.append("penwidth=2.5")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  s{edge.src} -> s{edge.dst}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def analyze_critical_path(events: EventLog) -> CriticalPathResult:
+    """Longest-path DP over the segment DAG.
+
+    All edges point from an earlier segment to a later one (producers write
+    before consumers read; calls and order edges follow time), so segments
+    in id order are already topologically sorted.
+    """
+    n = events.n_segments
+    if n == 0:
+        return CriticalPathResult(0, 0, [], [])
+
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for edge in events.edges():
+        if edge.src >= edge.dst:
+            raise ValueError(
+                f"event log is not topologically ordered: {edge.src} -> {edge.dst}"
+            )
+        preds[edge.dst].append(edge.src)
+
+    inclusive = [0] * n
+    best_pred = [-1] * n
+    for seg in events.segments:
+        i = seg.seg_id
+        best = 0
+        chosen = -1
+        for p in preds[i]:
+            # ">=" so zero-cost prefix fragments (e.g. main before its
+            # first op) stay on the reported path.
+            if inclusive[p] >= best:
+                best = inclusive[p]
+                chosen = p
+        inclusive[i] = best + seg.ops
+        best_pred[i] = chosen
+
+    end = max(range(n), key=inclusive.__getitem__)
+    path: List[Segment] = []
+    cursor = end
+    while cursor != -1:
+        path.append(events.segments[cursor])
+        cursor = best_pred[cursor]
+    path.reverse()
+
+    return CriticalPathResult(
+        serial_length=events.total_ops(),
+        critical_length=inclusive[end],
+        path=path,
+        inclusive=inclusive,
+    )

@@ -1,0 +1,132 @@
+"""Sub-tree merging and inclusive costs (Figure 2).
+
+"An accelerator designed for a function node in the call tree should include
+all of the functions in the sub-tree to absorb the cost of communication. ...
+We draw boxes around a node and its entire sub-tree.  Any dashed edges within
+the box are then discarded and edges flowing in/out of the box are
+accumulated into the communication cost of the parent node.  We sum
+measurements such as computing operations and CPU memory traffic to provide
+the software and platform-independent costs for the node.  We call the
+accumulated costs for a node the inclusive cost of communication and
+computation for the entire sub-tree." (section II-C1)
+
+Timing (the paper's :math:`t_{sw}`) comes from the Callgrind-equivalent
+profile; the two profiles observe the same run, so contexts are aligned by
+their call paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.callgrind.collector import CallgrindProfile
+from repro.common.cct import ContextNode
+from repro.core.profiler import SigilProfile
+
+__all__ = ["InclusiveCosts", "MergedNode", "compute_inclusive", "subtree_has_syscall"]
+
+
+@dataclass(frozen=True)
+class InclusiveCosts:
+    """Costs of a node with its entire sub-tree merged into one box."""
+
+    ops: int
+    iops: int
+    flops: int
+    unique_input_bytes: int
+    unique_output_bytes: int
+    #: Full Callgrind cycle estimate (instructions + miss/branch penalties).
+    est_cycles: float
+    calls: int
+    #: Raw Callgrind event counts, so downstream models can re-weigh them.
+    instructions: int = 0
+    branch_misses: int = 0
+    l1_misses: int = 0
+    ll_misses: int = 0
+
+    @property
+    def unique_comm_bytes(self) -> int:
+        return self.unique_input_bytes + self.unique_output_bytes
+
+
+@dataclass(frozen=True)
+class MergedNode:
+    """A calltree node considered at merged (sub-tree) granularity."""
+
+    node: ContextNode
+    costs: InclusiveCosts
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+def _align_context(
+    callgrind: CallgrindProfile, node: ContextNode
+) -> Optional[ContextNode]:
+    """Find the Callgrind context matching a Sigil context by call path."""
+    return callgrind.tree.find(node.path)
+
+
+def compute_inclusive(
+    sigil: SigilProfile,
+    callgrind: Optional[CallgrindProfile],
+    node: ContextNode,
+) -> InclusiveCosts:
+    """Merge ``node``'s entire sub-tree and return its inclusive costs.
+
+    Data edges internal to the sub-tree are discarded; unique bytes crossing
+    the boundary become the merged node's input/output communication.
+    """
+    subtree: Set[int] = sigil.comm.subtree_ids(node)
+    iops = 0
+    flops = 0
+    for ctx_id in subtree:
+        comm = sigil.functions.get(ctx_id)
+        if comm is not None:
+            iops += comm.iops
+            flops += comm.flops
+    inp, out = sigil.comm.boundary_bytes(subtree)
+
+    est_cycles = 0.0
+    instructions = branch_misses = l1_misses = ll_misses = 0
+    if callgrind is not None:
+        cg_node = _align_context(callgrind, node)
+        if cg_node is not None:
+            cg_costs = callgrind.inclusive_costs(cg_node)
+            instructions = cg_costs.instructions
+            branch_misses = cg_costs.branch_misses
+            l1_misses = cg_costs.l1_misses
+            ll_misses = cg_costs.ll_misses
+            est_cycles = callgrind.cycle_model.estimate(
+                instructions, branch_misses, l1_misses, ll_misses
+            )
+    return InclusiveCosts(
+        ops=iops + flops,
+        iops=iops,
+        flops=flops,
+        unique_input_bytes=inp,
+        unique_output_bytes=out,
+        est_cycles=est_cycles,
+        calls=node.calls,
+        instructions=instructions,
+        branch_misses=branch_misses,
+        l1_misses=l1_misses,
+        ll_misses=ll_misses,
+    )
+
+
+def subtree_has_syscall(node: ContextNode) -> bool:
+    """True if any context in the sub-tree is a system-call pseudo-node."""
+    return any(sub.name.startswith("sys:") for sub in node.walk())
+
+
+def inclusive_cost_table(
+    sigil: SigilProfile, callgrind: Optional[CallgrindProfile]
+) -> Dict[int, InclusiveCosts]:
+    """Inclusive costs for every context (convenience for reports)."""
+    return {
+        node.id: compute_inclusive(sigil, callgrind, node)
+        for node in sigil.contexts()
+    }

@@ -1,0 +1,141 @@
+"""ASCII renderers for the paper's tables and figures.
+
+The benchmark harness regenerates every evaluation artifact as text: plain
+tables for Tables II/III, horizontal bar charts for the slowdown/coverage
+figures, and stacked percentage bars for the re-use breakdowns.  Keeping the
+renderers in one place makes benches and examples read alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "render_table",
+    "render_barchart",
+    "render_stacked_bars",
+    "render_histogram",
+    "format_si",
+]
+
+
+def format_si(value: float) -> str:
+    """Compact human format: 1234567 -> '1.23M'."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3g}"
+    return str(int(value))
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_barchart(
+    data: Mapping[str, float],
+    *,
+    title: Optional[str] = None,
+    width: int = 50,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per key."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_w = max(len(k) for k in data)
+    peak = max(data.values()) or 1.0
+    for key, value in data.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{key.ljust(label_w)} |{bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    data: Mapping[str, Mapping[str, float]],
+    *,
+    title: Optional[str] = None,
+    width: int = 40,
+    segment_chars: str = "#=+*o.",
+) -> str:
+    """Stacked 100% bars (Figures 8 and 12): one row per benchmark.
+
+    Each inner mapping is segment-label -> fraction; fractions are
+    normalised per row.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    segments = list(next(iter(data.values())).keys())
+    legend = "  ".join(
+        f"{segment_chars[i % len(segment_chars)]}={label}"
+        for i, label in enumerate(segments)
+    )
+    lines.append(f"legend: {legend}")
+    label_w = max(len(k) for k in data)
+    for key, parts in data.items():
+        total = sum(parts.values()) or 1.0
+        bar = ""
+        for i, label in enumerate(segments):
+            n = round(width * parts.get(label, 0.0) / total)
+            bar += segment_chars[i % len(segment_chars)] * n
+        pct = "  ".join(
+            f"{label}:{100.0 * parts.get(label, 0.0) / total:.1f}%"
+            for label in segments
+        )
+        lines.append(f"{key.ljust(label_w)} |{bar[:width].ljust(width)}| {pct}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence[Tuple[int, int]],
+    *,
+    title: Optional[str] = None,
+    width: int = 50,
+    log_scale: bool = True,
+) -> str:
+    """Histogram of (bin_start, count) pairs, optionally log-scaled counts
+    (Figures 10/11 use a logarithmic y-axis)."""
+    import math
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not bins:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_w = max(len(str(start)) for start, _ in bins)
+
+    def scale(count: int) -> float:
+        return math.log10(count + 1) if log_scale else float(count)
+
+    peak = max(scale(c) for _, c in bins) or 1.0
+    for start, count in bins:
+        bar = "#" * max(0, round(width * scale(count) / peak))
+        lines.append(f"{str(start).rjust(label_w)} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Schedule dependency chains onto a fixed number of cores.
+
+The paper closes its critical-path study with the scheduling application:
+"The functions in parallel paths in a program can be mapped onto multiple
+cores such that dependencies are respected.  A software developer may have a
+fixed number of scheduling slots based on the number of available cores.
+The developer can map dependency chains onto these slots so as to minimize
+communication between slots and balance the load among them." (section IV-C)
+
+This module implements that mapping as a classic list scheduler over the
+event-mode segment DAG: segments become ready when all predecessors have
+finished; ready segments are dispatched to the earliest-free core, longest
+critical-path-to-exit first (the standard HLFET heuristic).  The resulting
+makespan interpolates between the serial length (1 core) and the critical
+path (unbounded cores), giving the *achievable* speedup curve below
+Figure 13's theoretical limit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.segments import EDGE_DATA, EventLog
+
+__all__ = ["ScheduleResult", "schedule_events", "speedup_curve"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of list-scheduling an event log onto ``n_cores`` slots."""
+
+    n_cores: int
+    makespan: int
+    serial_length: int
+    #: segment id -> (core, start_time)
+    placement: Dict[int, Tuple[int, int]]
+    #: Bytes moved between segments placed on different cores.
+    cross_core_bytes: int
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan <= 0:
+            return 1.0
+        return self.serial_length / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per core (1.0 = perfectly balanced, no idling)."""
+        return self.speedup / self.n_cores if self.n_cores else 0.0
+
+
+def _bottom_levels(events: EventLog, succs: List[List[int]]) -> List[int]:
+    """Critical-path-to-exit length per segment (the HLFET priority)."""
+    n = events.n_segments
+    levels = [0] * n
+    for seg in reversed(events.segments):
+        i = seg.seg_id
+        tail = max((levels[s] for s in succs[i]), default=0)
+        levels[i] = seg.ops + tail
+    return levels
+
+
+def schedule_events(events: EventLog, n_cores: int) -> ScheduleResult:
+    """List-schedule the segment DAG onto ``n_cores`` identical cores."""
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    n = events.n_segments
+    if n == 0:
+        return ScheduleResult(n_cores, 0, 0, {}, 0)
+
+    preds: List[List[int]] = [[] for _ in range(n)]
+    succs: List[List[int]] = [[] for _ in range(n)]
+    data_edges: List[Tuple[int, int, int]] = []
+    for edge in events.edges():
+        preds[edge.dst].append(edge.src)
+        succs[edge.src].append(edge.dst)
+        if edge.kind == EDGE_DATA:
+            data_edges.append((edge.src, edge.dst, edge.bytes))
+
+    priority = _bottom_levels(events, succs)
+    in_degree = [len(p) for p in preds]
+    finish = [0] * n
+    placement: Dict[int, Tuple[int, int]] = {}
+    core_free = [0] * n_cores
+
+    # Ready heap: (-priority, seg_id); earliest data-ready time per segment.
+    ready: List[Tuple[int, int]] = []
+    data_ready = [0] * n
+    for seg in events.segments:
+        if in_degree[seg.seg_id] == 0:
+            heapq.heappush(ready, (-priority[seg.seg_id], seg.seg_id))
+
+    scheduled = 0
+    while ready:
+        _, i = heapq.heappop(ready)
+        # Pick the core that lets the segment start earliest.
+        core = min(range(n_cores), key=core_free.__getitem__)
+        start = max(core_free[core], data_ready[i])
+        end = start + events.segments[i].ops
+        core_free[core] = end
+        finish[i] = end
+        placement[i] = (core, start)
+        scheduled += 1
+        for s in succs[i]:
+            data_ready[s] = max(data_ready[s], end)
+            in_degree[s] -= 1
+            if in_degree[s] == 0:
+                heapq.heappush(ready, (-priority[s], s))
+
+    if scheduled != n:  # pragma: no cover - defensive (DAG guaranteed)
+        raise ValueError("event log contains a dependency cycle")
+
+    cross = sum(
+        nbytes
+        for src, dst, nbytes in data_edges
+        if placement[src][0] != placement[dst][0]
+    )
+    return ScheduleResult(
+        n_cores=n_cores,
+        makespan=max(finish),
+        serial_length=events.total_ops(),
+        placement=placement,
+        cross_core_bytes=cross,
+    )
+
+
+def speedup_curve(
+    events: EventLog, cores: Optional[List[int]] = None
+) -> List[ScheduleResult]:
+    """Schedule for a range of core counts (default 1, 2, 4, ... 32)."""
+    if cores is None:
+        cores = [1, 2, 4, 8, 16, 32]
+    return [schedule_events(events, k) for k in cores]

@@ -1,0 +1,73 @@
+"""Thread-level communication analysis (beyond the paper's serial scope).
+
+The paper names threads among the "self contained fragment[s] of code [that]
+can be a producer or consumer" (section II-A) but evaluates serial binaries
+only.  With the trace layer's thread support, event-mode profiles carry the
+thread of every segment, and the data edges between segments of different
+threads *are* the thread-to-thread communication — this module aggregates
+them into the matrix a NoC or shared-cache designer would start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.segments import EDGE_DATA, EventLog
+
+__all__ = ["ThreadCommSummary", "thread_comm_matrix", "per_thread_ops"]
+
+
+@dataclass
+class ThreadCommSummary:
+    """Cross-thread traffic extracted from an event log."""
+
+    #: (producer thread, consumer thread) -> unique bytes moved.
+    matrix: Dict[Tuple[int, int], int]
+    #: thread -> operations retired on it.
+    ops: Dict[int, int]
+
+    @property
+    def threads(self) -> List[int]:
+        tids = set(self.ops)
+        for src, dst in self.matrix:
+            tids.add(src)
+            tids.add(dst)
+        return sorted(tids)
+
+    @property
+    def cross_thread_bytes(self) -> int:
+        return sum(
+            count for (src, dst), count in self.matrix.items() if src != dst
+        )
+
+    @property
+    def intra_thread_bytes(self) -> int:
+        return sum(
+            count for (src, dst), count in self.matrix.items() if src == dst
+        )
+
+    def sharing_fraction(self) -> float:
+        """Fraction of communicated bytes that crossed a thread boundary."""
+        total = self.cross_thread_bytes + self.intra_thread_bytes
+        return self.cross_thread_bytes / total if total else 0.0
+
+
+def thread_comm_matrix(events: EventLog) -> ThreadCommSummary:
+    """Aggregate data-edge bytes by the producing/consuming threads."""
+    matrix: Dict[Tuple[int, int], int] = {}
+    segments = events.segments
+    for edge in events.edges():
+        if edge.kind != EDGE_DATA:
+            continue
+        key = (segments[edge.src].thread, segments[edge.dst].thread)
+        matrix[key] = matrix.get(key, 0) + edge.bytes
+    return ThreadCommSummary(matrix=matrix, ops=per_thread_ops(events))
+
+
+def per_thread_ops(events: EventLog) -> Dict[int, int]:
+    """Operations retired per thread (load balance view)."""
+    ops: Dict[int, int] = {}
+    for seg in events.segments:
+        ops[seg.thread] = ops.get(seg.thread, 0) + seg.ops
+    return ops

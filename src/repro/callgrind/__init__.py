@@ -1,0 +1,23 @@
+"""Callgrind-equivalent: calltree costs, cache/branch simulation, cycles."""
+
+from repro.callgrind.branch import BimodalPredictor
+from repro.callgrind.cache import AccessResult, Cache, CacheConfig, CacheHierarchy
+from repro.callgrind.collector import (
+    CallgrindCollector,
+    CallgrindCosts,
+    CallgrindProfile,
+)
+from repro.callgrind.cycles import DEFAULT_CYCLE_MODEL, CycleModel
+
+__all__ = [
+    "BimodalPredictor",
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CallgrindCollector",
+    "CallgrindCosts",
+    "CallgrindProfile",
+    "DEFAULT_CYCLE_MODEL",
+    "CycleModel",
+]

@@ -1,0 +1,109 @@
+"""Set-associative cache simulator, after Callgrind's on-the-fly cache model.
+
+Callgrind "performs on-the-fly cache simulations to determine the behavior of
+the program"; its miss counts feed the cycle-estimation formula the paper
+uses for the software-runtime side of the partitioning study.  We model a
+data hierarchy (D1 backed by LL) with true-LRU sets, write-allocate, and
+accesses that may straddle line boundaries.
+
+The instruction side of Callgrind's model (I1) has no analogue here because
+the substrates do not fetch encoded instructions from memory; the cycle
+formula accounts for instruction count directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["CacheConfig", "Cache", "CacheHierarchy", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level (sizes in bytes)."""
+
+    size: int = 32 * 1024
+    assoc: int = 8
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if self.size % (self.assoc * self.line_size):
+            raise ValueError("size must be a multiple of assoc * line_size")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Miss counts incurred by one (possibly line-straddling) access."""
+
+    l1_misses: int
+    ll_misses: int
+
+
+class Cache:
+    """One level of true-LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        self._n_sets = config.n_sets
+        self._set_mask = self._n_sets - 1
+        # Per set: list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access_line(self, line_no: int) -> bool:
+        """Touch one line; returns True on miss."""
+        self.accesses += 1
+        idx = line_no & self._set_mask
+        tag = line_no >> (self._n_sets.bit_length() - 1)
+        ways = self._sets[idx]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return False
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.assoc:
+            ways.pop(0)
+        return True
+
+    def lines_of(self, addr: int, size: int) -> range:
+        """Line numbers covered by an access of ``size`` bytes at ``addr``."""
+        first = addr >> self._line_shift
+        last = (addr + max(size, 1) - 1) >> self._line_shift
+        return range(first, last + 1)
+
+
+class CacheHierarchy:
+    """D1 backed by a unified last-level cache, as Callgrind simulates."""
+
+    def __init__(
+        self,
+        d1: Optional[CacheConfig] = None,
+        ll: Optional[CacheConfig] = None,
+    ):
+        self.d1 = Cache(d1 if d1 is not None else CacheConfig())
+        self.ll = Cache(
+            ll if ll is not None else CacheConfig(size=8 * 1024 * 1024, assoc=16)
+        )
+        if self.d1.config.line_size != self.ll.config.line_size:
+            raise ValueError("D1 and LL must share a line size")
+
+    def access(self, addr: int, size: int) -> AccessResult:
+        """Run one data access through D1 and, on miss, LL."""
+        l1_misses = 0
+        ll_misses = 0
+        for line in self.d1.lines_of(addr, size):
+            if self.d1.access_line(line):
+                l1_misses += 1
+                if self.ll.access_line(line):
+                    ll_misses += 1
+        return AccessResult(l1_misses, ll_misses)

@@ -1,0 +1,48 @@
+"""Callgrind's cycle-estimation formula.
+
+The paper estimates the software run time of a function on a general-purpose
+CPU with "the calculation used by Callgrind to estimate cycle count"
+(section III), whose inputs are the default Callgrind profiling parameters:
+instruction count, cache miss counts, and branch misprediction count.
+Callgrind/KCachegrind's conventional weighting is::
+
+    CEst = Ir + 10 * Bm + 10 * L1m + 100 * LLm
+
+where ``Ir`` is retired instructions, ``Bm`` mispredicted branches, ``L1m``
+first-level misses and ``LLm`` last-level misses.  The weights are exposed as
+a dataclass so studies can explore other machine points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CycleModel", "DEFAULT_CYCLE_MODEL"]
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Weights of the cycle-estimation formula (Callgrind defaults)."""
+
+    per_instruction: float = 1.0
+    per_branch_miss: float = 10.0
+    per_l1_miss: float = 10.0
+    per_ll_miss: float = 100.0
+
+    def estimate(
+        self,
+        instructions: int,
+        branch_misses: int,
+        l1_misses: int,
+        ll_misses: int,
+    ) -> float:
+        """Estimated cycles for the given event counts."""
+        return (
+            self.per_instruction * instructions
+            + self.per_branch_miss * branch_misses
+            + self.per_l1_miss * l1_misses
+            + self.per_ll_miss * ll_misses
+        )
+
+
+DEFAULT_CYCLE_MODEL = CycleModel()

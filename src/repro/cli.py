@@ -1,0 +1,520 @@
+"""Command-line interface: profile, inspect and post-process workloads.
+
+The released Sigil ships as a tool plus post-processing scripts; this module
+is that surface for the reproduction::
+
+    repro list
+    repro profile vips --reuse --events -o vips.profile --events-out vips.events
+    repro report vips.profile --top 10
+    repro partition blackscholes --bandwidth 8
+    repro reuse vips --function conv_gen
+    repro critpath vips.events
+    repro critpath streamcluster --cores 1,2,4,8
+
+Commands accepting a workload name run it live; ``report``/``critpath`` also
+accept files produced by ``profile``, supporting the paper's offline model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import (
+    CDFG,
+    render_calltree,
+    analyze_critical_path,
+    events_to_dot,
+    byte_reuse_breakdown,
+    coverage_report,
+    lifetime_histogram,
+    render_barchart,
+    render_histogram,
+    render_table,
+    top_reuse_functions,
+    top_unique_contributors,
+    trim_calltree,
+)
+from repro.analysis.partition import BusModel, PartitionPolicy
+from repro.analysis.schedule import speedup_curve
+from repro.core import SigilConfig
+from repro.harness import profile_workload
+from repro.io import (
+    dump_callgrind,
+    dump_events,
+    dump_profile,
+    load_callgrind,
+    load_events,
+    load_profile,
+)
+from repro.workloads import ALL_NAMES, WORKLOADS, InputSize
+
+__all__ = ["main", "build_parser"]
+
+
+def _fmt_be(value: float) -> str:
+    return f"{value:.3f}" if math.isfinite(value) else "inf"
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    rows = [
+        (name, WORKLOADS[name].suite, WORKLOADS[name].description)
+        for name in ALL_NAMES
+    ]
+    print(render_table(["workload", "suite", "description"], rows))
+    print(f"\nsizes: {', '.join(s.value for s in InputSize)}")
+    return 0
+
+
+def _run(args, *, reuse: bool = False, events: bool = False):
+    config = SigilConfig(
+        reuse_mode=reuse or getattr(args, "reuse", False),
+        event_mode=events or getattr(args, "events", False),
+        line_size=getattr(args, "line_size", 1),
+        max_shadow_pages=getattr(args, "max_shadow_pages", None),
+    )
+    return profile_workload(args.workload, args.size, config=config)
+
+
+def cmd_profile(args) -> int:
+    run = _run(args)
+    profile = run.sigil
+    print(
+        f"{run.name} ({run.size.value}): {profile.total_time} instructions, "
+        f"{len(profile.contexts())} contexts, {len(profile.comm)} edges, "
+        f"shadow {profile.shadow_stats.shadow_bytes // 1024} KB, "
+        f"{run.wall_seconds:.2f}s wall"
+    )
+    if args.output:
+        dump_profile(profile, args.output)
+        print(f"profile written to {args.output}")
+    if args.events_out:
+        if profile.events is None:
+            print("error: --events-out requires --events", file=sys.stderr)
+            return 2
+        dump_events(profile.events, args.events_out)
+        print(f"event file written to {args.events_out}")
+    if args.callgrind_out:
+        dump_callgrind(run.callgrind, args.callgrind_out)
+        print(f"callgrind profile written to {args.callgrind_out}")
+    if not (args.output or args.events_out or args.callgrind_out):
+        _print_summary(profile, args.top)
+    return 0
+
+
+def _print_summary(profile, top: int) -> None:
+    cdfg = CDFG(profile)
+    rows = []
+    ranked = sorted(
+        profile.contexts(), key=lambda n: profile.fn_comm(n.id).ops, reverse=True
+    )
+    for node in ranked[:top]:
+        comm = profile.fn_comm(node.id)
+        rows.append((
+            cdfg.label(node.id),
+            node.calls,
+            comm.ops,
+            profile.unique_input_bytes(node.id),
+            profile.unique_output_bytes(node.id),
+            profile.unique_local_bytes(node.id),
+        ))
+    print()
+    print(render_table(
+        ["context", "calls", "ops", "uniq_in_B", "uniq_out_B", "local_B"],
+        rows,
+        title=f"top {min(top, len(ranked))} contexts by operations",
+    ))
+
+
+def cmd_report(args) -> int:
+    profile = load_profile(args.profile)
+    _print_summary(profile, args.top)
+    if args.tree:
+        print()
+        print(render_calltree(profile))
+    cdfg = CDFG(profile)
+    edges = sorted(
+        cdfg.data_edges(), key=lambda e: e.unique_bytes, reverse=True
+    )[: args.top]
+    rows = [
+        (cdfg.label(e.writer), cdfg.label(e.reader), e.unique_bytes, e.nonunique_bytes)
+        for e in edges
+    ]
+    print()
+    print(render_table(
+        ["producer", "consumer", "unique_B", "nonunique_B"],
+        rows,
+        title=f"top {len(rows)} data edges by unique bytes",
+    ))
+    if args.dot:
+        Path(args.dot).write_text(cdfg.to_dot(max_nodes=args.top))
+        print(f"\nCDFG written to {args.dot} (graphviz)")
+    if args.kcachegrind:
+        from repro.io import export_sigil
+
+        export_sigil(profile, args.kcachegrind)
+        print(f"\ncallgrind-format file written to {args.kcachegrind} "
+              "(open in kcachegrind)")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    if args.profile and args.callgrind:
+        sigil = load_profile(args.profile)
+        callgrind = load_callgrind(args.callgrind)
+        name = Path(args.profile).stem
+    else:
+        run = _run(args)
+        sigil, callgrind, name = run.sigil, run.callgrind, run.name
+    policy = PartitionPolicy(bus=BusModel(bytes_per_cycle=args.bandwidth))
+    trimmed = trim_calltree(sigil, callgrind, policy)
+    report = coverage_report(name, trimmed)
+    print(
+        f"{name}: {report.n_candidates} candidates cover "
+        f"{report.coverage:.0%} of estimated execution time\n"
+    )
+    rows = [
+        (c.name, _fmt_be(c.breakeven), c.costs.ops,
+         c.costs.unique_input_bytes, c.costs.unique_output_bytes)
+        for c in trimmed.sorted_candidates()[: args.top]
+    ]
+    print(render_table(
+        ["function", "S(breakeven)", "incl_ops", "uniq_in_B", "uniq_out_B"],
+        rows,
+        title="acceleration candidates by breakeven speedup (Eq. 1)",
+    ))
+    return 0
+
+
+def cmd_reuse(args) -> int:
+    run = _run(args, reuse=True)
+    profile = run.sigil
+    breakdown = byte_reuse_breakdown(profile)
+    print(render_barchart(
+        {k: 100 * v for k, v in breakdown.items()},
+        title=f"{run.name}: % of data bytes by re-use count",
+        fmt="{:.1f}%",
+    ))
+    rankings = top_reuse_functions(profile, n=args.top)
+    if rankings:
+        rows = [
+            (r.label, r.reused_windows, r.reuse_accesses,
+             f"{r.average_lifetime:.0f}")
+            for r in rankings
+        ]
+        print()
+        print(render_table(
+            ["function", "reused_windows", "re-reads", "avg_lifetime"],
+            rows,
+            title="top re-using functions",
+        ))
+    print()
+    print("top unique-byte contributors:")
+    for label, volume, share in top_unique_contributors(profile, n=5):
+        print(f"  {label:24s} {volume:>10} B  ({share:.1%})")
+    if args.function:
+        matches = [
+            node for node in profile.contexts()
+            if node.name == args.function
+        ]
+        if not matches:
+            print(f"error: function {args.function!r} not found", file=sys.stderr)
+            return 2
+        for node in matches:
+            hist = lifetime_histogram(profile, node.id)
+            print()
+            print(render_histogram(
+                hist,
+                title=f"re-use lifetime histogram: {args.function} "
+                      f"(context {'/'.join(node.path)})",
+            ))
+    if args.mrc:
+        from repro.core import ReuseDistanceProfiler
+        from repro.workloads import get_workload
+
+        distance = ReuseDistanceProfiler(64)
+        get_workload(args.workload, args.size).run(distance)
+        rows = [
+            (capacity, f"{capacity * 64 // 1024} KB", f"{ratio:.4f}")
+            for capacity, ratio in distance.miss_ratio_curve(
+                [2 ** k for k in range(2, 14)]
+            )
+        ]
+        print()
+        print(render_table(
+            ["capacity_lines", "capacity", "predicted_miss_ratio"],
+            rows,
+            title="miss-ratio curve from LRU stack distances (64B lines)",
+        ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Assemble and profile a user program (see repro.vm.asm for syntax)."""
+    from repro.callgrind import CallgrindCollector
+    from repro.core import SigilProfiler
+    from repro.trace import ObserverPipe
+    from repro.vm import Machine
+    from repro.vm.asm import assemble
+
+    text = Path(args.program).read_text()
+    program = assemble(text, entry=args.entry)
+    sigil = SigilProfiler(SigilConfig(
+        reuse_mode=args.reuse, event_mode=args.events,
+    ))
+    callgrind = CallgrindCollector()
+    result = Machine().run(program, ObserverPipe([sigil, callgrind]))
+    profile = sigil.profile()
+    print(
+        f"{args.program}: returned {result.value!r}, "
+        f"{result.instructions} instructions, "
+        f"{len(profile.contexts())} contexts"
+    )
+    if args.output:
+        dump_profile(profile, args.output)
+        print(f"profile written to {args.output}")
+    if args.events_out:
+        if profile.events is None:
+            print("error: --events-out requires --events", file=sys.stderr)
+            return 2
+        dump_events(profile.events, args.events_out)
+        print(f"event file written to {args.events_out}")
+    _print_summary(profile, args.top)
+    trimmed = trim_calltree(profile, callgrind.profile)
+    rows = [
+        (c.name, _fmt_be(c.breakeven), c.costs.ops, c.costs.unique_comm_bytes)
+        for c in trimmed.sorted_candidates()[: args.top]
+    ]
+    if rows:
+        print()
+        print(render_table(
+            ["function", "S(breakeven)", "incl_ops", "unique_comm_B"],
+            rows,
+            title="acceleration candidates",
+        ))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Regenerate every paper table/figure (runs the benchmark harness)."""
+    import pytest as _pytest
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    if not bench_dir.exists():
+        print(
+            "error: benchmarks/ not found next to the package; run from a "
+            "source checkout",
+            file=sys.stderr,
+        )
+        return 2
+    pytest_args = [str(bench_dir), "--benchmark-only", "-q"]
+    if args.only:
+        pytest_args += ["-k", args.only]
+    code = _pytest.main(pytest_args)
+    results = bench_dir / "results"
+    if results.exists():
+        print(f"\nartifacts in {results}:")
+        for path in sorted(results.glob("*.txt")):
+            print(f"  {path.name}")
+    return int(code)
+
+
+def cmd_diff(args) -> int:
+    """Compare two saved profiles (callgrind_diff analogue)."""
+    from repro.analysis import diff_profiles
+
+    baseline = load_profile(args.baseline)
+    subject = load_profile(args.subject)
+    diff = diff_profiles(baseline, subject)
+    print(
+        f"total ops: {diff.total_ops[0]} -> {diff.total_ops[1]} "
+        f"({diff.ops_ratio:.2f}x)"
+    )
+    rows = []
+    for d in diff.by_ops_change(args.top):
+        rows.append((
+            "/".join(d.path),
+            f"{d.calls[0]}->{d.calls[1]}",
+            f"{d.ops[0]}->{d.ops[1]}",
+            f"{d.ops_delta:+d}",
+            f"{d.unique_input[0]}->{d.unique_input[1]}",
+        ))
+    print()
+    print(render_table(
+        ["context", "calls", "ops", "ops_delta", "uniq_in_B"],
+        rows,
+        title=f"top {len(rows)} contexts by |ops change|",
+    ))
+    appeared = diff.appeared()
+    gone = diff.disappeared()
+    if appeared:
+        print("\nonly in subject: " + ", ".join("/".join(d.path) for d in appeared))
+    if gone:
+        print("\nonly in baseline: " + ", ".join("/".join(d.path) for d in gone))
+    return 0
+
+
+def cmd_critpath(args) -> int:
+    tree = None
+    if Path(args.target).exists():
+        events = load_events(args.target)
+        name = Path(args.target).stem
+    else:
+        if args.target not in WORKLOADS:
+            print(
+                f"error: {args.target!r} is neither an event file nor a "
+                f"workload name",
+                file=sys.stderr,
+            )
+            return 2
+        args.workload = args.target
+        run = _run(args, events=True)
+        events = run.sigil.events
+        tree = run.sigil.tree
+        name = run.name
+    result = analyze_critical_path(events)
+    print(f"{name}: serial {result.serial_length} ops, "
+          f"critical path {result.critical_length} ops")
+    if args.dot:
+        Path(args.dot).write_text(events_to_dot(events, tree, result))
+        print(f"dependency-chain graph written to {args.dot} (graphviz)")
+    print(f"maximum function-level parallelism: {result.max_parallelism:.2f}")
+    if tree is not None:
+        chain = " -> ".join(result.path_functions(tree))
+        print(f"critical chain (leaf to main): {chain}")
+    if args.cores:
+        cores = [int(c) for c in args.cores.split(",")]
+        print()
+        rows = [
+            (r.n_cores, r.makespan, f"{r.speedup:.2f}",
+             f"{r.efficiency:.2f}", r.cross_core_bytes)
+            for r in speedup_curve(events, cores)
+        ]
+        print(render_table(
+            ["cores", "makespan", "speedup", "efficiency", "cross_core_B"],
+            rows,
+            title="list-scheduled speedup (achievable, vs. theoretical limit)",
+        ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", choices=ALL_NAMES, help="benchmark to run")
+    p.add_argument("--size", default="simsmall",
+                   choices=[s.value for s in InputSize])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sigil reproduction: function-level communication profiling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list available workloads")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("profile", help="profile a workload with Sigil")
+    _add_workload_args(p)
+    p.add_argument("--reuse", action="store_true", help="enable re-use mode")
+    p.add_argument("--events", action="store_true", help="enable event mode")
+    p.add_argument("--line-size", type=int, default=1,
+                   help="shadow granularity in bytes (power of two)")
+    p.add_argument("--max-shadow-pages", type=int, default=None,
+                   help="FIFO shadow-memory limit (pages)")
+    p.add_argument("-o", "--output", help="write the aggregate profile here")
+    p.add_argument("--events-out", help="write the event file here")
+    p.add_argument("--callgrind-out", help="write the callgrind profile here")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("report", help="summarise a saved profile")
+    p.add_argument("profile", help="file written by `repro profile -o`")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--tree", action="store_true",
+                   help="print the annotated calling-context tree")
+    p.add_argument("--dot", help="write a graphviz CDFG here")
+    p.add_argument("--kcachegrind",
+                   help="export communication metrics in callgrind format")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("partition", help="HW/SW partitioning study")
+    p.add_argument("workload", nargs="?", choices=ALL_NAMES)
+    p.add_argument("--size", default="simsmall",
+                   choices=[s.value for s in InputSize])
+    p.add_argument("--profile", help="saved Sigil profile (offline mode)")
+    p.add_argument("--callgrind", help="saved callgrind profile (offline mode)")
+    p.add_argument("--bandwidth", type=float, default=8.0,
+                   help="SoC bus bandwidth, bytes/cycle")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("reuse", help="data re-use study")
+    _add_workload_args(p)
+    p.add_argument("--function", help="print this function's lifetime histogram")
+    p.add_argument("--mrc", action="store_true",
+                   help="also print the stack-distance miss-ratio curve")
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=cmd_reuse)
+
+    p = sub.add_parser("figures", help="regenerate the paper's tables/figures")
+    p.add_argument("--only", help="pytest -k filter, e.g. 'fig7 or table2'")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("diff", help="compare two saved profiles")
+    p.add_argument("baseline")
+    p.add_argument("subject")
+    p.add_argument("--top", type=int, default=15)
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("run", help="assemble and profile a .s program")
+    p.add_argument("program", help="assembly file (see repro.vm.asm)")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--reuse", action="store_true")
+    p.add_argument("--events", action="store_true")
+    p.add_argument("-o", "--output", help="write the aggregate profile here")
+    p.add_argument("--events-out", help="write the event file here")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("critpath", help="critical-path / scheduling study")
+    p.add_argument("target", help="event file or workload name")
+    p.add_argument("--size", default="simsmall",
+                   choices=[s.value for s in InputSize])
+    p.add_argument("--cores", help="comma-separated core counts to schedule")
+    p.add_argument("--dot", help="write the dependency-chain graph here")
+    p.set_defaults(func=cmd_critpath)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "partition" and not args.workload and not (
+        args.profile and args.callgrind
+    ):
+        parser.error("partition needs a workload or --profile AND --callgrind")
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less and closed early
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Structures shared by multiple tools (calling-context tree, ...)."""
+
+from repro.common.cct import INVALID_CTX, ROOT_NAME, ContextNode, ContextTree
+
+__all__ = ["INVALID_CTX", "ROOT_NAME", "ContextNode", "ContextTree"]

@@ -1,0 +1,96 @@
+"""Calling-context tree (CCT) shared by the Callgrind observer and Sigil.
+
+Both tools "keep separate accounting of costs for functions called through
+different contexts" (paper, section III): costs are attributed not to a bare
+function name but to a *context* -- the chain of function names from the root
+of the run to the function.  Figure 2 relies on this (function D appears as
+two nodes, D1 and D2, one per calling context).
+
+A :class:`ContextNode` is one such context.  Node ids are dense small
+integers, which lets tools keep per-context cost records in flat structures
+and lets the shadow memory store "pointer to function" (Table I) as an int32.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ContextNode", "ContextTree", "ROOT_NAME", "INVALID_CTX"]
+
+ROOT_NAME = "<root>"
+
+#: Shadow-memory value meaning "no recorded function" (Table I: entries are
+#: initialised to *invalid* until the corresponding byte is used).
+INVALID_CTX = -1
+
+
+class ContextNode:
+    """One calling context: a function name plus the chain of its callers."""
+
+    __slots__ = ("id", "name", "parent", "children", "calls", "depth")
+
+    def __init__(self, node_id: int, name: str, parent: Optional["ContextNode"]):
+        self.id = node_id
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, ContextNode] = {}
+        self.calls = 0
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    @property
+    def path(self) -> Tuple[str, ...]:
+        """Function names from the root (exclusive) down to this node."""
+        names: List[str] = []
+        node: Optional[ContextNode] = self
+        while node is not None and node.parent is not None:
+            names.append(node.name)
+            node = node.parent
+        return tuple(reversed(names))
+
+    def walk(self) -> Iterator["ContextNode"]:
+        """Yield this node and all descendants, depth-first."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContextNode(#{self.id} {'/'.join(self.path) or ROOT_NAME})"
+
+
+class ContextTree:
+    """Interns calling contexts and assigns dense ids."""
+
+    def __init__(self) -> None:
+        self.root = ContextNode(0, ROOT_NAME, None)
+        self.nodes: List[ContextNode] = [self.root]
+
+    def child(self, parent: ContextNode, name: str) -> ContextNode:
+        """Get or create the context for ``name`` called from ``parent``."""
+        node = parent.children.get(name)
+        if node is None:
+            node = ContextNode(len(self.nodes), name, parent)
+            parent.children[name] = node
+            self.nodes.append(node)
+        return node
+
+    def node(self, ctx_id: int) -> ContextNode:
+        return self.nodes[ctx_id]
+
+    def find(self, path: Tuple[str, ...]) -> Optional[ContextNode]:
+        """Look up a context by its path of function names; None if absent."""
+        node = self.root
+        for name in path:
+            nxt = node.children.get(name)
+            if nxt is None:
+                return None
+            node = nxt
+        return node
+
+    def by_name(self, name: str) -> List[ContextNode]:
+        """All contexts whose function name is ``name``."""
+        return [n for n in self.nodes if n.name == name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

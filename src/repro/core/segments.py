@@ -1,0 +1,104 @@
+"""Event-mode output: the execution as a sequence of dependent events.
+
+"Sigil can represent output data ... by recording a list of all of the data
+transfers that occur.  In the latter representation, a program's essence can
+be reconstructed as a sequence of dependent 'events'.  These events are
+fragments of computation separated by data transfer edges." (section II-B)
+
+A :class:`Segment` is one such fragment: a maximal interval during which a
+single function call executes without an intervening call or return.  Every
+function entry or resumption opens a new segment, implementing Figure 3's
+"we add the second occurrence of A as a separate node although it belongs to
+the same call".
+
+Three kinds of edges join segments (all point forward in time):
+
+* ``order`` -- from a call's previous segment to its next one,
+  "to conservatively enforce order between regions within" a function;
+* ``call`` -- from the caller's active segment to the callee's first segment
+  (a callee cannot begin before the call site is reached);
+* ``data`` -- from the segment that produced bytes to the segment that first
+  consumed them, weighted by the number of unique bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Segment", "SegmentEdge", "EventLog", "EDGE_ORDER", "EDGE_CALL", "EDGE_DATA"]
+
+EDGE_ORDER = "order"
+EDGE_CALL = "call"
+EDGE_DATA = "data"
+
+
+@dataclass
+class Segment:
+    """One fragment of a function call's computation."""
+
+    seg_id: int
+    ctx_id: int
+    call_id: int
+    start_time: int
+    #: Self cost: operations retired within the fragment (Figure 3's
+    #: "number of operations performed within the call").
+    ops: int = 0
+    #: Virtual thread the fragment ran on (0 for serial programs).
+    thread: int = 0
+
+
+@dataclass(frozen=True)
+class SegmentEdge:
+    """A dependency between two segments."""
+
+    src: int
+    dst: int
+    kind: str
+    bytes: int = 0
+
+
+class EventLog:
+    """Accumulates segments and their dependency edges during a run."""
+
+    def __init__(self) -> None:
+        self.segments: List[Segment] = []
+        self._order_call_edges: List[SegmentEdge] = []
+        # (src, dst) -> bytes for data edges; aggregated because one segment
+        # usually consumes many bytes from the same producer.
+        self._data_edges: Dict[Tuple[int, int], int] = {}
+
+    def new_segment(
+        self, ctx_id: int, call_id: int, time: int, thread: int = 0
+    ) -> Segment:
+        seg = Segment(len(self.segments), ctx_id, call_id, time, thread=thread)
+        self.segments.append(seg)
+        return seg
+
+    def add_order_edge(self, src: int, dst: int) -> None:
+        self._order_call_edges.append(SegmentEdge(src, dst, EDGE_ORDER))
+
+    def add_call_edge(self, src: int, dst: int) -> None:
+        self._order_call_edges.append(SegmentEdge(src, dst, EDGE_CALL))
+
+    def add_data_bytes(self, src: int, dst: int, count: int) -> None:
+        if src == dst or count <= 0:
+            return
+        key = (src, dst)
+        self._data_edges[key] = self._data_edges.get(key, 0) + count
+
+    def edges(self) -> List[SegmentEdge]:
+        """All edges, data edges materialised with their byte weights."""
+        data = [
+            SegmentEdge(src, dst, EDGE_DATA, count)
+            for (src, dst), count in self._data_edges.items()
+        ]
+        return self._order_call_edges + data
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def total_ops(self) -> int:
+        """The program's serial length in operations."""
+        return sum(seg.ops for seg in self.segments)

@@ -1,0 +1,181 @@
+"""Two-level shadow memory (Table I), after Nethercote & Seward.
+
+"The goal of memory shadowing is to hold a shadow data object for every
+unique byte used by the program. ... It is a two-level table, similar to an
+operating system page-table, where each level is indexed by a portion of the
+data byte-address.  The second-level structures are created only when the
+corresponding portions of the address space are accessed.  These second-level
+structures are a chunk of shadow objects which are initialized to 'invalid'
+until the data byte corresponding to those addresses are used by the binary."
+(paper, section II-B)
+
+The second-level chunks are NumPy arrays, one slot per shadowed byte:
+
+======================  =======  ==============================================
+field                   dtype    meaning (Table I)
+======================  =======  ==============================================
+``writer``              int32    last writer (context id; -1 = invalid)
+``writer_seg``          int64    segment that performed the last write
+                                 (event mode only)
+``reader``              int32    last reader (context id; -1 = invalid)
+``reader_call``         int64    last reader call (global call number)
+``reuse_count``         int32    # of non-unique accesses (reuse mode)
+``win_first``           int64    re-use lifetime start (reuse mode)
+``win_last``            int64    re-use lifetime finish (reuse mode)
+======================  =======  ==============================================
+
+The optional memory limit implements the paper's FIFO eviction of the shadow
+pages whose addresses were least recently touched; before a page is dropped
+its open re-use state is handed to a finalisation callback so aggregate
+accuracy degrades gracefully (the paper reports the loss "negligible").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShadowPage", "ShadowMemory", "SHADOW_PAGE_SIZE"]
+
+#: Shadow objects per second-level chunk.
+SHADOW_PAGE_SIZE = 4096
+
+
+class ShadowPage:
+    """Second-level chunk of shadow objects for one page of address space."""
+
+    __slots__ = (
+        "page_no",
+        "writer",
+        "writer_seg",
+        "reader",
+        "reader_call",
+        "reuse_count",
+        "win_first",
+        "win_last",
+    )
+
+    def __init__(self, page_no: int, *, reuse_mode: bool, event_mode: bool):
+        self.page_no = page_no
+        self.writer = np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int32)
+        self.reader = np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int32)
+        self.reader_call = np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int64)
+        self.writer_seg = (
+            np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int64) if event_mode else None
+        )
+        if reuse_mode:
+            self.reuse_count = np.zeros(SHADOW_PAGE_SIZE, dtype=np.int32)
+            self.win_first = np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int64)
+            self.win_last = np.full(SHADOW_PAGE_SIZE, -1, dtype=np.int64)
+        else:
+            self.reuse_count = None
+            self.win_first = None
+            self.win_last = None
+
+    @property
+    def nbytes(self) -> int:
+        """Footprint of this page's shadow arrays in bytes."""
+        total = self.writer.nbytes + self.reader.nbytes + self.reader_call.nbytes
+        if self.writer_seg is not None:
+            total += self.writer_seg.nbytes
+        if self.reuse_count is not None:
+            total += self.reuse_count.nbytes + self.win_first.nbytes + self.win_last.nbytes
+        return total
+
+
+class ShadowMemory:
+    """First level of the two-level table: page number -> shadow chunk.
+
+    Parameters
+    ----------
+    reuse_mode, event_mode:
+        Which optional shadow fields to allocate.
+    max_pages:
+        The memory-limit option; when set, the least recently touched page
+        is evicted once the limit is exceeded.
+    on_evict:
+        Called with each page just before it is dropped, so the profiler can
+        finalise open re-use windows and per-byte re-use counts.
+    """
+
+    def __init__(
+        self,
+        *,
+        reuse_mode: bool = False,
+        event_mode: bool = False,
+        max_pages: Optional[int] = None,
+        on_evict: Optional[Callable[[ShadowPage], None]] = None,
+    ):
+        self._pages: "OrderedDict[int, ShadowPage]" = OrderedDict()
+        self._reuse_mode = reuse_mode
+        self._event_mode = event_mode
+        self._max_pages = max_pages
+        self._on_evict = on_evict
+        self.pages_created = 0
+        self.pages_evicted = 0
+        self.peak_pages = 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def page(self, page_no: int) -> ShadowPage:
+        """Get (or create) the shadow chunk for address page ``page_no``."""
+        page = self._pages.get(page_no)
+        if page is not None:
+            if self._max_pages is not None:
+                self._pages.move_to_end(page_no)
+            return page
+        page = ShadowPage(
+            page_no, reuse_mode=self._reuse_mode, event_mode=self._event_mode
+        )
+        self._pages[page_no] = page
+        self.pages_created += 1
+        if len(self._pages) > self.peak_pages:
+            self.peak_pages = len(self._pages)
+        if self._max_pages is not None and len(self._pages) > self._max_pages:
+            _, victim = self._pages.popitem(last=False)
+            self.pages_evicted += 1
+            if self._on_evict is not None:
+                self._on_evict(victim)
+        return page
+
+    def chunks(self, addr: int, size: int) -> Iterator[Tuple[ShadowPage, int, int]]:
+        """Split ``[addr, addr+size)`` into per-page (page, lo, hi) slices."""
+        if size <= 0:
+            return
+        page_no = addr // SHADOW_PAGE_SIZE
+        offset = addr % SHADOW_PAGE_SIZE
+        remaining = size
+        while remaining > 0:
+            chunk = min(SHADOW_PAGE_SIZE - offset, remaining)
+            yield self.page(page_no), offset, offset + chunk
+            remaining -= chunk
+            page_no += 1
+            offset = 0
+
+    def pages(self) -> Iterator[ShadowPage]:
+        """All live pages (used by end-of-run finalisation)."""
+        return iter(self._pages.values())
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def live_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Current footprint of all live shadow chunks."""
+        return sum(page.nbytes for page in self._pages.values())
+
+    @property
+    def peak_shadow_bytes(self) -> int:
+        """Upper-bound footprint estimate from the peak live page count."""
+        if not self._pages:
+            per_page = ShadowPage(
+                0, reuse_mode=self._reuse_mode, event_mode=self._event_mode
+            ).nbytes
+        else:
+            per_page = next(iter(self._pages.values())).nbytes
+        return self.peak_pages * per_page

@@ -1,0 +1,94 @@
+"""One-call orchestration: run a workload under the chosen tool stack.
+
+Mirrors how the paper collects data: a *native* run (no tool), a *Callgrind*
+run (calltree costs + cache/branch simulation), and a *Sigil* run (shadow
+memory, optionally alongside Callgrind so partitioning studies can join
+communication with timing).  Wall-clock seconds are measured around the
+substrate so the Figure 4-6 overhead characterisation can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.callgrind.collector import CallgrindCollector, CallgrindProfile
+from repro.core.config import SigilConfig
+from repro.core.linegrain import LineReuseProfiler
+from repro.core.profiler import SigilProfile, SigilProfiler
+from repro.trace.observer import NullObserver, ObserverPipe
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.registry import get_workload
+
+__all__ = ["ProfiledRun", "profile_workload", "native_seconds", "line_reuse_run"]
+
+
+@dataclass
+class ProfiledRun:
+    """Results of one instrumented workload execution."""
+
+    workload: Workload
+    sigil: Optional[SigilProfile]
+    callgrind: Optional[CallgrindProfile]
+    wall_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def size(self) -> InputSize:
+        return self.workload.size
+
+
+def profile_workload(
+    name: str,
+    size: InputSize | str = InputSize.SIMSMALL,
+    *,
+    config: Optional[SigilConfig] = None,
+    with_sigil: bool = True,
+    with_callgrind: bool = True,
+) -> ProfiledRun:
+    """Run workload ``name`` at ``size`` under the requested observers."""
+    workload = get_workload(name, size)
+    sigil = SigilProfiler(config) if with_sigil else None
+    callgrind = CallgrindCollector() if with_callgrind else None
+    observers = [obs for obs in (sigil, callgrind) if obs is not None]
+    if not observers:
+        observer = NullObserver()
+    elif len(observers) == 1:
+        observer = observers[0]
+    else:
+        observer = ObserverPipe(observers)
+
+    start = time.perf_counter()
+    workload.run(observer)
+    wall = time.perf_counter() - start
+
+    return ProfiledRun(
+        workload=workload,
+        sigil=sigil.profile() if sigil is not None else None,
+        callgrind=callgrind.profile if callgrind is not None else None,
+        wall_seconds=wall,
+    )
+
+
+def native_seconds(name: str, size: InputSize | str = InputSize.SIMSMALL) -> float:
+    """Wall-clock of an uninstrumented run (the Figure 4 baseline)."""
+    workload = get_workload(name, size)
+    start = time.perf_counter()
+    workload.run(NullObserver())
+    return time.perf_counter() - start
+
+
+def line_reuse_run(
+    name: str,
+    size: InputSize | str = InputSize.SIMSMALL,
+    *,
+    line_size: int = 64,
+) -> LineReuseProfiler:
+    """Run a workload under the line-granularity re-use mode (Figure 12)."""
+    profiler = LineReuseProfiler(line_size)
+    get_workload(name, size).run(profiler)
+    return profiler

@@ -1,0 +1,33 @@
+"""Profile and event-file persistence."""
+
+from repro.io.callgrindfile import (
+    dump_callgrind,
+    dumps_callgrind,
+    load_callgrind,
+    loads_callgrind,
+)
+from repro.io.eventfile import dump_events, dumps_events, load_events, loads_events
+from repro.io.kcachegrind import export_callgrind, export_sigil
+from repro.io.profilefile import (
+    dump_profile,
+    dumps_profile,
+    load_profile,
+    loads_profile,
+)
+
+__all__ = [
+    "dump_callgrind",
+    "dumps_callgrind",
+    "load_callgrind",
+    "loads_callgrind",
+    "dump_events",
+    "dumps_events",
+    "export_callgrind",
+    "export_sigil",
+    "load_events",
+    "loads_events",
+    "dump_profile",
+    "dumps_profile",
+    "load_profile",
+    "loads_profile",
+]

@@ -1,0 +1,105 @@
+"""Persistence of Callgrind-equivalent profiles.
+
+The partitioning case study joins Sigil's communication data with
+Callgrind's timing data; storing both makes the whole study runnable
+offline, matching the paper's release model.  Format
+(``# callgrind-equiv 1``)::
+
+    model <per_instruction> <per_branch_miss> <per_l1_miss> <per_ll_miss>
+    ctx <id> <parent_id> <calls> <name>
+    cost <ctx> <ir> <iops> <flops> <reads> <read_B> <writes> <write_B>
+         <l1m> <llm> <br> <brm> <sys>
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.callgrind.collector import CallgrindCosts, CallgrindProfile
+from repro.callgrind.cycles import CycleModel
+from repro.common.cct import ContextTree
+
+__all__ = [
+    "dump_callgrind",
+    "dumps_callgrind",
+    "load_callgrind",
+    "loads_callgrind",
+]
+
+_MAGIC = "# callgrind-equiv 1"
+
+
+def dumps_callgrind(profile: CallgrindProfile) -> str:
+    """Serialise a Callgrind-equivalent profile to text."""
+    lines: List[str] = [_MAGIC]
+    m = profile.cycle_model
+    lines.append(
+        f"model {m.per_instruction} {m.per_branch_miss} "
+        f"{m.per_l1_miss} {m.per_ll_miss}"
+    )
+    for node in profile.tree.nodes:
+        if node.parent is None:
+            continue
+        if "\n" in node.name:
+            raise ValueError(f"function name contains newline: {node.name!r}")
+        lines.append(f"ctx {node.id} {node.parent.id} {node.calls} {node.name}")
+    for ctx_id, c in sorted(profile.self_costs.items()):
+        lines.append(
+            f"cost {ctx_id} {c.instructions} {c.iops} {c.flops} {c.reads} "
+            f"{c.read_bytes} {c.writes} {c.write_bytes} {c.l1_misses} "
+            f"{c.ll_misses} {c.branches} {c.branch_misses} {c.syscalls}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dump_callgrind(profile: CallgrindProfile, path: Union[str, Path]) -> None:
+    """Write a Callgrind-equivalent profile to ``path``."""
+    Path(path).write_text(dumps_callgrind(profile))
+
+
+def loads_callgrind(text: str) -> CallgrindProfile:
+    """Parse a Callgrind-equivalent profile from text."""
+    lines = text.splitlines()
+    if not lines or lines[0] != _MAGIC:
+        raise ValueError("not a callgrind-equivalent profile (bad magic)")
+    tree = ContextTree()
+    profile = CallgrindProfile(tree)
+    id_map: Dict[int, int] = {0: 0}
+    for line in lines[1:]:
+        if not line or line.startswith("#"):
+            continue
+        kind, _, rest = line.partition(" ")
+        if kind == "model":
+            parts = [float(x) for x in rest.split()]
+            profile.cycle_model = CycleModel(*parts)
+        elif kind == "ctx":
+            fields = rest.split(" ", 3)
+            file_id, parent_id, calls = int(fields[0]), int(fields[1]), int(fields[2])
+            node = tree.child(tree.node(id_map[parent_id]), fields[3])
+            node.calls = calls
+            id_map[file_id] = node.id
+        elif kind == "cost":
+            parts = [int(x) for x in rest.split()]
+            profile.self_costs[id_map[parts[0]]] = CallgrindCosts(
+                instructions=parts[1],
+                iops=parts[2],
+                flops=parts[3],
+                reads=parts[4],
+                read_bytes=parts[5],
+                writes=parts[6],
+                write_bytes=parts[7],
+                l1_misses=parts[8],
+                ll_misses=parts[9],
+                branches=parts[10],
+                branch_misses=parts[11],
+                syscalls=parts[12],
+            )
+        else:
+            raise ValueError(f"unknown callgrind line kind: {kind!r}")
+    return profile
+
+
+def load_callgrind(path: Union[str, Path]) -> CallgrindProfile:
+    """Read a profile previously written by :func:`dump_callgrind`."""
+    return loads_callgrind(Path(path).read_text())

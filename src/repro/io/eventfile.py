@@ -1,0 +1,97 @@
+"""Persistence of event logs (Sigil's second output representation).
+
+"[Sigil] can ... list the execution as a sequence of dependent 'events'.
+The latter representation allows a system designer to view a workload as a
+list of function calls connected by data transfer edges." (section I)
+
+Format (``# sigil-events 1``)::
+
+    seg <id> <ctx> <call> <start_time> <ops>
+    edge <kind> <src> <dst> [<bytes>]
+
+Segment lines appear in id order; the loader validates monotonicity so that
+downstream longest-path passes can rely on topological order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.segments import (
+    EDGE_CALL,
+    EDGE_DATA,
+    EDGE_ORDER,
+    EventLog,
+    SegmentEdge,
+)
+
+__all__ = ["dump_events", "load_events", "dumps_events", "loads_events"]
+
+_MAGIC = "# sigil-events 1"
+_KINDS = {EDGE_ORDER, EDGE_CALL, EDGE_DATA}
+
+
+def dumps_events(events: EventLog) -> str:
+    """Serialise an event log to the sigil-events text format."""
+    lines: List[str] = [_MAGIC]
+    for seg in events.segments:
+        lines.append(
+            f"seg {seg.seg_id} {seg.ctx_id} {seg.call_id} {seg.start_time} "
+            f"{seg.ops} {seg.thread}"
+        )
+    for edge in events.edges():
+        if edge.kind == EDGE_DATA:
+            lines.append(f"edge {edge.kind} {edge.src} {edge.dst} {edge.bytes}")
+        else:
+            lines.append(f"edge {edge.kind} {edge.src} {edge.dst}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_events(events: EventLog, path: Union[str, Path]) -> None:
+    """Write an event log to ``path``."""
+    Path(path).write_text(dumps_events(events))
+
+
+def loads_events(text: str) -> EventLog:
+    """Parse an event log from sigil-events text (validates ordering)."""
+    lines = text.splitlines()
+    if not lines or lines[0] != _MAGIC:
+        raise ValueError("not a sigil event file (bad magic)")
+    events = EventLog()
+    for line in lines[1:]:
+        if not line or line.startswith("#"):
+            continue
+        kind, _, rest = line.partition(" ")
+        if kind == "seg":
+            parts = [int(x) for x in rest.split()]
+            if len(parts) == 5:  # pre-thread files
+                parts.append(0)
+            seg_id, ctx_id, call_id, start, ops, thread = parts
+            if seg_id != events.n_segments:
+                raise ValueError(
+                    f"segment ids must be dense and ordered; got {seg_id}, "
+                    f"expected {events.n_segments}"
+                )
+            seg = events.new_segment(ctx_id, call_id, start, thread=thread)
+            seg.ops = ops
+        elif kind == "edge":
+            fields = rest.split()
+            edge_kind = fields[0]
+            if edge_kind not in _KINDS:
+                raise ValueError(f"unknown edge kind {edge_kind!r}")
+            src, dst = int(fields[1]), int(fields[2])
+            if edge_kind == EDGE_DATA:
+                events.add_data_bytes(src, dst, int(fields[3]))
+            elif edge_kind == EDGE_CALL:
+                events.add_call_edge(src, dst)
+            else:
+                events.add_order_edge(src, dst)
+        else:
+            raise ValueError(f"unknown event line kind: {kind!r}")
+    return events
+
+
+def load_events(path: Union[str, Path]) -> EventLog:
+    """Read an event log previously written by :func:`dump_events`."""
+    return loads_events(Path(path).read_text())

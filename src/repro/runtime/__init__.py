@@ -1,0 +1,7 @@
+"""Traced-Python runtime substrate used by the synthetic workload suite."""
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Arena, Buffer
+from repro.runtime.runtime import RuntimeError_, TracedRuntime, run_interleaved
+
+__all__ = ["traced", "Arena", "Buffer", "RuntimeError_", "TracedRuntime", "run_interleaved"]

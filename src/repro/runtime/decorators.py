@@ -1,0 +1,69 @@
+"""Decorator sugar for writing traced workload kernels.
+
+A kernel decorated with :func:`traced` must take the
+:class:`~repro.runtime.runtime.TracedRuntime` as its first argument; the
+wrapper brackets the body with function enter/exit events under the given
+symbol name (defaulting to the Python function's name).
+
+Example
+-------
+>>> from repro.runtime import TracedRuntime, traced
+>>> @traced("conv_gen")
+... def conv_gen(rt, image, kernel):
+...     rt.flops(10)
+...     return 42
+>>> rt = TracedRuntime()
+>>> with rt.run():
+...     result = conv_gen(rt, None, None)
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, TypeVar, overload
+
+from repro.runtime.runtime import TracedRuntime
+
+__all__ = ["traced"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def traced(name_or_fn: F) -> F: ...
+
+
+@overload
+def traced(name_or_fn: Optional[str] = None) -> Callable[[F], F]: ...
+
+
+def traced(name_or_fn=None):
+    """Mark a kernel as a traced function.
+
+    Usable bare (``@traced``) or with an explicit symbol name
+    (``@traced("ImageMeasurements::ImageErrorInside")``) so synthetic
+    workloads can carry the exact function names the paper reports.
+    """
+
+    def decorate(fn: Callable, name: Optional[str] = None) -> Callable:
+        symbol = name if name is not None else fn.__name__
+
+        @functools.wraps(fn)
+        def wrapper(rt, *args, **kwargs):
+            if not isinstance(rt, TracedRuntime):
+                raise TypeError(
+                    f"traced function {symbol!r} must receive a TracedRuntime "
+                    f"as its first argument, got {type(rt).__name__}"
+                )
+            rt.enter(symbol)
+            try:
+                return fn(rt, *args, **kwargs)
+            finally:
+                rt.exit(symbol)
+
+        wrapper.symbol_name = symbol  # type: ignore[attr-defined]
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)

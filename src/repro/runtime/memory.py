@@ -1,0 +1,189 @@
+"""Traced memory for the Python-level substrate.
+
+Workload kernels manipulate :class:`Buffer` objects.  Every traced access
+emits the corresponding :meth:`on_mem_read` / :meth:`on_mem_write` primitive
+with a real, stable byte address, so Sigil's shadow memory sees exactly the
+same thing it would see under DBI.  Buffers also carry actual values (NumPy
+arrays) so the kernels compute real results -- the workloads are miniature
+programs, not event generators.
+
+Two access families exist:
+
+* ``read`` / ``write`` / ``read_block`` / ``write_block`` -- traced; visible
+  to observers.
+* ``peek`` / ``poke`` / ``peek_block`` / ``poke_block`` -- untraced; used to
+  stage program *input* (the bytes a system call would deposit) and to
+  inspect results in tests.  This mirrors the paper's syscall limitation:
+  Valgrind cannot see stores performed inside the kernel, so input data first
+  becomes visible to Sigil when the program reads it (the shadow entry is
+  still "invalid", i.e. the byte has no recorded producer).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import TracedRuntime
+
+__all__ = ["Buffer", "Arena", "MAX_ACCESS_BYTES"]
+
+#: Block accesses larger than this are reported as multiple consecutive
+#: memory events.  A real program touches a big array through many
+#: individual loads; one giant range event would under-represent the
+#: instrumentation work per byte, so block transport is capped.
+MAX_ACCESS_BYTES = 2048
+
+
+class Buffer:
+    """A typed, contiguous, traced region of the program's address space."""
+
+    __slots__ = ("_rt", "name", "base", "dtype", "length", "_data", "itemsize")
+
+    def __init__(
+        self,
+        rt: "TracedRuntime",
+        name: str,
+        base: int,
+        dtype: np.dtype,
+        length: int,
+    ):
+        self._rt = rt
+        self.name = name
+        self.base = base
+        self.dtype = np.dtype(dtype)
+        self.length = length
+        self.itemsize = self.dtype.itemsize
+        self._data = np.zeros(length, dtype=self.dtype)
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.itemsize
+
+    def addr_of(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        return self.base + index * self.itemsize
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"buffer {self.name!r}: index {index} out of range [0, {self.length})"
+            )
+
+    def _check_range(self, start: int, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"buffer {self.name!r}: negative count {count}")
+        if start < 0 or start + count > self.length:
+            raise IndexError(
+                f"buffer {self.name!r}: range [{start}, {start + count}) "
+                f"out of [0, {self.length})"
+            )
+
+    # -- traced element access -------------------------------------------
+
+    def read(self, index: int):
+        """Read one element (traced)."""
+        self._check(index)
+        self._rt.observer.on_mem_read(self.base + index * self.itemsize, self.itemsize)
+        return self._data[index]
+
+    def write(self, index: int, value) -> None:
+        """Write one element (traced)."""
+        self._check(index)
+        self._data[index] = value
+        self._rt.observer.on_mem_write(self.base + index * self.itemsize, self.itemsize)
+
+    # -- traced block access -----------------------------------------------
+
+    def _emit_ranges(self, emit, start: int, count: int) -> None:
+        """Report a block access, split into MAX_ACCESS_BYTES events."""
+        addr = self.base + start * self.itemsize
+        remaining = count * self.itemsize
+        while remaining > 0:
+            chunk = min(remaining, MAX_ACCESS_BYTES)
+            emit(addr, chunk)
+            addr += chunk
+            remaining -= chunk
+
+    def read_block(self, start: int = 0, count: Optional[int] = None) -> np.ndarray:
+        """Read ``count`` consecutive elements as one logical traced access."""
+        if count is None:
+            count = self.length - start
+        self._check_range(start, count)
+        self._emit_ranges(self._rt.observer.on_mem_read, start, count)
+        return self._data[start : start + count].copy()
+
+    def write_block(self, values: Sequence | np.ndarray, start: int = 0) -> None:
+        """Write consecutive elements as one logical traced access."""
+        arr = np.asarray(values, dtype=self.dtype)
+        self._check_range(start, len(arr))
+        self._data[start : start + len(arr)] = arr
+        self._emit_ranges(self._rt.observer.on_mem_write, start, len(arr))
+
+    # -- untraced (staging / inspection) ---------------------------------
+
+    def peek(self, index: int):
+        self._check(index)
+        return self._data[index]
+
+    def poke(self, index: int, value) -> None:
+        self._check(index)
+        self._data[index] = value
+
+    def peek_block(self, start: int = 0, count: Optional[int] = None) -> np.ndarray:
+        if count is None:
+            count = self.length - start
+        self._check_range(start, count)
+        return self._data[start : start + count].copy()
+
+    def poke_block(self, values: Sequence | np.ndarray, start: int = 0) -> None:
+        arr = np.asarray(values, dtype=self.dtype)
+        self._check_range(start, len(arr))
+        self._data[start : start + len(arr)] = arr
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Buffer({self.name!r}, base=0x{self.base:x}, "
+            f"dtype={self.dtype}, length={self.length})"
+        )
+
+
+class Arena:
+    """Hands out disjoint address ranges for buffers.
+
+    Buffers are aligned to their item size and padded so that distinct
+    buffers never share a cache line; this keeps the line-granularity mode
+    (Figure 12) free of false sharing artifacts introduced by the allocator
+    rather than the workload.
+    """
+
+    def __init__(self, rt: "TracedRuntime", *, base: int = 0x1000_0000, line: int = 64):
+        self._rt = rt
+        self._next = base
+        self._line = line
+
+    def alloc(self, name: str, dtype, length: int) -> Buffer:
+        dt = np.dtype(dtype)
+        align = max(dt.itemsize, self._line)
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + length * dt.itemsize
+        return Buffer(self._rt, name, base, dt, length)
+
+    def alloc_f64(self, name: str, length: int) -> Buffer:
+        return self.alloc(name, np.float64, length)
+
+    def alloc_i64(self, name: str, length: int) -> Buffer:
+        return self.alloc(name, np.int64, length)
+
+    def alloc_i32(self, name: str, length: int) -> Buffer:
+        return self.alloc(name, np.int32, length)
+
+    def alloc_u8(self, name: str, length: int) -> Buffer:
+        return self.alloc(name, np.uint8, length)

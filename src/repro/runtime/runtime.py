@@ -1,0 +1,177 @@
+"""The traced-Python runtime: the second execution substrate.
+
+Workload kernels are ordinary Python functions that announce their
+function-level structure (:meth:`TracedRuntime.enter` / :meth:`exit` or the
+:func:`repro.runtime.decorators.traced` decorator), their computation
+(:meth:`iops` / :meth:`flops`), their branches, and their memory traffic
+(through :class:`repro.runtime.memory.Buffer`).  The emitted primitive stream
+is indistinguishable from the mini-VM's, so every tool works on both.
+
+This substrate exists because writing fourteen PARSEC-like workloads in VM
+assembly would be slow and unreadable; the paper itself notes Sigil "can use
+any framework that identifies communicating entities, and exposes addresses
+and operations to the tool" (section III).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.trace.events import OpKind
+from repro.trace.observer import NullObserver, TraceObserver
+from repro.runtime.memory import Arena
+
+__all__ = ["TracedRuntime", "RuntimeError_"]
+
+
+class RuntimeError_(Exception):
+    """Structural misuse of the traced runtime (unbalanced enter/exit...)."""
+
+
+class TracedRuntime:
+    """Carries the observer, the function stack, and the arena for one run."""
+
+    def __init__(self, observer: Optional[TraceObserver] = None):
+        self.observer: TraceObserver = (
+            observer if observer is not None else NullObserver()
+        )
+        self.arena = Arena(self)
+        self._branch_sites: Dict[str, int] = {}
+        self._running = False
+        # Per-virtual-thread function stacks; thread 0 is the default.
+        self._tid = 0
+        self._thread_stacks: Dict[int, List[str]] = {0: []}
+        self._stack: List[str] = self._thread_stacks[0]
+
+    # -- threads -----------------------------------------------------------
+
+    @property
+    def current_thread(self) -> int:
+        return self._tid
+
+    def switch_thread(self, tid: int) -> None:
+        """Move execution to virtual thread ``tid`` (created on first use).
+
+        Each thread has an independent function stack; buffers and the arena
+        are shared, so cross-thread reads and writes produce real
+        producer-consumer edges in the profile.
+        """
+        if tid < 0:
+            raise RuntimeError_(f"invalid thread id {tid}")
+        if tid == self._tid:
+            return
+        self._tid = tid
+        self._stack = self._thread_stacks.setdefault(tid, [])
+        self.observer.on_thread_switch(tid)
+
+    # -- run lifecycle ----------------------------------------------------
+
+    @contextmanager
+    def run(self, entry: str = "main") -> Iterator["TracedRuntime"]:
+        """Context manager bracketing a whole program run."""
+        if self._running:
+            raise RuntimeError_("runtime already running")
+        self._running = True
+        self.observer.on_run_begin()
+        self.enter(entry)
+        try:
+            yield self
+        finally:
+            self.switch_thread(0)
+            self.exit(entry)
+            self.observer.on_run_end()
+            self._running = False
+
+    # -- function structure --------------------------------------------------
+
+    def enter(self, name: str) -> None:
+        self._stack.append(name)
+        self.observer.on_fn_enter(name)
+
+    def exit(self, name: str) -> None:
+        if not self._stack:
+            raise RuntimeError_(f"exit({name!r}) with empty function stack")
+        top = self._stack.pop()
+        if top != name:
+            raise RuntimeError_(f"exit({name!r}) but innermost function is {top!r}")
+        self.observer.on_fn_exit(name)
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        """``with rt.frame("f"):`` — a traced function call."""
+        self.enter(name)
+        try:
+            yield
+        finally:
+            self.exit(name)
+
+    @property
+    def current_function(self) -> Optional[str]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- computation -----------------------------------------------------------
+
+    def iops(self, count: int = 1) -> None:
+        """Retire ``count`` integer operations in the current function."""
+        if count > 0:
+            self.observer.on_op(OpKind.INT, count)
+
+    def flops(self, count: int = 1) -> None:
+        """Retire ``count`` floating-point operations in the current function."""
+        if count > 0:
+            self.observer.on_op(OpKind.FLOAT, count)
+
+    def branch(self, site: str, taken: bool) -> None:
+        """Record a conditional branch at the named static site."""
+        site_id = self._branch_sites.get(site)
+        if site_id is None:
+            site_id = len(self._branch_sites)
+            self._branch_sites[site] = site_id
+        self.observer.on_branch(site_id, bool(taken))
+
+    # -- system calls --------------------------------------------------------------
+
+    def syscall(self, name: str, *, input_bytes: int = 0, output_bytes: int = 0) -> None:
+        """An opaque system call with observable boundary byte counts."""
+        self.observer.on_syscall_enter(name, input_bytes)
+        self.observer.on_syscall_exit(name, output_bytes)
+
+
+def run_interleaved(rt: TracedRuntime, workers: Dict[int, Iterator]) -> None:
+    """Round-robin execute generator-based virtual threads.
+
+    Each worker is a generator that performs traced work and ``yield``s at
+    its voluntary switch points (the cooperative analogue of a scheduler
+    quantum).  The helper switches the runtime to the worker's thread before
+    each resumption and round-robins until every worker is exhausted, then
+    returns on thread 0.
+
+    Example::
+
+        def worker(tid):
+            def body():
+                with rt.frame(f"stage{tid}"):
+                    ...  # traced work
+                    yield
+                    ...  # more work after a context switch
+            return body()
+
+        run_interleaved(rt, {1: worker(1), 2: worker(2)})
+    """
+    pending = dict(workers)
+    while pending:
+        finished = []
+        for tid, gen in pending.items():
+            rt.switch_thread(tid)
+            try:
+                next(gen)
+            except StopIteration:
+                finished.append(tid)
+        for tid in finished:
+            del pending[tid]
+    rt.switch_thread(0)

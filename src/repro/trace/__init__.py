@@ -1,0 +1,43 @@
+"""Trace primitives: the event stream substrates emit and tools consume."""
+
+from repro.trace.events import (
+    Branch,
+    FnEnter,
+    FnExit,
+    MemRead,
+    MemWrite,
+    Op,
+    OpKind,
+    SyscallEnter,
+    SyscallExit,
+    ThreadSwitch,
+    TraceEvent,
+)
+from repro.trace.observer import (
+    BaseObserver,
+    NullObserver,
+    ObserverPipe,
+    RecordingObserver,
+    TraceObserver,
+    replay,
+)
+
+__all__ = [
+    "Branch",
+    "FnEnter",
+    "FnExit",
+    "MemRead",
+    "MemWrite",
+    "Op",
+    "OpKind",
+    "SyscallEnter",
+    "SyscallExit",
+    "ThreadSwitch",
+    "TraceEvent",
+    "BaseObserver",
+    "NullObserver",
+    "ObserverPipe",
+    "RecordingObserver",
+    "TraceObserver",
+    "replay",
+]

@@ -1,0 +1,153 @@
+"""Trace event model shared by every execution substrate and every observer.
+
+The paper's Sigil hooks into Callgrind, which in turn sits on Valgrind's
+dynamic binary instrumentation.  Valgrind reduces the program to a stream of
+primitives -- function entries/exits, memory accesses, and operations.  This
+module defines that primitive stream for the reproduction: both substrates
+(the mini-VM in :mod:`repro.vm` and the traced-Python runtime in
+:mod:`repro.runtime`) emit these events, and every tool (the Callgrind
+equivalent in :mod:`repro.callgrind`, Sigil itself in :mod:`repro.core`)
+consumes them through the :class:`repro.trace.observer.TraceObserver`
+protocol.
+
+Memory accesses are expressed as *ranges* (``addr``, ``size``) rather than
+per-byte events.  Sigil's methodology is byte-granular; the range form is
+purely a transport optimisation that lets the shadow memory vectorise the
+per-byte work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "OpKind",
+    "TraceEvent",
+    "FnEnter",
+    "FnExit",
+    "MemRead",
+    "MemWrite",
+    "Op",
+    "Branch",
+    "SyscallEnter",
+    "SyscallExit",
+    "ThreadSwitch",
+]
+
+
+class OpKind(enum.Enum):
+    """Classes of computational operations counted by the substrate.
+
+    Callgrind was "minimally modified to insert calls to Sigil and ... log
+    floating point and integer operations" (paper, section III).  We keep the
+    same two classes.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class for all trace events."""
+
+
+@dataclass(frozen=True, slots=True)
+class FnEnter(TraceEvent):
+    """Control entered a function.
+
+    Parameters
+    ----------
+    name:
+        The function's symbol name (e.g. ``"conv_gen"``).  Names need not be
+        unique across a program; Sigil distinguishes calling contexts itself.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FnExit(TraceEvent):
+    """Control returned from the named function to its caller."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class MemRead(TraceEvent):
+    """The current function read ``size`` bytes starting at ``addr``."""
+
+    addr: int
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class MemWrite(TraceEvent):
+    """The current function wrote ``size`` bytes starting at ``addr``."""
+
+    addr: int
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class Op(TraceEvent):
+    """The current function performed ``count`` operations of kind ``kind``.
+
+    Operations are the platform-independent unit of computation cost: Sigil
+    sums them per function ("the number of operations in the function") and
+    the critical-path analysis uses them as node self-costs.
+    """
+
+    kind: OpKind
+    count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(TraceEvent):
+    """A conditional branch executed in the current function.
+
+    ``taken`` is the resolved direction; the Callgrind-equivalent observer
+    feeds it to a branch predictor to estimate mispredictions, one of the
+    inputs of the cycle-estimation formula.
+    """
+
+    site: int
+    taken: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadSwitch(TraceEvent):
+    """Execution moved to (virtual) thread ``tid``.
+
+    The paper treats threads as first-class communicating entities but
+    evaluates serial binaries only; this event is the hook that lets the
+    tools follow interleaved multi-threaded traces (per-thread call stacks,
+    cross-thread data edges).  Substrates that never emit it are plain
+    serial programs on thread 0.
+    """
+
+    tid: int
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallEnter(TraceEvent):
+    """Entry into a system call.
+
+    System calls "are not completely visible to Valgrind" (section III):
+    Sigil records the name and the I/O byte counts but cannot observe memory
+    traffic inside the call.  Substrates therefore report input/output byte
+    totals explicitly on the boundary events instead of emitting MemRead /
+    MemWrite from inside the call.
+    """
+
+    name: str
+    input_bytes: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallExit(TraceEvent):
+    """Exit from a system call, reporting bytes it produced for the caller."""
+
+    name: str
+    output_bytes: int = 0

@@ -1,0 +1,235 @@
+"""Observer protocol connecting execution substrates to profiling tools.
+
+Substrates call the ``on_*`` methods directly (one virtual call per primitive,
+no event-object allocation on the hot path).  The dataclasses in
+:mod:`repro.trace.events` exist for persistence and testing; the
+:class:`RecordingObserver` converts the method stream back into a list of
+event objects when a materialised trace is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, runtime_checkable
+
+from repro.trace.events import (
+    Branch,
+    ThreadSwitch,
+    FnEnter,
+    FnExit,
+    MemRead,
+    MemWrite,
+    Op,
+    OpKind,
+    SyscallEnter,
+    SyscallExit,
+    TraceEvent,
+)
+
+__all__ = [
+    "TraceObserver",
+    "BaseObserver",
+    "NullObserver",
+    "ObserverPipe",
+    "RecordingObserver",
+    "replay",
+]
+
+
+@runtime_checkable
+class TraceObserver(Protocol):
+    """Anything that can watch a program execute.
+
+    The paper notes Sigil "can use any framework that identifies
+    communicating entities, and exposes addresses and operations to the
+    tool"; this protocol is that contract.
+    """
+
+    def on_fn_enter(self, name: str) -> None: ...
+
+    def on_fn_exit(self, name: str) -> None: ...
+
+    def on_mem_read(self, addr: int, size: int) -> None: ...
+
+    def on_mem_write(self, addr: int, size: int) -> None: ...
+
+    def on_op(self, kind: OpKind, count: int) -> None: ...
+
+    def on_branch(self, site: int, taken: bool) -> None: ...
+
+    def on_syscall_enter(self, name: str, input_bytes: int) -> None: ...
+
+    def on_syscall_exit(self, name: str, output_bytes: int) -> None: ...
+
+    def on_thread_switch(self, tid: int) -> None: ...
+
+    def on_run_begin(self) -> None: ...
+
+    def on_run_end(self) -> None: ...
+
+
+class BaseObserver:
+    """No-op implementation of :class:`TraceObserver`; subclass and override."""
+
+    def on_fn_enter(self, name: str) -> None:
+        pass
+
+    def on_fn_exit(self, name: str) -> None:
+        pass
+
+    def on_mem_read(self, addr: int, size: int) -> None:
+        pass
+
+    def on_mem_write(self, addr: int, size: int) -> None:
+        pass
+
+    def on_op(self, kind: OpKind, count: int) -> None:
+        pass
+
+    def on_branch(self, site: int, taken: bool) -> None:
+        pass
+
+    def on_syscall_enter(self, name: str, input_bytes: int) -> None:
+        pass
+
+    def on_syscall_exit(self, name: str, output_bytes: int) -> None:
+        pass
+
+    def on_thread_switch(self, tid: int) -> None:
+        pass
+
+    def on_run_begin(self) -> None:
+        pass
+
+    def on_run_end(self) -> None:
+        pass
+
+
+class NullObserver(BaseObserver):
+    """Observer that ignores everything.
+
+    Running a substrate with a ``NullObserver`` is the reproduction's
+    equivalent of a *native* run: the program executes with no tool attached,
+    which is the baseline for the slowdown characterisation (Figure 4).
+    """
+
+
+class ObserverPipe(BaseObserver):
+    """Fan a single trace stream out to several observers, in order.
+
+    This mirrors how Sigil runs *alongside* Callgrind in one process: one
+    instrumentation pass feeds both tools.
+    """
+
+    def __init__(self, observers: Iterable[TraceObserver]):
+        self.observers: List[TraceObserver] = list(observers)
+
+    def on_fn_enter(self, name: str) -> None:
+        for obs in self.observers:
+            obs.on_fn_enter(name)
+
+    def on_fn_exit(self, name: str) -> None:
+        for obs in self.observers:
+            obs.on_fn_exit(name)
+
+    def on_mem_read(self, addr: int, size: int) -> None:
+        for obs in self.observers:
+            obs.on_mem_read(addr, size)
+
+    def on_mem_write(self, addr: int, size: int) -> None:
+        for obs in self.observers:
+            obs.on_mem_write(addr, size)
+
+    def on_op(self, kind: OpKind, count: int) -> None:
+        for obs in self.observers:
+            obs.on_op(kind, count)
+
+    def on_branch(self, site: int, taken: bool) -> None:
+        for obs in self.observers:
+            obs.on_branch(site, taken)
+
+    def on_syscall_enter(self, name: str, input_bytes: int) -> None:
+        for obs in self.observers:
+            obs.on_syscall_enter(name, input_bytes)
+
+    def on_syscall_exit(self, name: str, output_bytes: int) -> None:
+        for obs in self.observers:
+            obs.on_syscall_exit(name, output_bytes)
+
+    def on_thread_switch(self, tid: int) -> None:
+        for obs in self.observers:
+            obs.on_thread_switch(tid)
+
+    def on_run_begin(self) -> None:
+        for obs in self.observers:
+            obs.on_run_begin()
+
+    def on_run_end(self) -> None:
+        for obs in self.observers:
+            obs.on_run_end()
+
+
+class RecordingObserver(BaseObserver):
+    """Materialise the trace as a list of event objects (tests, replays)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def on_fn_enter(self, name: str) -> None:
+        self.events.append(FnEnter(name))
+
+    def on_fn_exit(self, name: str) -> None:
+        self.events.append(FnExit(name))
+
+    def on_mem_read(self, addr: int, size: int) -> None:
+        self.events.append(MemRead(addr, size))
+
+    def on_mem_write(self, addr: int, size: int) -> None:
+        self.events.append(MemWrite(addr, size))
+
+    def on_op(self, kind: OpKind, count: int) -> None:
+        self.events.append(Op(kind, count))
+
+    def on_branch(self, site: int, taken: bool) -> None:
+        self.events.append(Branch(site, taken))
+
+    def on_syscall_enter(self, name: str, input_bytes: int) -> None:
+        self.events.append(SyscallEnter(name, input_bytes))
+
+    def on_syscall_exit(self, name: str, output_bytes: int) -> None:
+        self.events.append(SyscallExit(name, output_bytes))
+
+    def on_thread_switch(self, tid: int) -> None:
+        self.events.append(ThreadSwitch(tid))
+
+
+def replay(events: Iterable[TraceEvent], observer: TraceObserver) -> None:
+    """Replay a materialised trace into an observer.
+
+    The paper promises to "release the profile data for many commonly used
+    benchmarks ... researchers can use the data without running Sigil";
+    ``replay`` is the mechanism that makes a stored trace equivalent to a
+    live run.
+    """
+    observer.on_run_begin()
+    for ev in events:
+        if isinstance(ev, MemRead):
+            observer.on_mem_read(ev.addr, ev.size)
+        elif isinstance(ev, MemWrite):
+            observer.on_mem_write(ev.addr, ev.size)
+        elif isinstance(ev, Op):
+            observer.on_op(ev.kind, ev.count)
+        elif isinstance(ev, FnEnter):
+            observer.on_fn_enter(ev.name)
+        elif isinstance(ev, FnExit):
+            observer.on_fn_exit(ev.name)
+        elif isinstance(ev, Branch):
+            observer.on_branch(ev.site, ev.taken)
+        elif isinstance(ev, SyscallEnter):
+            observer.on_syscall_enter(ev.name, ev.input_bytes)
+        elif isinstance(ev, SyscallExit):
+            observer.on_syscall_exit(ev.name, ev.output_bytes)
+        elif isinstance(ev, ThreadSwitch):
+            observer.on_thread_switch(ev.tid)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace event: {ev!r}")
+    observer.on_run_end()

@@ -1,0 +1,39 @@
+"""Mini virtual-machine substrate: the reproduction's "native binary".
+
+The VM plays the role Valgrind-instrumented machine code plays in the paper:
+a deterministic source of function entries/exits, memory accesses, and
+operation counts that Sigil and the Callgrind-equivalent observe.
+"""
+
+from repro.vm.builder import FunctionBuilder, Label, ProgramBuilder
+from repro.vm.errors import (
+    ExecutionLimitExceeded,
+    InvalidRegisterError,
+    MemoryFault,
+    ProgramError,
+    UnknownFunctionError,
+    UnknownLabelError,
+    VMError,
+)
+from repro.vm.machine import Machine, MachineResult
+from repro.vm.memory import PAGE_SIZE, FlatMemory
+from repro.vm.program import Function, Program
+
+__all__ = [
+    "FunctionBuilder",
+    "Label",
+    "ProgramBuilder",
+    "ExecutionLimitExceeded",
+    "InvalidRegisterError",
+    "MemoryFault",
+    "ProgramError",
+    "UnknownFunctionError",
+    "UnknownLabelError",
+    "VMError",
+    "Machine",
+    "MachineResult",
+    "PAGE_SIZE",
+    "FlatMemory",
+    "Function",
+    "Program",
+]

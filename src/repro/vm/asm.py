@@ -1,0 +1,366 @@
+"""Textual assembler and disassembler for the mini-VM.
+
+Lets programs be authored, stored and profiled without writing Python --
+the moral equivalent of handing Sigil a binary.  Syntax::
+
+    ; comment
+    .func main
+        const r0, 4096
+        const r1, 7
+        store r1, [r0+0], 8
+        load  r2, [r0+0], 8
+        add   r3, r1, r2
+        call  helper, r0 -> r4
+        syscall write, in=8
+        ret   r3
+
+    .func helper/1        ; one parameter, arrives in r0
+    loop:
+        subi  r0, r0, 1
+        gti   r1, r0, 0
+        br    r1, loop
+        ret   r0
+
+* ``.func NAME[/NPARAMS]`` opens a function; instructions follow until the
+  next directive.
+* Registers are ``rN``; the assembler validates against each function's
+  frame (registers are allocated implicitly up to the highest used).
+* Integer ALU mnemonics take three registers; an ``i`` suffix makes the
+  last operand an immediate (``addi r1, r2, 5``).
+* Memory operands are ``[rBASE+OFFSET], SIZE`` with an optional ``, f``
+  for float access.
+* ``call NAME[, rARG...][ -> rDST]``; ``br rCOND, LABEL``; ``jmp LABEL``;
+  ``syscall NAME[, in=N][, out=N]``.
+
+:func:`assemble` returns a validated :class:`~repro.vm.program.Program`;
+:func:`disassemble` renders one back (assemble∘disassemble is identity on
+the instruction stream).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.builder import FunctionBuilder, Label, ProgramBuilder
+from repro.vm.errors import ProgramError
+from repro.vm.isa import (
+    ALU_OPS,
+    FALU_OPS,
+    FUNARY_OPS,
+    Alu,
+    AluImm,
+    BranchIf,
+    Call,
+    Const,
+    FAlu,
+    FUnary,
+    Halt,
+    Jump,
+    Load,
+    Mov,
+    Ret,
+    Store,
+    Syscall,
+)
+from repro.vm.program import Function, Program
+
+__all__ = ["assemble", "disassemble", "AsmError"]
+
+
+class AsmError(ProgramError):
+    """Syntax or semantic error in assembly text."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_REG = re.compile(r"^r(\d+)$")
+_MEM = re.compile(r"^\[r(\d+)([+-]\d+)?\]$")
+_FUNC = re.compile(r"^\.func\s+(\S+?)(?:/(\d+))?$")
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG.match(token)
+    if not match:
+        raise AsmError(line_no, f"expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_imm(token: str, line_no: int) -> float | int:
+    try:
+        if token.lower().startswith(("0x", "-0x")):
+            return int(token, 16)
+        if any(c in token for c in ".eE") and not token.lower().startswith("0x"):
+            return float(token)
+        return int(token)
+    except ValueError:
+        raise AsmError(line_no, f"expected number, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split on commas not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+class _FnAsm:
+    """Assembly state for one function."""
+
+    def __init__(self, name: str, n_params: int):
+        self.builder = FunctionBuilder(name, n_params)
+        self.labels: Dict[str, Label] = {}
+        self.max_reg = n_params - 1
+
+    def reg(self, token: str, line_no: int) -> int:
+        r = _parse_reg(token, line_no)
+        self.max_reg = max(self.max_reg, r)
+        return r
+
+    def label(self, name: str) -> Label:
+        lab = self.labels.get(name)
+        if lab is None:
+            lab = self.builder.label()
+            self.labels[name] = lab
+        return lab
+
+
+def _parse_mem(token: str, line_no: int) -> Tuple[int, int]:
+    match = _MEM.match(token.replace(" ", ""))
+    if not match:
+        raise AsmError(line_no, f"expected [rN+OFF] operand, got {token!r}")
+    return int(match.group(1)), int(match.group(2) or 0)
+
+
+def assemble(text: str, *, entry: str = "main") -> Program:
+    """Assemble a program from text (see module docstring for the syntax)."""
+    pb = ProgramBuilder(entry=entry)
+    current: Optional[_FnAsm] = None
+    functions: List[_FnAsm] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        directive = _FUNC.match(line)
+        if directive:
+            name = directive.group(1)
+            n_params = int(directive.group(2) or 0)
+            fb = pb.function(name, n_params)
+            current = _FnAsm(name, n_params)
+            current.builder = fb
+            functions.append(current)
+            continue
+
+        if current is None:
+            raise AsmError(line_no, "instruction outside of a .func block")
+
+        if line.endswith(":"):
+            label_name = line[:-1].strip()
+            if not label_name:
+                raise AsmError(line_no, "empty label name")
+            current.builder.bind(current.label(label_name))
+            continue
+
+        _assemble_instruction(current, line, line_no)
+
+    if current is None:
+        raise AsmError(0, "no functions defined")
+
+    # Frames must cover every referenced register.
+    for fn in functions:
+        fn.builder._next_reg = max(fn.builder._next_reg, fn.max_reg + 1)
+    return pb.build()
+
+
+def _assemble_instruction(fn: _FnAsm, line: str, line_no: int) -> None:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    ops = _split_operands(rest)
+    b = fn.builder
+
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AsmError(
+                line_no, f"{mnemonic} expects {n} operand(s), got {len(ops)}"
+            )
+
+    if mnemonic == "const":
+        need(2)
+        b.const(_parse_imm(ops[1], line_no), dst=fn.reg(ops[0], line_no))
+    elif mnemonic == "mov":
+        need(2)
+        b.mov(fn.reg(ops[1], line_no), dst=fn.reg(ops[0], line_no))
+    elif mnemonic in ALU_OPS:
+        need(3)
+        b.alu(
+            mnemonic,
+            fn.reg(ops[1], line_no),
+            fn.reg(ops[2], line_no),
+            dst=fn.reg(ops[0], line_no),
+        )
+    elif mnemonic.endswith("i") and mnemonic[:-1] in ALU_OPS:
+        need(3)
+        b.alui(
+            mnemonic[:-1],
+            fn.reg(ops[1], line_no),
+            int(_parse_imm(ops[2], line_no)),
+            dst=fn.reg(ops[0], line_no),
+        )
+    elif mnemonic in FALU_OPS:
+        need(3)
+        b.falu(
+            mnemonic,
+            fn.reg(ops[1], line_no),
+            fn.reg(ops[2], line_no),
+            dst=fn.reg(ops[0], line_no),
+        )
+    elif mnemonic in FUNARY_OPS:
+        need(2)
+        b.funary(mnemonic, fn.reg(ops[1], line_no), dst=fn.reg(ops[0], line_no))
+    elif mnemonic in ("load", "store"):
+        if len(ops) not in (3, 4):
+            raise AsmError(line_no, f"{mnemonic} expects 3-4 operands")
+        is_float = len(ops) == 4 and ops[3].lower() == "f"
+        if len(ops) == 4 and not is_float:
+            raise AsmError(line_no, f"unknown access qualifier {ops[3]!r}")
+        base, offset = _parse_mem(ops[1], line_no)
+        fn.max_reg = max(fn.max_reg, base)
+        size = int(_parse_imm(ops[2], line_no))
+        if mnemonic == "load":
+            b.load(base, offset, size, is_float=is_float,
+                   dst=fn.reg(ops[0], line_no))
+        else:
+            b.store(fn.reg(ops[0], line_no), base, offset, size, is_float=is_float)
+    elif mnemonic == "br":
+        need(2)
+        b.branch_if(fn.reg(ops[0], line_no), fn.label(ops[1]))
+    elif mnemonic == "jmp":
+        need(1)
+        b.jump(fn.label(ops[0]))
+    elif mnemonic == "call":
+        if not ops:
+            raise AsmError(line_no, "call needs a function name")
+        dst: Optional[int] = None
+        last = ops[-1]
+        if "->" in last:
+            arg_part, _, dst_token = last.partition("->")
+            dst = fn.reg(dst_token.strip(), line_no)
+            if arg_part.strip():
+                ops[-1] = arg_part.strip()
+            else:
+                ops.pop()
+        args = [fn.reg(tok, line_no) for tok in ops[1:]]
+        b.call(ops[0], args=args, dst=dst)
+    elif mnemonic == "ret":
+        if len(ops) > 1:
+            raise AsmError(line_no, "ret takes at most one register")
+        b.ret(fn.reg(ops[0], line_no) if ops else None)
+    elif mnemonic == "syscall":
+        if not ops:
+            raise AsmError(line_no, "syscall needs a name")
+        input_bytes = output_bytes = 0
+        for extra in ops[1:]:
+            key, _, value = extra.partition("=")
+            if key.strip() == "in":
+                input_bytes = int(_parse_imm(value.strip(), line_no))
+            elif key.strip() == "out":
+                output_bytes = int(_parse_imm(value.strip(), line_no))
+            else:
+                raise AsmError(line_no, f"unknown syscall option {extra!r}")
+        b.syscall(ops[0], input_bytes, output_bytes)
+    elif mnemonic == "halt":
+        need(0)
+        b.halt()
+    else:
+        raise AsmError(line_no, f"unknown mnemonic {mnemonic!r}")
+
+
+# ---------------------------------------------------------------------------
+# disassembler
+# ---------------------------------------------------------------------------
+
+
+def _dis_instruction(ins, labels: Dict[int, str]) -> str:
+    if isinstance(ins, Const):
+        return f"const r{ins.dst}, {ins.value}"
+    if isinstance(ins, Mov):
+        return f"mov r{ins.dst}, r{ins.src}"
+    if isinstance(ins, Alu):
+        return f"{ins.op} r{ins.dst}, r{ins.a}, r{ins.b}"
+    if isinstance(ins, AluImm):
+        return f"{ins.op}i r{ins.dst}, r{ins.a}, {ins.imm}"
+    if isinstance(ins, FAlu):
+        return f"{ins.op} r{ins.dst}, r{ins.a}, r{ins.b}"
+    if isinstance(ins, FUnary):
+        return f"{ins.op} r{ins.dst}, r{ins.a}"
+    if isinstance(ins, Load):
+        suffix = ", f" if ins.is_float else ""
+        return f"load r{ins.dst}, [r{ins.base}+{ins.offset}], {ins.size}{suffix}"
+    if isinstance(ins, Store):
+        suffix = ", f" if ins.is_float else ""
+        return f"store r{ins.src}, [r{ins.base}+{ins.offset}], {ins.size}{suffix}"
+    if isinstance(ins, Jump):
+        return f"jmp {labels[ins.target]}"
+    if isinstance(ins, BranchIf):
+        return f"br r{ins.cond}, {labels[ins.target]}"
+    if isinstance(ins, Call):
+        args = "".join(f", r{a}" for a in ins.args)
+        dst = f" -> r{ins.dst}" if ins.dst is not None else ""
+        return f"call {ins.func}{args}{dst}"
+    if isinstance(ins, Ret):
+        return f"ret r{ins.src}" if ins.src is not None else "ret"
+    if isinstance(ins, Syscall):
+        parts = [f"syscall {ins.name}"]
+        if ins.input_bytes:
+            parts.append(f"in={ins.input_bytes}")
+        if ins.output_bytes:
+            parts.append(f"out={ins.output_bytes}")
+        return ", ".join(parts)
+    if isinstance(ins, Halt):
+        return "halt"
+    raise TypeError(f"unknown instruction {ins!r}")  # pragma: no cover
+
+
+def _dis_function(func: Function) -> List[str]:
+    targets = sorted({
+        ins.target
+        for ins in func.code
+        if isinstance(ins, (Jump, BranchIf))
+    })
+    labels = {t: f"L{i}" for i, t in enumerate(targets)}
+    suffix = f"/{func.n_params}" if func.n_params else ""
+    lines = [f".func {func.name}{suffix}"]
+    for pc, ins in enumerate(func.code):
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append(f"    {_dis_instruction(ins, labels)}")
+    if len(func.code) in labels:  # label at end-of-code
+        lines.append(f"{labels[len(func.code)]}:")
+    return lines
+
+
+def disassemble(program: Program) -> str:
+    """Render a program back to assembly text."""
+    blocks = []
+    # Entry function first for readability, then the rest in name order.
+    names = sorted(program.functions, key=lambda n: (n != program.entry, n))
+    for name in names:
+        blocks.append("\n".join(_dis_function(program.functions[name])))
+    return "\n\n".join(blocks) + "\n"

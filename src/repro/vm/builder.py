@@ -1,0 +1,259 @@
+"""Assembler-style builder API for constructing mini-VM programs.
+
+The builder plays the role of a tiny compiler frontend: virtual registers
+are allocated on demand, labels are first-class objects bound to positions,
+and every structural rule is checked when the program is finalised.
+
+Example
+-------
+>>> pb = ProgramBuilder()
+>>> f = pb.function("main")
+>>> buf = f.const(0x1000)
+>>> x = f.const(7)
+>>> f.store(x, buf, offset=0, size=4)
+>>> y = f.load(buf, offset=0, size=4)
+>>> _ = f.add(x, y)
+>>> f.ret()
+>>> program = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.vm.errors import ProgramError, UnknownLabelError
+from repro.vm.isa import (
+    Alu,
+    AluImm,
+    BranchIf,
+    Call,
+    Const,
+    FAlu,
+    FUnary,
+    Halt,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Ret,
+    Store,
+    Syscall,
+)
+from repro.vm.program import Function, Program
+
+__all__ = ["Label", "FunctionBuilder", "ProgramBuilder"]
+
+
+class Label:
+    """A branch target; create with :meth:`FunctionBuilder.label`, then bind."""
+
+    __slots__ = ("_id", "position")
+
+    def __init__(self, label_id: int):
+        self._id = label_id
+        self.position: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Label(#{self._id}, pos={self.position})"
+
+
+class FunctionBuilder:
+    """Builds one function; most methods return the destination register."""
+
+    def __init__(self, name: str, n_params: int = 0):
+        self.name = name
+        self.n_params = n_params
+        self._code: List[Instr] = []
+        self._next_reg = n_params
+        self._labels: List[Label] = []
+        self._branch_fixups: List[tuple[int, Label]] = []
+        self._next_site = 0
+        self._finalised = False
+
+    # -- registers and labels -------------------------------------------
+
+    def param(self, index: int) -> int:
+        """Register holding the ``index``-th argument."""
+        if not 0 <= index < self.n_params:
+            raise ProgramError(
+                f"{self.name}: parameter {index} out of range ({self.n_params} params)"
+            )
+        return index
+
+    def reg(self) -> int:
+        """Allocate a fresh virtual register."""
+        r = self._next_reg
+        self._next_reg += 1
+        return r
+
+    def label(self) -> Label:
+        lab = Label(len(self._labels))
+        self._labels.append(lab)
+        return lab
+
+    def bind(self, label: Label) -> None:
+        """Bind ``label`` to the next emitted instruction."""
+        if label.position is not None:
+            raise ProgramError(f"{self.name}: label bound twice")
+        label.position = len(self._code)
+
+    # -- data movement ---------------------------------------------------
+
+    def const(self, value: float | int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(Const(dst, value))
+        return dst
+
+    def mov(self, src: int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(Mov(dst, src))
+        return dst
+
+    # -- integer ALU -------------------------------------------------------
+
+    def alu(self, op: str, a: int, b: int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(Alu(op, dst, a, b))
+        return dst
+
+    def alui(self, op: str, a: int, imm: int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(AluImm(op, dst, a, imm))
+        return dst
+
+    def add(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.alu("add", a, b, dst)
+
+    def sub(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.alu("sub", a, b, dst)
+
+    def mul(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.alu("mul", a, b, dst)
+
+    def addi(self, a: int, imm: int, dst: Optional[int] = None) -> int:
+        return self.alui("add", a, imm, dst)
+
+    def muli(self, a: int, imm: int, dst: Optional[int] = None) -> int:
+        return self.alui("mul", a, imm, dst)
+
+    def lt(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.alu("lt", a, b, dst)
+
+    # -- float ALU ---------------------------------------------------------
+
+    def falu(self, op: str, a: int, b: int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(FAlu(op, dst, a, b))
+        return dst
+
+    def funary(self, op: str, a: int, dst: Optional[int] = None) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(FUnary(op, dst, a))
+        return dst
+
+    def fadd(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.falu("fadd", a, b, dst)
+
+    def fmul(self, a: int, b: int, dst: Optional[int] = None) -> int:
+        return self.falu("fmul", a, b, dst)
+
+    # -- memory --------------------------------------------------------------
+
+    def load(
+        self,
+        base: int,
+        offset: int = 0,
+        size: int = 8,
+        *,
+        is_float: bool = False,
+        dst: Optional[int] = None,
+    ) -> int:
+        dst = self.reg() if dst is None else dst
+        self._code.append(Load(dst, base, offset, size, is_float))
+        return dst
+
+    def store(
+        self,
+        src: int,
+        base: int,
+        offset: int = 0,
+        size: int = 8,
+        *,
+        is_float: bool = False,
+    ) -> None:
+        self._code.append(Store(src, base, offset, size, is_float))
+
+    # -- control flow ---------------------------------------------------------
+
+    def jump(self, label: Label) -> None:
+        self._branch_fixups.append((len(self._code), label))
+        self._code.append(Jump(-1))
+
+    def branch_if(self, cond: int, label: Label) -> None:
+        site = self._next_site
+        self._next_site += 1
+        self._branch_fixups.append((len(self._code), label))
+        self._code.append(BranchIf(cond, -1, site))
+
+    def call(
+        self, func: str, args: Sequence[int] = (), dst: Optional[int] = None
+    ) -> Optional[int]:
+        self._code.append(Call(func, tuple(args), dst))
+        return dst
+
+    def call_value(self, func: str, args: Sequence[int] = ()) -> int:
+        """Call ``func`` and allocate a register for its return value."""
+        dst = self.reg()
+        self._code.append(Call(func, tuple(args), dst))
+        return dst
+
+    def ret(self, src: Optional[int] = None) -> None:
+        self._code.append(Ret(src))
+
+    def syscall(self, name: str, input_bytes: int = 0, output_bytes: int = 0) -> None:
+        self._code.append(Syscall(name, input_bytes, output_bytes))
+
+    def halt(self) -> None:
+        self._code.append(Halt())
+
+    # -- finalisation -----------------------------------------------------------
+
+    def finalise(self) -> Function:
+        if self._finalised:
+            raise ProgramError(f"{self.name}: function finalised twice")
+        self._finalised = True
+        if not self._code or not isinstance(self._code[-1], (Ret, Halt, Jump)):
+            self._code.append(Ret(None))
+        code = list(self._code)
+        for index, label in self._branch_fixups:
+            if label.position is None:
+                raise UnknownLabelError(f"{self.name}: unbound label {label!r}")
+            ins = code[index]
+            if isinstance(ins, Jump):
+                code[index] = Jump(label.position)
+            else:
+                assert isinstance(ins, BranchIf)
+                code[index] = BranchIf(ins.cond, label.position, ins.site)
+        return Function(self.name, self.n_params, tuple(code), max(self._next_reg, 1))
+
+
+class ProgramBuilder:
+    """Accumulates function builders and produces a validated Program."""
+
+    def __init__(self, entry: str = "main"):
+        self.entry = entry
+        self._builders: Dict[str, FunctionBuilder] = {}
+
+    def function(self, name: str, n_params: int = 0) -> FunctionBuilder:
+        if name in self._builders:
+            raise ProgramError(f"duplicate function {name!r}")
+        fb = FunctionBuilder(name, n_params)
+        self._builders[name] = fb
+        return fb
+
+    def build(self) -> Program:
+        program = Program(entry=self.entry)
+        for fb in self._builders.values():
+            program.add(fb.finalise())
+        program.validate()
+        return program

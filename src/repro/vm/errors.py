@@ -1,0 +1,46 @@
+"""Error hierarchy for the mini-VM substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "VMError",
+    "ProgramError",
+    "UnknownFunctionError",
+    "UnknownLabelError",
+    "InvalidRegisterError",
+    "MemoryFault",
+    "ExecutionLimitExceeded",
+]
+
+
+class VMError(Exception):
+    """Base class for all VM errors."""
+
+
+class ProgramError(VMError):
+    """The program is structurally invalid (validation-time error)."""
+
+
+class UnknownFunctionError(ProgramError):
+    """A call references a function that is not defined in the program."""
+
+
+class UnknownLabelError(ProgramError):
+    """A branch references a label that was never placed."""
+
+
+class InvalidRegisterError(ProgramError):
+    """An instruction references a register outside the frame."""
+
+
+class MemoryFault(VMError):
+    """An access touched an address outside any mapped region."""
+
+    def __init__(self, addr: int, size: int = 1):
+        super().__init__(f"memory fault at 0x{addr:x} (size {size})")
+        self.addr = addr
+        self.size = size
+
+
+class ExecutionLimitExceeded(VMError):
+    """The machine exceeded its configured instruction budget."""

@@ -1,0 +1,185 @@
+"""Instruction set of the mini-VM substrate.
+
+A small register ISA, rich enough to express the paper's toy programs and
+micro-kernels: integer and floating-point ALU operations, typed loads and
+stores, conditional branches, calls/returns with register-passed arguments,
+and opaque system calls.  Instructions are immutable data; their semantics
+live in :class:`repro.vm.machine.Machine`.
+
+Registers are frame-local and identified by small integers (``r0`` receives
+the first argument, and so on).  Branch targets are label ids that the
+builder resolves to instruction indices at finalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "Instr",
+    "Const",
+    "Mov",
+    "Alu",
+    "AluImm",
+    "FAlu",
+    "FUnary",
+    "Load",
+    "Store",
+    "Jump",
+    "BranchIf",
+    "Call",
+    "Ret",
+    "Syscall",
+    "Halt",
+    "ALU_OPS",
+    "FALU_OPS",
+    "FUNARY_OPS",
+]
+
+#: Integer ALU operations (each retires as one INT operation).
+ALU_OPS = frozenset(
+    {"add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr",
+     "lt", "le", "eq", "ne", "gt", "ge", "min", "max"}
+)
+
+#: Floating-point binary operations (each retires as one FLOAT operation).
+FALU_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"})
+
+#: Floating-point unary operations.
+FUNARY_OPS = frozenset({"fneg", "fabs", "fsqrt", "fexp", "flog"})
+
+
+@dataclass(frozen=True, slots=True)
+class Instr:
+    """Base class for instructions."""
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Instr):
+    """``dst <- value`` (materialise an immediate; costs one INT op)."""
+
+    dst: int
+    value: float | int
+
+
+@dataclass(frozen=True, slots=True)
+class Mov(Instr):
+    """``dst <- src`` (register copy; costs one INT op)."""
+
+    dst: int
+    src: int
+
+
+@dataclass(frozen=True, slots=True)
+class Alu(Instr):
+    """``dst <- a <op> b`` over integers; ``op`` in :data:`ALU_OPS`."""
+
+    op: str
+    dst: int
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class AluImm(Instr):
+    """``dst <- a <op> imm`` over integers."""
+
+    op: str
+    dst: int
+    a: int
+    imm: int
+
+
+@dataclass(frozen=True, slots=True)
+class FAlu(Instr):
+    """``dst <- a <op> b`` over 64-bit floats; ``op`` in :data:`FALU_OPS`."""
+
+    op: str
+    dst: int
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class FUnary(Instr):
+    """``dst <- op(a)`` over floats; ``op`` in :data:`FUNARY_OPS`."""
+
+    op: str
+    dst: int
+    a: int
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Instr):
+    """``dst <- memory[base + offset .. +size]`` (emits a MemRead)."""
+
+    dst: int
+    base: int
+    offset: int
+    size: int
+    is_float: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Instr):
+    """``memory[base + offset .. +size] <- src`` (emits a MemWrite)."""
+
+    src: int
+    base: int
+    offset: int
+    size: int
+    is_float: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Jump(Instr):
+    """Unconditional jump to a label (resolved to an instruction index)."""
+
+    target: int
+
+
+@dataclass(frozen=True, slots=True)
+class BranchIf(Instr):
+    """Jump to ``target`` when register ``cond`` is truthy.
+
+    ``site`` identifies the static branch site for the branch predictor.
+    """
+
+    cond: int
+    target: int
+    site: int
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Instr):
+    """Call ``func`` with register arguments; result lands in ``dst``."""
+
+    func: str
+    args: Tuple[int, ...] = ()
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Ret(Instr):
+    """Return to the caller, optionally passing the value in ``src``."""
+
+    src: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Syscall(Instr):
+    """Invoke an opaque system call.
+
+    The VM cannot see inside a syscall (mirroring Valgrind's limitation);
+    the instruction carries the observable input/output byte counts.
+    """
+
+    name: str
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Halt(Instr):
+    """Stop the machine (only meaningful in the entry function)."""

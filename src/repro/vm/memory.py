@@ -1,0 +1,119 @@
+"""Flat byte-addressable memory with a bump allocator for the mini-VM.
+
+The VM exposes a 64-bit sparse address space backed by 4 KiB pages that are
+materialised on first touch, mirroring how a real process only maps what it
+uses.  A simple bump allocator hands out disjoint regions so toy programs and
+tests can create buffers without a full malloc implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.vm.errors import MemoryFault
+
+__all__ = ["FlatMemory", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+_F64 = struct.Struct("<d")
+
+
+class FlatMemory:
+    """Sparse byte memory: pages materialise on first write.
+
+    Reads of never-written addresses fault unless ``strict`` is False, in
+    which case they return zero bytes (useful for programs that read
+    uninitialised padding, as real binaries occasionally do).
+    """
+
+    def __init__(self, *, strict: bool = True, heap_base: int = 0x1000_0000):
+        self._pages: Dict[int, bytearray] = {}
+        self._strict = strict
+        self._brk = heap_base
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Reserve ``size`` bytes and return the base address."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        if align <= 0 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        base = (self._brk + align - 1) & ~(align - 1)
+        self._brk = base + size
+        return base
+
+    @property
+    def brk(self) -> int:
+        """Current top of the bump allocator."""
+        return self._brk
+
+    # -- raw byte access -----------------------------------------------
+
+    def _page_for_write(self, page_no: int) -> bytearray:
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_no] = page
+        return page
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        if addr < 0:
+            raise MemoryFault(addr, len(data))
+        offset = addr % PAGE_SIZE
+        page_no = addr // PAGE_SIZE
+        pos = 0
+        remaining = len(data)
+        while remaining:
+            page = self._page_for_write(page_no)
+            chunk = min(PAGE_SIZE - offset, remaining)
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+            remaining -= chunk
+            page_no += 1
+            offset = 0
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        if addr < 0:
+            raise MemoryFault(addr, size)
+        out = bytearray(size)
+        offset = addr % PAGE_SIZE
+        page_no = addr // PAGE_SIZE
+        pos = 0
+        remaining = size
+        while remaining:
+            chunk = min(PAGE_SIZE - offset, remaining)
+            page = self._pages.get(page_no)
+            if page is None:
+                if self._strict:
+                    raise MemoryFault(page_no * PAGE_SIZE + offset, chunk)
+                # non-strict: leave zeros
+            else:
+                out[pos : pos + chunk] = page[offset : offset + chunk]
+            pos += chunk
+            remaining -= chunk
+            page_no += 1
+            offset = 0
+        return bytes(out)
+
+    # -- typed access ---------------------------------------------------
+
+    def write_int(self, addr: int, value: int, size: int) -> None:
+        self.write_bytes(addr, int(value).to_bytes(size, "little", signed=True))
+
+    def read_int(self, addr: int, size: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, size), "little", signed=True)
+
+    def write_float(self, addr: int, value: float) -> None:
+        self.write_bytes(addr, _F64.pack(value))
+
+    def read_float(self, addr: int) -> float:
+        return _F64.unpack(self.read_bytes(addr, 8))[0]
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes of materialised pages (the VM's memory footprint)."""
+        return len(self._pages) * PAGE_SIZE

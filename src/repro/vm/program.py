@@ -1,0 +1,162 @@
+"""Program and function containers for the mini-VM, with static validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.vm.errors import (
+    InvalidRegisterError,
+    ProgramError,
+    UnknownFunctionError,
+    UnknownLabelError,
+)
+from repro.vm.isa import (
+    ALU_OPS,
+    FALU_OPS,
+    FUNARY_OPS,
+    Alu,
+    AluImm,
+    BranchIf,
+    Call,
+    Const,
+    FAlu,
+    FUnary,
+    Halt,
+    Instr,
+    Jump,
+    Load,
+    Mov,
+    Ret,
+    Store,
+    Syscall,
+)
+
+__all__ = ["Function", "Program"]
+
+
+@dataclass(frozen=True)
+class Function:
+    """A finalised function: a name, an arity, and straight-line code.
+
+    ``n_regs`` is the size of the register frame; the builder guarantees all
+    register references are below it.  Branch targets have been resolved to
+    instruction indices.
+    """
+
+    name: str
+    n_params: int
+    code: Tuple[Instr, ...]
+    n_regs: int
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+@dataclass
+class Program:
+    """A collection of functions with a designated entry point."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    entry: str = "main"
+
+    def add(self, func: Function) -> None:
+        if func.name in self.functions:
+            raise ProgramError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+
+    def validate(self) -> None:
+        """Statically check the whole program.
+
+        Verifies: the entry function exists and takes no parameters, all call
+        targets are defined with matching arity, register references fit in
+        their frames, branch targets are in-range instruction indices, and
+        opcode mnemonics are legal.
+        """
+        if self.entry not in self.functions:
+            raise UnknownFunctionError(f"entry function {self.entry!r} missing")
+        if self.functions[self.entry].n_params != 0:
+            raise ProgramError(f"entry function {self.entry!r} must take no parameters")
+        for func in self.functions.values():
+            self._validate_function(func)
+
+    def _validate_function(self, func: Function) -> None:
+        n = len(func.code)
+
+        def check_reg(reg: int) -> None:
+            if not 0 <= reg < func.n_regs:
+                raise InvalidRegisterError(
+                    f"{func.name}: register r{reg} outside frame of {func.n_regs}"
+                )
+
+        def check_target(target: int) -> None:
+            if not 0 <= target <= n:
+                raise UnknownLabelError(
+                    f"{func.name}: branch target {target} outside code of length {n}"
+                )
+
+        for ins in func.code:
+            if isinstance(ins, Const):
+                check_reg(ins.dst)
+            elif isinstance(ins, Mov):
+                check_reg(ins.dst)
+                check_reg(ins.src)
+            elif isinstance(ins, Alu):
+                if ins.op not in ALU_OPS:
+                    raise ProgramError(f"{func.name}: bad ALU op {ins.op!r}")
+                check_reg(ins.dst)
+                check_reg(ins.a)
+                check_reg(ins.b)
+            elif isinstance(ins, AluImm):
+                if ins.op not in ALU_OPS:
+                    raise ProgramError(f"{func.name}: bad ALU op {ins.op!r}")
+                check_reg(ins.dst)
+                check_reg(ins.a)
+            elif isinstance(ins, FAlu):
+                if ins.op not in FALU_OPS:
+                    raise ProgramError(f"{func.name}: bad float op {ins.op!r}")
+                check_reg(ins.dst)
+                check_reg(ins.a)
+                check_reg(ins.b)
+            elif isinstance(ins, FUnary):
+                if ins.op not in FUNARY_OPS:
+                    raise ProgramError(f"{func.name}: bad float op {ins.op!r}")
+                check_reg(ins.dst)
+                check_reg(ins.a)
+            elif isinstance(ins, Load):
+                check_reg(ins.dst)
+                check_reg(ins.base)
+                if ins.size <= 0:
+                    raise ProgramError(f"{func.name}: load of size {ins.size}")
+            elif isinstance(ins, Store):
+                check_reg(ins.src)
+                check_reg(ins.base)
+                if ins.size <= 0:
+                    raise ProgramError(f"{func.name}: store of size {ins.size}")
+            elif isinstance(ins, Jump):
+                check_target(ins.target)
+            elif isinstance(ins, BranchIf):
+                check_reg(ins.cond)
+                check_target(ins.target)
+            elif isinstance(ins, Call):
+                callee = self.functions.get(ins.func)
+                if callee is None:
+                    raise UnknownFunctionError(
+                        f"{func.name}: call to undefined function {ins.func!r}"
+                    )
+                if len(ins.args) != callee.n_params:
+                    raise ProgramError(
+                        f"{func.name}: call to {ins.func!r} with {len(ins.args)} "
+                        f"args, expected {callee.n_params}"
+                    )
+                for reg in ins.args:
+                    check_reg(reg)
+                if ins.dst is not None:
+                    check_reg(ins.dst)
+            elif isinstance(ins, Ret):
+                if ins.src is not None:
+                    check_reg(ins.src)
+            elif isinstance(ins, (Syscall, Halt)):
+                pass
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"{func.name}: unknown instruction {ins!r}")

@@ -1,0 +1,13 @@
+"""Synthetic PARSEC-like workload suite (plus SPEC libquantum)."""
+
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.registry import ALL_NAMES, PARSEC_NAMES, WORKLOADS, get_workload
+
+__all__ = [
+    "InputSize",
+    "Workload",
+    "ALL_NAMES",
+    "PARSEC_NAMES",
+    "WORKLOADS",
+    "get_workload",
+]

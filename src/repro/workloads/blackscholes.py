@@ -1,0 +1,173 @@
+"""Miniature *blackscholes*: Black-Scholes option pricing.
+
+PARSEC's blackscholes parses a portfolio from text and prices each option
+with the closed-form Black-Scholes formula.  The paper's Table II top
+candidates for it are ``strtof``, ``__ieee754_exp``/``expf``/``logf`` and
+``__mpn_mul``; Table III's worst include ``dl_addr`` and ``free``.  The
+miniature reproduces that inventory:
+
+* ``main`` stages the option file, constructs the price vector
+  (``std::vector``), parses fields with ``strtof`` (which occasionally
+  calls ``__mpn_mul`` for scale factors), then runs the pricing driver.
+* ``bs_thread`` loops over options calling ``BlkSchlsEqEuroNoDiv``.
+* ``BlkSchlsEqEuroNoDiv`` reads one option record and evaluates the
+  formula through the libm miniatures and ``CNDF``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import (
+    LibEnv,
+    call_exp,
+    call_expf,
+    call_log,
+    call_logf,
+    call_mpn_mul,
+    call_sqrt,
+    dl_addr,
+    op_free,
+    std_vector_ctor,
+)
+
+__all__ = ["Blackscholes"]
+
+_FIELDS = 6  # spot, strike, rate, volatility, time, type
+
+
+@traced("strtof")
+def strtof(
+    rt: TracedRuntime,
+    env: LibEnv,
+    text: Buffer,
+    offset: int,
+    out: Buffer,
+    out_index: int,
+) -> None:
+    """Parse one 8-character fixed-point field into a float.
+
+    Real strtof walks digits, validates, and scales by powers of ten; the
+    scale step occasionally goes through the multi-precision multiply.
+    """
+    chars = text.read_block(offset, 8)
+    rt.iops(26)
+    value = 0
+    for ch in chars.tolist():
+        value = value * 10 + (ch - ord("0"))
+    if out_index % 5 == 0:
+        call_mpn_mul(rt, env, value & 0xFFFF, 100)
+    out.write(out_index, value / 1e4)
+
+
+@traced("CNDF")
+def _cndf(rt: TracedRuntime, env: LibEnv) -> None:
+    """Cumulative normal distribution, polynomial approximation."""
+    x = float(env.frame.read(2))
+    sign = x < 0.0
+    x = abs(x)
+    expval = call_exp(rt, env, -0.5 * x * x)
+    rt.flops(22)
+    k = 1.0 / (1.0 + 0.2316419 * x)
+    poly = k * (0.31938153 + k * (-0.356563782 + k * (1.781477937
+           + k * (-1.821255978 + k * 1.330274429))))
+    result = 1.0 - expval * poly / math.sqrt(2.0 * math.pi)
+    env.frame.write(3, (1.0 - result) if sign else result)
+
+
+def cndf(rt: TracedRuntime, env: LibEnv, x: float) -> float:
+    env.frame.write(2, x)
+    _cndf(rt, env)
+    return float(env.frame.read(3))
+
+
+@traced("BlkSchlsEqEuroNoDiv")
+def blk_schls(
+    rt: TracedRuntime,
+    env: LibEnv,
+    options: Buffer,
+    index: int,
+    prices: Buffer,
+) -> None:
+    """Price one European option (no dividends)."""
+    rec = options.read_block(index * _FIELDS, _FIELDS)
+    spot, strike, rate, vol, time, otype = rec.tolist()
+    time = max(time, 1e-3)
+    vol = max(vol, 1e-3)
+    strike = max(strike, 1e-3)
+    spot = max(spot, 1e-3)
+
+    log_term = call_logf(rt, env, spot / strike)
+    sqrt_time = call_sqrt(rt, env, time)
+    rt.flops(18)
+    d1 = (log_term + (rate + 0.5 * vol * vol) * time) / (vol * sqrt_time)
+    d2 = d1 - vol * sqrt_time
+    n_d1 = cndf(rt, env, d1)
+    n_d2 = cndf(rt, env, d2)
+    discount = call_expf(rt, env, -rate * time)
+    rt.flops(8)
+    if otype < 0.5:
+        price = spot * n_d1 - strike * discount * n_d2
+    else:
+        price = strike * discount * (1.0 - n_d2) - spot * (1.0 - n_d1)
+    prices.write(index, price)
+
+
+@traced("bs_thread")
+def bs_thread(
+    rt: TracedRuntime, env: LibEnv, options: Buffer, prices: Buffer, n: int
+) -> None:
+    """The pricing driver (PARSEC's worker loop, serial version)."""
+    for i in range(n):
+        # Loop bookkeeping, record addressing, option table walk, and the
+        # NUM_RUNS accumulation PARSEC's driver performs inline.
+        rt.iops(100)
+        rt.branch("bs_thread.loop", i + 1 < n)
+        blk_schls(rt, env, options, i, prices)
+
+
+class Blackscholes(Workload):
+    """Black-Scholes option pricing with text parsing (PARSEC miniature)."""
+    name = "blackscholes"
+    description = "Black-Scholes option pricing with text parsing"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_options": 120},
+        InputSize.SIMMEDIUM: {"n_options": 240},
+        InputSize.SIMLARGE: {"n_options": 480},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        n = self.params["n_options"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+        text = rt.arena.alloc_u8("portfolio.txt", n * _FIELDS * 8)
+        options = rt.arena.alloc_f64("options", n * _FIELDS)
+        prices = rt.arena.alloc_f64("prices", n)
+
+        # Stage the option file: fixed-point decimal fields as ASCII digits.
+        digits = rng.integers(ord("0"), ord("9") + 1, size=text.length)
+        text.poke_block(digits)
+        rt.syscall("read", output_bytes=text.length)
+
+        dl_addr(rt, env)  # loader resolves libm symbols on first use
+        std_vector_ctor(rt, env, prices, prices.length)
+
+        for i in range(n * _FIELDS):
+            rt.branch("parse.loop", i + 1 < n * _FIELDS)
+            strtof(rt, env, text, i * 8, options, i)
+
+        bs_thread(rt, env, options, prices, n)
+
+        total = prices.read_block(0, n)
+        rt.flops(n)
+        checksum = float(total.sum())
+        rt.syscall("write", input_bytes=prices.nbytes)
+        op_free(rt, env, 0)
+        self.checksum = checksum

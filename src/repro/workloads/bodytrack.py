@@ -1,0 +1,230 @@
+"""Miniature *bodytrack*: particle-filter body tracking over camera images.
+
+"In the bodytrack benchmark, a human body is tracked with multiple cameras
+through an image sequence"; ``ImageMeasurements::ImageErrorInside``
+"measures the 'Silhouette' error of a complete body on all camera images"
+and appears twice in Table II (two calling contexts -- here likelihood
+evaluation and particle initialisation).  ``FlexImage::Set`` "initializes an
+image and is mostly composed of memcopy calls".  Table III's worst bodytrack
+candidates are the ``std::vector`` and ``DMatrix`` constructors plus stdio
+helpers (``_IO_file_xsgetn``, ``_IO_sputbackc``), reproduced in setup and
+frame reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import (
+    LibEnv,
+    io_file_xsgetn,
+    io_sputbackc,
+    memcpy,
+    op_new,
+    std_vector_ctor,
+)
+
+__all__ = ["Bodytrack"]
+
+
+@traced("DMatrix")
+def dmatrix_ctor(rt: TracedRuntime, env: LibEnv, storage: Buffer, rows: int, cols: int) -> None:
+    """Dense-matrix construction: allocation plus zero fill (Table III)."""
+    op_new(rt, env, rows * cols * 8)
+    rt.iops(8)
+    count = min(rows * cols, storage.length)
+    storage.write_block(np.zeros(count), 0)
+
+
+@traced("FlexImage::Set")
+def fleximage_set(
+    rt: TracedRuntime, dst: Buffer, src: Buffer, count: int
+) -> None:
+    """Image initialisation: "mostly composed of memcopy calls"."""
+    rt.iops(6)
+    half = count // 2
+    memcpy(rt, dst, 0, src, 0, half)
+    memcpy(rt, dst, half, src, half, count - half)
+
+
+@traced("ImageMeasurements::ImageErrorInside")
+def image_error_inside(
+    rt: TracedRuntime,
+    image: Buffer,
+    model: Buffer,
+    errors: Buffer,
+    slot: int,
+    row0: int,
+    width: int,
+    n_rows: int,
+) -> None:
+    """Silhouette error of the projected body over image rows.
+
+    As in PhysBAM/bodytrack, the per-camera error lands in a measurement
+    array in memory -- which is what makes the caller's consumption of it
+    visible to Sigil's dependency chains.
+    """
+    body = model.read_block(0, model.length)
+    err = 0.0
+    for r in range(n_rows):
+        row = image.read_block((row0 + r) * width, width)
+        rt.flops(4 * width + model.length)
+        err += float(np.abs(row[: model.length] - body).sum())
+    errors.write(slot, err)
+
+
+@traced("ImageMeasurements::EdgeError")
+def edge_error(
+    rt: TracedRuntime, image: Buffer, errors: Buffer, slot: int, row0: int, width: int
+) -> None:
+    row = image.read_block(row0 * width, width)
+    grad = np.abs(np.diff(row))
+    rt.flops(3 * width)
+    errors.write(slot, float(grad.sum()))
+
+
+@traced("ReadFrame")
+def read_frame(
+    rt: TracedRuntime, filebuf: Buffer, image: Buffer, frame: int, count: int
+) -> None:
+    """Decode one camera frame from the stdio buffer."""
+    pos = (frame * count) % max(1, filebuf.length - count)
+    io_file_xsgetn(rt, image, 0, filebuf, pos, count)
+    io_sputbackc(rt, filebuf, pos)
+    rt.iops(20)
+
+
+@traced("InitializeParticles")
+def initialize_particles(
+    rt: TracedRuntime,
+    env: LibEnv,
+    particles: Buffer,
+    errors: Buffer,
+    image: Buffer,
+    model: Buffer,
+    n_particles: int,
+    width: int,
+) -> None:
+    """Seed the filter; evaluates the error once (second IEI context)."""
+    std_vector_ctor(rt, env, particles, particles.length)
+    rt.iops(4 * n_particles)
+    image_error_inside(rt, image, model, errors, 0, 0, width, 2)
+    errors.read(0)
+    particles.write_block(np.linspace(0.0, 1.0, particles.length), 0)
+
+
+@traced("CalcLikelihood")
+def calc_likelihood(
+    rt: TracedRuntime,
+    particles: Buffer,
+    weights: Buffer,
+    errors: Buffer,
+    image: Buffer,
+    model: Buffer,
+    index: int,
+    width: int,
+    n_rows: int,
+) -> None:
+    """Project one particle's pose and score it against the frame."""
+    pose = float(particles.read(index))
+    rt.iops(10)
+    image_error_inside(rt, image, model, errors, 0, index % 4, width, n_rows)
+    edge_error(rt, image, errors, 1, index % 8, width)
+    err = float(errors.read(0)) + float(errors.read(1))
+    rt.flops(6)
+    weights.write(index, -err * (1.0 + 1e-3 * pose))
+
+
+@traced("mainPoseTracking")
+def main_pose_tracking(
+    rt: TracedRuntime,
+    particles: Buffer,
+    weights: Buffer,
+    errors: Buffer,
+    image: Buffer,
+    model: Buffer,
+    n_particles: int,
+    width: int,
+    n_rows: int,
+) -> None:
+    """Per-frame particle filter update.
+
+    The driver checks the effective sample size every few particles --
+    consuming child output mid-loop, which keeps the theoretical
+    function-level parallelism bounded (Figure 13).
+    """
+    for i in range(n_particles):
+        rt.iops(8)
+        rt.branch("track.particle", i + 1 < n_particles)
+        calc_likelihood(
+            rt, particles, weights, errors, image, model, i, width, n_rows
+        )
+        if i % 8 == 7:
+            weights.read(i)  # effective-sample-size check
+            rt.iops(12)
+    w = weights.read_block(0, n_particles)
+    rt.flops(3 * n_particles)
+    particles.write_block(np.cumsum(np.abs(w))[: particles.length] * 1e-3, 0)
+
+
+class Bodytrack(Workload):
+    """Particle-filter body tracking across camera frames (PARSEC miniature)."""
+    name = "bodytrack"
+    description = "particle-filter body tracking across camera frames"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {
+            "n_particles": 24, "n_frames": 3, "width": 64, "n_rows": 4, "model": 32,
+        },
+        InputSize.SIMMEDIUM: {
+            "n_particles": 32, "n_frames": 4, "width": 64, "n_rows": 5, "model": 32,
+        },
+        InputSize.SIMLARGE: {
+            "n_particles": 48, "n_frames": 5, "width": 96, "n_rows": 6, "model": 48,
+        },
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        width = p["width"]
+        image_px = width * 16
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        filebuf = rt.arena.alloc_f64("bt.video", image_px * (p["n_frames"] + 1))
+        staging = rt.arena.alloc_f64("bt.staging", image_px)
+        image = rt.arena.alloc_f64("bt.image", image_px)
+        model = rt.arena.alloc_f64("bt.model", p["model"])
+        particles = rt.arena.alloc_f64("bt.particles", p["n_particles"])
+        weights = rt.arena.alloc_f64("bt.weights", p["n_particles"])
+        errors = rt.arena.alloc_f64("bt.errors", 8)
+        matrices = rt.arena.alloc_f64("bt.matrices", 64)
+
+        filebuf.poke_block(rng.uniform(0.0, 255.0, filebuf.length))
+        model.poke_block(rng.uniform(0.0, 255.0, model.length))
+        rt.syscall("read", output_bytes=filebuf.nbytes)
+
+        dmatrix_ctor(rt, env, matrices, 8, 8)
+        dmatrix_ctor(rt, env, matrices, 8, 8)
+        initialize_particles(
+            rt, env, particles, errors, image, model, p["n_particles"], width
+        )
+
+        for frame in range(p["n_frames"]):
+            rt.iops(1500)  # pose I/O, annealing schedule updates in main
+            rt.branch("main.frame", frame + 1 < p["n_frames"])
+            read_frame(rt, filebuf, staging, frame, image_px)
+            fleximage_set(rt, image, staging, image_px)
+            main_pose_tracking(
+                rt, particles, weights, errors, image, model,
+                p["n_particles"], width, p["n_rows"],
+            )
+
+        out = particles.read_block(0, particles.length)
+        rt.flops(4)
+        self.checksum = float(out.sum())
+        rt.syscall("write", input_bytes=particles.nbytes)

@@ -1,0 +1,158 @@
+"""Miniature *canneal*: simulated-annealing routing-cost minimisation.
+
+canneal is one of the paper's low-coverage applications (Figure 7): "Canneal,
+Ferret and Swaptions ... candidate functions show low 'coverage' of the
+overall application in terms of execution time.  Functions with low coverage
+indicate fewer 'hot code' regions."  The annealing loop lives in the
+top-level driver (``main`` in the serial version), whose own bookkeeping,
+cost evaluation and acceptance logic dominate -- the callable kernels below
+it are small utilities.  Table II for canneal lists ``mul``, ``memchr``,
+``netlist::swap_locations``, ``memmove`` and ``std::string::compare``; Table
+III adds ``__mpn_rshift``/``lshift``, ``std::locale::locale``,
+``std::basic_string`` and ``operator new``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import (
+    LibEnv,
+    call_isnan,
+    call_mpn_lshift,
+    call_mpn_rshift,
+    io_file_xsgetn,
+    locale_ctor,
+    memchr,
+    memmove,
+    op_new,
+    std_basic_string_ctor,
+    string_assign,
+    string_compare,
+)
+
+__all__ = ["Canneal"]
+
+
+@traced("netlist::swap_locations")
+def swap_locations(rt: TracedRuntime, locs: Buffer, a: int, b: int) -> None:
+    """Swap two element placements: pure data movement."""
+    xa = locs.read_block(2 * a, 2)
+    xb = locs.read_block(2 * b, 2)
+    rt.iops(6)
+    locs.write_block(xb, 2 * a)
+    locs.write_block(xa, 2 * b)
+
+
+@traced("mul")
+def _mul_body(rt: TracedRuntime, env: LibEnv) -> None:
+    """Fixed-point multiply helper: compute-dense leaf (Table II's best)."""
+    x = float(env.frame.read(4))
+    y = float(env.frame.read(5))
+    rt.iops(90)  # 64-bit fixed-point decomposition: shifts, partials, carry
+    result = (x * y) * 0.5 + (x + y) * 0.25
+    env.frame.write(6, result)
+
+
+def fixed_mul(rt: TracedRuntime, env: LibEnv, a: float, b: float) -> float:
+    """Caller shim: arguments and result cross the boundary via memory."""
+    env.frame.write(4, a)
+    env.frame.write(5, b)
+    _mul_body(rt, env)
+    return float(env.frame.read(6))
+
+
+@traced("netlist::create_elem")
+def create_elem(
+    rt: TracedRuntime, env: LibEnv, names: Buffer, scratch: Buffer, index: int
+) -> None:
+    """Element construction during parsing: allocator + string traffic."""
+    op_new(rt, env, 32)
+    string_assign(rt, env, scratch, names, (index * 8) % max(8, names.length - 8), 8)
+
+
+@traced("read_netlist")
+def read_netlist(
+    rt: TracedRuntime,
+    env: LibEnv,
+    filebuf: Buffer,
+    names: Buffer,
+    locs: Buffer,
+    scratch: Buffer,
+    n_elements: int,
+) -> None:
+    """Parse the netlist: stdio reads, string churn, element construction."""
+    locale_ctor(rt, env, scratch)
+    scratch.read_block(0, scratch.length)  # facets consumed by the parser
+    rt.iops(8)
+    std_basic_string_ctor(rt, env, scratch, min(16, scratch.length))
+    step = max(1, n_elements // 8)
+    for i in range(0, n_elements, step):
+        rt.iops(12)
+        rt.branch("parse.batch", i + step < n_elements)
+        io_file_xsgetn(rt, names, 0, filebuf, (i * 8) % max(8, filebuf.length - 64), 64)
+        create_elem(rt, env, names, scratch, i)
+    coords = np.arange(2 * n_elements, dtype=np.float64)
+    rt.iops(2 * n_elements)
+    locs.write_block(coords, 0)
+
+
+class Canneal(Workload):
+    """Simulated-annealing placement with a flat, driver-heavy profile."""
+    name = "canneal"
+    description = "simulated annealing with a flat, driver-heavy profile"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_elements": 256, "n_swaps": 700},
+        InputSize.SIMMEDIUM: {"n_elements": 512, "n_swaps": 1400},
+        InputSize.SIMLARGE: {"n_elements": 1024, "n_swaps": 2800},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n, n_swaps = p["n_elements"], p["n_swaps"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        filebuf = rt.arena.alloc_u8("cn.netlist_file", n * 8)
+        names = rt.arena.alloc_u8("cn.names", 256)
+        scratch = rt.arena.alloc_u8("cn.scratch", 64)
+        locs = rt.arena.alloc_f64("cn.locations", 2 * n)
+        filebuf.poke_block(rng.integers(ord("a"), ord("z"), filebuf.length))
+        rt.syscall("read", output_bytes=filebuf.nbytes)
+
+        read_netlist(rt, env, filebuf, names, locs, scratch, n)
+
+        # The annealing loop itself: hot, but in the driver (low coverage).
+        temperature = 100.0
+        accepted = 0
+        for step in range(n_swaps):
+            rt.branch("anneal.step", step + 1 < n_swaps)
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(0, n))
+            # Inline routing-cost delta: the "fewer hot code regions" self
+            # cost that keeps canneal's candidate coverage low.
+            rt.iops(52)
+            delta = float(rng.normal())
+            score = fixed_mul(rt, env, delta, temperature)
+            if score < 0 or rng.random() < np.exp(-abs(score) / max(temperature, 1e-9)):
+                swap_locations(rt, locs, a, b)
+                accepted += 1
+            if step % 64 == 0:
+                memchr(rt, names, 0, min(64, names.length), int(filebuf.peek(step % filebuf.length)))
+                memmove(rt, names, 8, names, 0, 16)
+                string_compare(rt, names, 0, names, 8, 8)
+                call_mpn_rshift(rt, env)
+                call_mpn_lshift(rt, env)
+                call_isnan(rt, env, score)  # reject NaN cost deltas
+            temperature *= 0.999
+            rt.iops(6)
+
+        out = locs.read_block(0, 2 * n)
+        rt.flops(n // 4)
+        self.checksum = float(out.sum()) + accepted
+        rt.syscall("write", input_bytes=locs.nbytes)

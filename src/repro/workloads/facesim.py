@@ -1,0 +1,159 @@
+"""Miniature *facesim*: finite-element face-mesh simulation.
+
+facesim is one of the paper's memory-intensive benchmarks: "facesim and
+raytrace are intensive benchmarks that use larger amounts of memory but
+incur constant overhead over a native run" (Figure 6).  The miniature keeps
+large node/state arrays so its shadow footprint dominates the suite, with
+the PhysBAM-style kernel inventory: position-based state update, velocity-
+independent force accumulation, and a conjugate-gradient Newton step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, op_new
+
+__all__ = ["Facesim"]
+
+
+@traced("Update_Position_Based_State")
+def update_position_based_state(
+    rt: TracedRuntime, positions: Buffer, strain: Buffer, n: int, block: int
+) -> None:
+    """Per-element strain from current positions (blocked sweep)."""
+    for start in range(0, n, block):
+        count = min(block, n - start)
+        x = positions.read_block(start, count)
+        rt.flops(8 * count)
+        strain.write_block(np.gradient(x) if count > 1 else x, start)
+        rt.branch("upbs.block", start + block < n)
+
+
+@traced("Add_Velocity_Independent_Forces")
+def add_velocity_independent_forces(
+    rt: TracedRuntime, strain: Buffer, forces: Buffer, n: int, block: int
+) -> None:
+    for start in range(0, n, block):
+        count = min(block, n - start)
+        e = strain.read_block(start, count)
+        rt.flops(11 * count)
+        forces.write_block(-2.0 * e - 0.1 * e ** 3, start)
+        rt.branch("avif.block", start + block < n)
+
+
+@traced("CG_Iterate")
+def cg_iterate(
+    rt: TracedRuntime, matrix: Buffer, vec: Buffer, out: Buffer, n: int, bandwidth: int
+) -> float:
+    """One banded matrix-vector product + axpy of the CG solve."""
+    x = vec.read_block(0, n)
+    acc = np.zeros(n)
+    for b in range(bandwidth):
+        row = matrix.read_block(b * n, n)
+        rt.flops(2 * n)
+        acc += row * np.roll(x, b)
+        rt.branch("cg.band", b + 1 < bandwidth)
+    rt.flops(2 * n)
+    out.write_block(acc, 0)
+    return float(np.abs(acc).sum())
+
+
+@traced("One_Newton_Step_Toward_Steady_State")
+def newton_step(
+    rt: TracedRuntime,
+    matrix: Buffer,
+    forces: Buffer,
+    delta: Buffer,
+    n: int,
+    bandwidth: int,
+    cg_iters: int,
+) -> float:
+    residual = 0.0
+    for it in range(cg_iters):
+        rt.iops(12)
+        rt.branch("newton.iter", it + 1 < cg_iters)
+        residual = cg_iterate(rt, matrix, forces, delta, n, bandwidth)
+    return residual
+
+
+@traced("Update_Collision_Body_List")
+def update_collision_body_list(
+    rt: TracedRuntime, positions: Buffer, colliders: Buffer, n: int
+) -> None:
+    """Refresh the rigid-collider proximity list from boundary nodes."""
+    edge = positions.read_block(0, min(256, n))
+    rt.flops(5 * min(256, n))
+    colliders.write_block(np.abs(edge[: colliders.length]) < 0.9, 0)
+
+
+@traced("Advance_One_Time_Step")
+def advance_one_time_step(
+    rt: TracedRuntime, bufs: dict, n: int, block: int, bandwidth: int, cg_iters: int
+) -> float:
+    rt.iops(18)
+    update_collision_body_list(rt, bufs["positions"], bufs["colliders"], n)
+    update_position_based_state(rt, bufs["positions"], bufs["strain"], n, block)
+    add_velocity_independent_forces(rt, bufs["strain"], bufs["forces"], n, block)
+    residual = newton_step(
+        rt, bufs["matrix"], bufs["forces"], bufs["delta"], n, bandwidth, cg_iters
+    )
+    x = bufs["positions"].read_block(0, n)
+    d = bufs["delta"].read_block(0, n)
+    rt.flops(2 * n)
+    bufs["positions"].write_block(x + 0.01 * d, 0)
+    return residual
+
+
+class Facesim(Workload):
+    """FEM face simulation over large state arrays (PARSEC miniature)."""
+    name = "facesim"
+    description = "FEM face simulation with large state arrays"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {
+            "n_nodes": 8192, "steps": 3, "block": 1024, "bandwidth": 4, "cg_iters": 3,
+        },
+        InputSize.SIMMEDIUM: {
+            "n_nodes": 16384, "steps": 3, "block": 1024, "bandwidth": 4, "cg_iters": 3,
+        },
+        InputSize.SIMLARGE: {
+            "n_nodes": 32768, "steps": 4, "block": 1024, "bandwidth": 4, "cg_iters": 4,
+        },
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n = p["n_nodes"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        bufs = {
+            "positions": rt.arena.alloc_f64("fs.positions", n),
+            "strain": rt.arena.alloc_f64("fs.strain", n),
+            "forces": rt.arena.alloc_f64("fs.forces", n),
+            "delta": rt.arena.alloc_f64("fs.delta", n),
+            "matrix": rt.arena.alloc_f64("fs.matrix", p["bandwidth"] * n),
+            "colliders": rt.arena.alloc_f64("fs.colliders", 64),
+        }
+        bufs["positions"].poke_block(rng.uniform(-1.0, 1.0, n))
+        bufs["matrix"].poke_block(rng.uniform(-0.1, 0.1, p["bandwidth"] * n))
+        rt.syscall("read", output_bytes=bufs["positions"].nbytes + bufs["matrix"].nbytes)
+        op_new(rt, env, sum(b.nbytes for b in bufs.values()))
+
+        residual = 0.0
+        for step in range(p["steps"]):
+            # Driver-side diagnostics, mesh validity checks, frame export
+            # staging -- main self-cost outside any candidate subtree.
+            rt.iops(25000)
+            rt.branch("main.step", step + 1 < p["steps"])
+            residual = advance_one_time_step(
+                rt, bufs, n, p["block"], p["bandwidth"], p["cg_iters"]
+            )
+
+        self.checksum = residual
+        rt.syscall("write", input_bytes=bufs["positions"].nbytes)

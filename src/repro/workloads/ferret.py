@@ -1,0 +1,136 @@
+"""Miniature *ferret*: content-based similarity search pipeline.
+
+ferret is the third low-coverage application in Figure 7: the query driver
+threads images through segmentation, feature extraction, indexing and
+ranking with substantial per-stage glue of its own.  Hot kernels are small
+relative to the pipeline bookkeeping, giving "fewer hot code regions".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, memcpy, op_new, string_compare
+
+__all__ = ["Ferret"]
+
+
+@traced("image_segment")
+def image_segment(rt: TracedRuntime, image: Buffer, regions: Buffer, px: int) -> int:
+    """Split the image into regions by intensity thresholding."""
+    pixels = image.read_block(0, px)
+    rt.flops(3 * px)
+    labels = (pixels > pixels.mean()).astype(np.int64)
+    regions.write_block(labels[: regions.length], 0)
+    return int(labels.sum())
+
+
+@traced("extract_features")
+def extract_features(
+    rt: TracedRuntime, image: Buffer, regions: Buffer, features: Buffer, px: int, dim: int
+) -> None:
+    """Per-region colour/texture moments."""
+    pixels = image.read_block(0, px)
+    labels = regions.read_block(0, min(regions.length, px))
+    rt.flops(6 * px)
+    vec = np.array(
+        [float(np.abs(pixels[i::dim]).sum()) for i in range(dim)]
+    )
+    rt.flops(4 * dim)
+    features.write_block(vec / (1.0 + np.abs(vec).max()) + labels[:dim] * 0.01, 0)
+
+
+@traced("query_index")
+def query_index(
+    rt: TracedRuntime, features: Buffer, index_db: Buffer, hits: Buffer, dim: int, probes: int
+) -> None:
+    """LSH index probe: bucket reads dominate, little compute (comm-heavy)."""
+    vec = features.read_block(0, dim)
+    key = int(abs(vec.sum() * 1000))
+    for i in range(probes):
+        rt.iops(6)
+        bucket = (key * (i + 1) * 2654435761) % max(1, index_db.length - dim)
+        index_db.read_block(bucket, dim)
+        hits.write(i, bucket)
+
+
+@traced("emd")
+def emd(rt: TracedRuntime, features: Buffer, index_db: Buffer, bucket: int, dim: int) -> float:
+    """Earth-mover's distance between the query and one candidate."""
+    a = features.read_block(0, dim)
+    b = index_db.read_block(bucket, dim)
+    rt.flops(12 * dim)
+    return float(np.abs(np.sort(a) - np.sort(b)).sum())
+
+
+@traced("rank_candidates")
+def rank_candidates(
+    rt: TracedRuntime, features: Buffer, index_db: Buffer, hits: Buffer, scores: Buffer,
+    dim: int, probes: int,
+) -> float:
+    best = np.inf
+    for i in range(probes):
+        rt.iops(5)
+        rt.branch("rank.loop", i + 1 < probes)
+        bucket = int(hits.read(i))
+        score = emd(rt, features, index_db, bucket, dim)
+        scores.write(i, score)
+        best = min(best, score)
+    return best
+
+
+class Ferret(Workload):
+    """Content-based similarity search with heavy driver glue."""
+    name = "ferret"
+    description = "similarity-search pipeline with heavy driver glue"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_queries": 12, "px": 256, "dim": 16, "probes": 6, "db": 4096},
+        InputSize.SIMMEDIUM: {"n_queries": 24, "px": 256, "dim": 16, "probes": 6, "db": 8192},
+        InputSize.SIMLARGE: {"n_queries": 48, "px": 384, "dim": 16, "probes": 8, "db": 16384},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        px, dim, probes = p["px"], p["dim"], p["probes"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        queries = rt.arena.alloc_f64("fr.queries", px * p["n_queries"])
+        image = rt.arena.alloc_f64("fr.image", px)
+        regions = rt.arena.alloc_i64("fr.regions", px)
+        features = rt.arena.alloc_f64("fr.features", dim)
+        index_db = rt.arena.alloc_f64("fr.index_db", p["db"])
+        hits = rt.arena.alloc_i64("fr.hits", probes)
+        scores = rt.arena.alloc_f64("fr.scores", probes)
+        names = rt.arena.alloc_u8("fr.names", 64)
+
+        queries.poke_block(rng.uniform(0.0, 255.0, queries.length))
+        index_db.poke_block(rng.uniform(0.0, 1.0, index_db.length))
+        names.poke_block(rng.integers(ord("a"), ord("z"), names.length))
+        rt.syscall("read", output_bytes=queries.nbytes + index_db.nbytes)
+        op_new(rt, env, index_db.nbytes)
+
+        total = 0.0
+        for q in range(p["n_queries"]):
+            rt.branch("main.query", q + 1 < p["n_queries"])
+            # Pipeline stage management, queue shuffling, result assembly --
+            # the driver glue that keeps ferret's candidate coverage low
+            # ("fewer hot code regions", Figure 7).
+            rt.iops(4200)
+            memcpy(rt, image, 0, queries, q * px, px)
+            image_segment(rt, image, regions, px)
+            extract_features(rt, image, regions, features, px, dim)
+            query_index(rt, features, index_db, hits, dim, probes)
+            total += rank_candidates(
+                rt, features, index_db, hits, scores, dim, probes
+            )
+            string_compare(rt, names, 0, names, 32, 16)
+            rt.iops(2800)
+
+        self.checksum = total
+        rt.syscall("write", input_bytes=scores.nbytes)

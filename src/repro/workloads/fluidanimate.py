@@ -1,0 +1,151 @@
+"""Miniature *fluidanimate*: SPH fluid simulation.
+
+Section IV-C: "Fluidanimate's path is composed of a single function,
+ComputeForces.  This function does the bulk of the work in fluidanimate,
+contributing close to 90% of the operations in the entire workload."  The
+theoretical parallelism limit is correspondingly low (Figure 13): each time
+step's ``ComputeForces`` reads the particle state its previous call wrote,
+so the heavy segments form one serial chain.
+
+The miniature keeps that structure: ``ComputeForces`` is the fused
+force-and-position kernel carrying ~90% of all operations and the step-to-
+step data dependency; grid rebuilds, density passes and collision handling
+are cheap side stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, op_new
+
+__all__ = ["Fluidanimate"]
+
+
+@traced("RebuildGrid")
+def rebuild_grid(rt: TracedRuntime, positions: Buffer, cells: Buffer, n: int) -> None:
+    """Re-bin particles into grid cells (integer work)."""
+    pos = positions.read_block(0, n)
+    rt.iops(3 * n)
+    bins = (np.abs(pos).astype(np.int64)) % cells.length
+    counts = np.bincount(bins, minlength=cells.length)
+    cells.write_block(counts[: cells.length].astype(cells.dtype), 0)
+
+
+@traced("ComputeDensities")
+def compute_densities(
+    rt: TracedRuntime, positions: Buffer, densities: Buffer, n: int
+) -> None:
+    pos = positions.read_block(0, n)
+    rt.flops(4 * n)
+    densities.write_block(1.0 / (1.0 + np.abs(pos)), 0)
+
+
+@traced("ComputeForces")
+def compute_forces(
+    rt: TracedRuntime,
+    positions: Buffer,
+    densities: Buffer,
+    forces: Buffer,
+    n: int,
+    neighbours: int,
+) -> None:
+    """The dominant kernel: pairwise interactions + semi-implicit update.
+
+    Reads the positions written by the previous step's call (the serial
+    dependency), and writes the next positions.
+    """
+    pos = positions.read_block(0, n)
+    rho = densities.read_block(0, n)
+    # Pairwise interactions against a sliding neighbour window; the gather
+    # re-reads the position and density arrays (cell-neighbour traversal).
+    positions.read_block(0, n)
+    densities.read_block(0, n)
+    force = np.zeros(n)
+    for shift in range(1, neighbours + 1):
+        rt.flops(9 * n)
+        delta = np.roll(pos, shift) - pos
+        force += delta / (1.0 + delta * delta) * np.roll(rho, shift)
+    rt.flops(6 * n)
+    forces.write_block(force, 0)
+    positions.write_block(pos + 0.001 * force, 0)
+
+
+@traced("ProcessCollisions")
+def process_collisions(rt: TracedRuntime, positions: Buffer, n_edge: int) -> None:
+    """Clamp boundary particles (touches only the domain edges)."""
+    edge = positions.read_block(0, n_edge)
+    rt.flops(2 * n_edge)
+    positions.write_block(np.clip(edge, -100.0, 100.0), 0)
+
+
+@traced("AdvanceParticles")
+def advance_particles(
+    rt: TracedRuntime, forces: Buffer, velocities: Buffer, n: int
+) -> None:
+    """Integrate velocities (small; off the main dependency chain)."""
+    f = forces.read_block(0, n)
+    v = velocities.read_block(0, n)
+    rt.flops(2 * n)
+    velocities.write_block(v + 0.001 * f, 0)
+
+
+@traced("AdvanceFrame")
+def advance_frame(
+    rt: TracedRuntime,
+    bufs: dict,
+    n: int,
+    neighbours: int,
+    n_edge: int,
+) -> None:
+    rt.iops(14)
+    rebuild_grid(rt, bufs["positions"], bufs["cells"], n)
+    compute_densities(rt, bufs["positions"], bufs["densities"], n)
+    compute_forces(
+        rt, bufs["positions"], bufs["densities"], bufs["forces"], n, neighbours
+    )
+    process_collisions(rt, bufs["positions"], n_edge)
+    advance_particles(rt, bufs["forces"], bufs["velocities"], n)
+
+
+class Fluidanimate(Workload):
+    """SPH fluid simulation dominated by ComputeForces (PARSEC miniature)."""
+    name = "fluidanimate"
+    description = "SPH fluid simulation dominated by ComputeForces"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_particles": 512, "steps": 12, "neighbours": 16},
+        InputSize.SIMMEDIUM: {"n_particles": 1024, "steps": 12, "neighbours": 16},
+        InputSize.SIMLARGE: {"n_particles": 2048, "steps": 16, "neighbours": 16},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n = p["n_particles"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        bufs = {
+            "positions": rt.arena.alloc_f64("fa.positions", n),
+            "densities": rt.arena.alloc_f64("fa.densities", n),
+            "forces": rt.arena.alloc_f64("fa.forces", n),
+            "velocities": rt.arena.alloc_f64("fa.velocities", n),
+            "cells": rt.arena.alloc_i64("fa.cells", 64),
+        }
+        bufs["positions"].poke_block(rng.uniform(-50.0, 50.0, n))
+        rt.syscall("read", output_bytes=bufs["positions"].nbytes)
+        op_new(rt, env, 4 * n * 8)
+
+        for step in range(p["steps"]):
+            rt.iops(3000)  # scene bookkeeping + visualization staging in main
+            rt.branch("main.step", step + 1 < p["steps"])
+            advance_frame(rt, bufs, n, p["neighbours"], n_edge=max(8, n // 64))
+
+        out = bufs["positions"].read_block(0, n)
+        rt.flops(n // 8)
+        self.checksum = float(out.sum())
+        rt.syscall("write", input_bytes=bufs["positions"].nbytes)

@@ -1,0 +1,113 @@
+"""Parallel *fluidanimate*: the threaded variant the paper leaves as future
+work.
+
+PARSEC's fluidanimate parallelises by partitioning the particle grid among
+threads; neighbouring partitions exchange *ghost zones* (boundary particles)
+every time step.  This variant runs ``n_threads`` virtual threads over
+disjoint particle slices with per-step ghost exchanges, producing exactly
+the communication structure a thread-level study needs: heavy intra-thread
+traffic, nearest-neighbour cross-thread traffic, and negligible traffic
+between non-adjacent threads.
+
+Not part of the serial registry (the paper evaluates serial versions);
+exposed separately for the threading extension and its bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime, run_interleaved
+from repro.workloads.base import InputSize, Workload
+
+__all__ = ["ParallelFluidanimate"]
+
+
+@traced("ExchangeGhosts")
+def exchange_ghosts(
+    rt: TracedRuntime, positions: Buffer, lo: int, hi: int, ghost: int, n: int
+) -> None:
+    """Read the neighbour slices' boundary particles (the ghost zones)."""
+    left = (lo - ghost) % n
+    if left + ghost <= n:
+        positions.read_block(left, ghost)
+    right = hi % n
+    if right + ghost <= n:
+        positions.read_block(right, ghost)
+    rt.iops(2 * ghost)
+
+
+@traced("ComputeForces")
+def compute_forces(
+    rt: TracedRuntime,
+    positions: Buffer,
+    forces: Buffer,
+    lo: int,
+    count: int,
+    neighbours: int,
+) -> None:
+    pos = positions.read_block(lo, count)
+    force = np.zeros(count)
+    for shift in range(1, neighbours + 1):
+        rt.flops(9 * count)
+        delta = np.roll(pos, shift) - pos
+        force += delta / (1.0 + delta * delta)
+    rt.flops(4 * count)
+    forces.write_block(force, lo)
+    positions.write_block(pos + 0.001 * force, lo)
+
+
+class ParallelFluidanimate(Workload):
+    """Threaded SPH: grid partitions with per-step ghost-zone exchange."""
+    name = "fluidanimate-parallel"
+    suite = "parsec-parallel"
+    description = "threaded SPH with ghost-zone exchange between partitions"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {
+            "n_particles": 512, "steps": 6, "n_threads": 4,
+            "ghost": 16, "neighbours": 8,
+        },
+        InputSize.SIMMEDIUM: {
+            "n_particles": 1024, "steps": 6, "n_threads": 4,
+            "ghost": 16, "neighbours": 8,
+        },
+        InputSize.SIMLARGE: {
+            "n_particles": 2048, "steps": 8, "n_threads": 8,
+            "ghost": 16, "neighbours": 8,
+        },
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n, n_threads = p["n_particles"], p["n_threads"]
+        slice_len = n // n_threads
+        rng = self.rng()
+
+        positions = rt.arena.alloc_f64("pfa.positions", n)
+        forces = rt.arena.alloc_f64("pfa.forces", n)
+        positions.poke_block(rng.uniform(-50.0, 50.0, n))
+        rt.syscall("read", output_bytes=positions.nbytes)
+
+        def worker(tid: int):
+            lo = (tid - 1) * slice_len
+            hi = lo + slice_len
+
+            def body():
+                for _ in range(p["steps"]):
+                    exchange_ghosts(rt, positions, lo, hi, p["ghost"], n)
+                    compute_forces(
+                        rt, positions, forces, lo, slice_len, p["neighbours"]
+                    )
+                    yield  # barrier: one step per quantum
+
+            return body()
+
+        run_interleaved(rt, {tid: worker(tid) for tid in range(1, n_threads + 1)})
+
+        out = positions.read_block(0, n)
+        rt.flops(n // 8)
+        self.checksum = float(out.sum())
+        rt.syscall("write", input_bytes=positions.nbytes)

@@ -1,0 +1,123 @@
+"""Miniature *freqmine*: FP-growth frequent-itemset mining.
+
+Integer- and pointer-heavy: transactions are inserted into an FP-tree
+(scattered node writes), then conditional pattern bases are mined
+recursively (scattered node reads).  Data re-use is high -- tree nodes near
+the root are touched by almost every transaction -- which places freqmine
+among the heavier re-users in Figures 8 and 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, op_new, std_vector_ctor
+
+__all__ = ["Freqmine"]
+
+_NODE = 4  # item, count, parent, next-sibling
+
+
+@traced("scan1_DB")
+def scan1_db(rt: TracedRuntime, transactions: Buffer, counts: Buffer, n: int, width: int) -> None:
+    """First database scan: global item frequencies."""
+    items = transactions.read_block(0, n * width)
+    rt.iops(2 * n * width)
+    freq = np.bincount(items % counts.length, minlength=counts.length)
+    counts.write_block(freq[: counts.length].astype(counts.dtype), 0)
+
+
+@traced("build_header_table")
+def build_header_table(rt: TracedRuntime, counts: Buffer, header: Buffer) -> None:
+    """Order items by frequency: the FP-growth header table."""
+    freq = counts.read_block(0, counts.length)
+    rt.iops(4 * counts.length)  # counting sort over item frequencies
+    order = np.argsort(-freq, kind="stable").astype(np.int64)
+    header.write_block(order[: header.length], 0)
+
+
+@traced("insert_transaction")
+def insert_transaction(
+    rt: TracedRuntime, tree: Buffer, transactions: Buffer, t: int, width: int, n_nodes: int
+) -> None:
+    """Thread one transaction down the FP-tree, bumping node counts."""
+    items = transactions.read_block(t * width, width)
+    node = 0
+    for item in items.tolist():
+        slot = (node * 31 + int(item)) % (n_nodes - 1)
+        rec = tree.read_block(slot * _NODE, _NODE)
+        rt.iops(9)
+        tree.write_block([int(item), int(rec[1]) + 1, node, int(rec[3])], slot * _NODE)
+        node = slot
+
+
+@traced("FP_growth")
+def fp_growth(
+    rt: TracedRuntime, tree: Buffer, patterns: Buffer, item: int, n_nodes: int, depth: int
+) -> int:
+    """Mine conditional pattern bases for one item (recursive)."""
+    found = 0
+    slot = item % (n_nodes - 1)
+    for hop in range(6):
+        rec = tree.read_block(slot * _NODE, _NODE)
+        rt.iops(11)
+        rt.branch("growth.hop", hop + 1 < 6)
+        if int(rec[1]) > 1:
+            patterns.write(found % patterns.length, int(rec[0]))
+            found += 1
+        slot = (slot * 17 + 7) % (n_nodes - 1)
+    if depth > 0 and found:
+        rt.iops(14)
+        found += fp_growth(rt, tree, patterns, item * 3 + 1, n_nodes, depth - 1)
+    return found
+
+
+class Freqmine(Workload):
+    """FP-growth frequent-itemset mining over a prefix tree."""
+    name = "freqmine"
+    description = "FP-growth mining over a pointer-linked prefix tree"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_trans": 160, "width": 8, "n_nodes": 512, "n_items": 64},
+        InputSize.SIMMEDIUM: {"n_trans": 320, "width": 8, "n_nodes": 1024, "n_items": 64},
+        InputSize.SIMLARGE: {"n_trans": 640, "width": 10, "n_nodes": 2048, "n_items": 96},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        transactions = rt.arena.alloc_i64("fm.transactions", p["n_trans"] * p["width"])
+        counts = rt.arena.alloc_i64("fm.counts", p["n_items"])
+        tree = rt.arena.alloc_i64("fm.tree", p["n_nodes"] * _NODE)
+        header = rt.arena.alloc_i64("fm.header", p["n_items"])
+        patterns = rt.arena.alloc_i64("fm.patterns", 256)
+
+        # Zipf-ish item distribution: low item ids are very frequent.
+        raw = (rng.pareto(1.5, transactions.length) * 4).astype(np.int64)
+        transactions.poke_block(np.minimum(raw, p["n_items"] - 1))
+        rt.syscall("read", output_bytes=transactions.nbytes)
+        op_new(rt, env, tree.nbytes)
+        std_vector_ctor(rt, env, patterns, patterns.length)
+
+        scan1_db(rt, transactions, counts, p["n_trans"], p["width"])
+        build_header_table(rt, counts, header)
+        header.read_block(0, min(8, header.length))  # driver orders the scan
+        for t in range(p["n_trans"]):
+            rt.iops(7)
+            rt.branch("build.trans", t + 1 < p["n_trans"])
+            insert_transaction(rt, tree, transactions, t, p["width"], p["n_nodes"])
+
+        total = 0
+        for item in range(0, p["n_items"], 2):
+            rt.iops(10)
+            rt.branch("mine.item", item + 2 < p["n_items"])
+            total += fp_growth(rt, tree, patterns, item, p["n_nodes"], depth=2)
+
+        self.checksum = float(total)
+        rt.syscall("write", input_bytes=patterns.nbytes)

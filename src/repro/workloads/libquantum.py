@@ -1,0 +1,97 @@
+"""Miniature *libquantum* (SPEC): quantum register simulation.
+
+The paper analyses libquantum alongside the PARSEC serial workloads in the
+critical-path study and "find[s] a similar situation" to streamcluster:
+many short dependency chains and a high theoretical parallelism limit
+(Figure 13).  The miniature applies gate sequences to a state vector in
+independent amplitude chunks: chunk *i* of gate *g* depends only on chunk
+*i* of gate *g-1*, so the chains run parallel across chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, op_new
+
+__all__ = ["Libquantum"]
+
+
+@traced("quantum_sigma_x")
+def quantum_sigma_x(
+    rt: TracedRuntime, state: Buffer, chunk: int, chunk_size: int
+) -> None:
+    """Pauli-X: swap amplitude pairs within one chunk."""
+    amps = state.read_block(chunk * chunk_size, chunk_size)
+    rt.flops(2 * chunk_size)
+    flipped = amps.reshape(-1, 2)[:, ::-1].reshape(-1)
+    state.write_block(flipped, chunk * chunk_size)
+
+
+@traced("quantum_cnot")
+def quantum_cnot(rt: TracedRuntime, state: Buffer, chunk: int, chunk_size: int) -> None:
+    amps = state.read_block(chunk * chunk_size, chunk_size)
+    rt.flops(3 * chunk_size)
+    mask = np.arange(chunk_size) % 4 >= 2
+    out = amps.copy()
+    out[mask] = amps[mask][::-1] if mask.sum() % 2 == 0 else amps[mask]
+    state.write_block(out, chunk * chunk_size)
+
+
+@traced("quantum_toffoli")
+def quantum_toffoli(rt: TracedRuntime, state: Buffer, chunk: int, chunk_size: int) -> None:
+    amps = state.read_block(chunk * chunk_size, chunk_size)
+    rt.flops(5 * chunk_size)
+    phase = np.where(np.arange(chunk_size) % 8 == 7, -1.0, 1.0)
+    state.write_block(amps * phase, chunk * chunk_size)
+
+
+@traced("quantum_gate_apply")
+def quantum_gate_apply(
+    rt: TracedRuntime, state: Buffer, gate: int, n_chunks: int, chunk_size: int
+) -> None:
+    """Apply one gate chunk-by-chunk (the parallel fan of Figure 13)."""
+    kernels = (quantum_sigma_x, quantum_cnot, quantum_toffoli)
+    kernel = kernels[gate % len(kernels)]
+    for chunk in range(n_chunks):
+        rt.iops(3)
+        rt.branch("gate.chunk", chunk + 1 < n_chunks)
+        kernel(rt, state, chunk, chunk_size)
+
+
+class Libquantum(Workload):
+    """Quantum register simulation in independent amplitude chunks (SPEC)."""
+    name = "libquantum"
+    suite = "spec"
+    description = "quantum register simulation (Shor building blocks)"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_chunks": 16, "chunk_size": 64, "n_gates": 24},
+        InputSize.SIMMEDIUM: {"n_chunks": 24, "chunk_size": 64, "n_gates": 32},
+        InputSize.SIMLARGE: {"n_chunks": 32, "chunk_size": 96, "n_gates": 48},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n = p["n_chunks"] * p["chunk_size"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        state = rt.arena.alloc_f64("lq.state", n)
+        state.poke_block(rng.normal(0.0, 1.0, n) / np.sqrt(n))
+        rt.syscall("read", output_bytes=64)
+        op_new(rt, env, state.nbytes)
+
+        for gate in range(p["n_gates"]):
+            rt.iops(4)
+            rt.branch("main.gate", gate + 1 < p["n_gates"])
+            quantum_gate_apply(rt, state, gate, p["n_chunks"], p["chunk_size"])
+
+        out = state.read_block(0, n)
+        rt.flops(n // 8)
+        self.checksum = float((out ** 2).sum())
+        rt.syscall("write", input_bytes=64)

@@ -1,0 +1,210 @@
+"""Miniature *raytrace*: real-time ray tracing over a BVH scene.
+
+Like facesim, raytrace is a memory-intensive benchmark (Figure 6): the scene
+(BVH nodes + triangles) is large, and every ray re-reads it -- which also
+makes raytrace a heavy line re-user in the line-granularity study
+(Figure 12).  Kernels follow the Intel MLRT structure the PARSEC port uses:
+per-tile rendering, recursive ray traversal, triangle intersection, and
+shading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, call_sqrt, op_new
+
+__all__ = ["Raytrace"]
+
+
+@traced("BuildBVH")
+def build_bvh(rt: TracedRuntime, triangles: Buffer, bvh: Buffer, n_tris: int) -> None:
+    """Construct the acceleration structure from the triangle soup.
+
+    Median-split style: bin triangle centroids, write interior-node bounds.
+    Makes the BVH a *program-produced* structure, so every traversal read is
+    a real producer-consumer edge from the builder.
+    """
+    for start in range(0, n_tris * 9, 1024):
+        count = min(1024, n_tris * 9 - start)
+        verts = triangles.read_block(start, count)
+        rt.flops(3 * count)
+        node_base = (start // 9) * 2
+        node_count = min(count // 9 * 2, bvh.length - node_base)
+        if node_count > 0:
+            centroids = verts[: node_count * 4 : 4]
+            bounds = np.abs(centroids[:node_count]) + 1.0
+            bvh.write_block(bounds, node_base)
+        rt.branch("bvh.bin", start + 1024 < n_tris * 9)
+    rt.iops(6 * (n_tris // 8))  # split-plane selection
+
+
+@traced("Intersect")
+def intersect(
+    rt: TracedRuntime,
+    triangles: Buffer,
+    hit_records: Buffer,
+    scratch: int,
+    tri: int,
+    origin: float,
+    direction: float,
+) -> None:
+    """Ray/triangle test: nine scene floats, Moller-Trumbore arithmetic.
+
+    The candidate t-value is written to the traversal scratch slot, where
+    the BVH walk compares it against the current nearest hit.
+    """
+    verts = triangles.read_block(tri * 9, 9)
+    rt.flops(27)
+    det = float(verts[:3].sum()) * direction - origin
+    hit_records.write(scratch, abs(det) % 100.0)
+
+
+@traced("TraceRay")
+def trace_ray(
+    rt: TracedRuntime,
+    bvh: Buffer,
+    triangles: Buffer,
+    hit_records: Buffer,
+    ray: int,
+    depth: int,
+    fanout: int,
+    n_tris: int,
+) -> None:
+    """Walk the BVH re-reading interior nodes; recurse for reflections.
+
+    The nearest hit lands in the ray's hit record in memory (as MLRT's hit
+    structures do), so consumers of the result are visible to Sigil.
+    """
+    nearest = np.inf
+    node = ray % max(1, bvh.length - 4)
+    scratch = hit_records.length - 1
+    for level in range(fanout):
+        bvh.read_block((node + level * 7) % max(1, bvh.length - 4), 4)
+        rt.flops(12)
+        rt.branch("trace.descend", level + 1 < fanout)
+        tri = (ray * 31 + level * 7) % n_tris
+        intersect(
+            rt, triangles, hit_records, scratch, tri, float(ray % 17), 1.0 + level
+        )
+        nearest = min(nearest, float(hit_records.read(scratch)))
+    if depth > 0:
+        rt.flops(8)
+        child = ray * 3 + 1
+        trace_ray(rt, bvh, triangles, hit_records, child, depth - 1, fanout, n_tris)
+        nearest = min(nearest, float(hit_records.read(child % hit_records.length)))
+    hit_records.write(ray % hit_records.length, nearest)
+
+
+@traced("Shade")
+def shade(
+    rt: TracedRuntime,
+    env: LibEnv,
+    hit_records: Buffer,
+    ray: int,
+    lights: Buffer,
+    framebuf: Buffer,
+) -> None:
+    hit = float(hit_records.read(ray % hit_records.length))
+    lamps = lights.read_block(0, lights.length)
+    rt.flops(5 * lights.length)
+    intensity = float((lamps / (1.0 + hit)).sum())
+    framebuf.write(ray % framebuf.length, call_sqrt(rt, env, abs(intensity)))
+
+
+@traced("RenderTile")
+def render_tile(
+    rt: TracedRuntime,
+    env: LibEnv,
+    scene: dict,
+    framebuf: Buffer,
+    tile: int,
+    rays_per_tile: int,
+    depth: int,
+    fanout: int,
+    n_tris: int,
+) -> None:
+    for r in range(rays_per_tile):
+        rt.iops(16)  # ray setup, tile cursor, packet bookkeeping
+        rt.branch("tile.ray", r + 1 < rays_per_tile)
+        ray = tile * rays_per_tile + r
+        trace_ray(
+            rt, scene["bvh"], scene["triangles"], scene["hit_records"],
+            ray, depth, fanout, n_tris,
+        )
+        shade(rt, env, scene["hit_records"], ray, scene["lights"], framebuf)
+
+
+@traced("RenderFrame")
+def render_frame(
+    rt: TracedRuntime,
+    env: LibEnv,
+    scene: dict,
+    framebuf: Buffer,
+    n_tiles: int,
+    rays_per_tile: int,
+    depth: int,
+    fanout: int,
+    n_tris: int,
+) -> None:
+    for tile in range(n_tiles):
+        rt.iops(30)  # tile scheduling, load-balancing queues
+        rt.branch("frame.tile", tile + 1 < n_tiles)
+        render_tile(
+            rt, env, scene, framebuf, tile, rays_per_tile, depth, fanout, n_tris
+        )
+        # Adaptive sampling / progressive display: the driver inspects a
+        # finished pixel per tile, partially serialising the frame (this is
+        # what bounds the Figure 13 parallelism limit).
+        framebuf.read((tile * rays_per_tile) % framebuf.length)
+        rt.iops(20)
+
+
+class Raytrace(Workload):
+    """BVH ray tracing with heavy scene re-reads (PARSEC miniature)."""
+    name = "raytrace"
+    description = "BVH ray tracing with heavy scene re-reads"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {
+            "n_tris": 512, "n_tiles": 12, "rays_per_tile": 12, "depth": 2, "fanout": 5,
+        },
+        InputSize.SIMMEDIUM: {
+            "n_tris": 1024, "n_tiles": 16, "rays_per_tile": 14, "depth": 2, "fanout": 5,
+        },
+        InputSize.SIMLARGE: {
+            "n_tris": 2048, "n_tiles": 20, "rays_per_tile": 16, "depth": 3, "fanout": 6,
+        },
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        scene = {
+            "triangles": rt.arena.alloc_f64("rt.triangles", p["n_tris"] * 9),
+            "bvh": rt.arena.alloc_f64("rt.bvh", p["n_tris"] * 2),
+            "lights": rt.arena.alloc_f64("rt.lights", 8),
+            "hit_records": rt.arena.alloc_f64("rt.hit_records", 1024),
+        }
+        framebuf = rt.arena.alloc_f64("rt.framebuffer", p["n_tiles"] * p["rays_per_tile"])
+        scene["triangles"].poke_block(rng.uniform(-10.0, 10.0, scene["triangles"].length))
+        scene["lights"].poke_block(rng.uniform(0.5, 2.0, 8))
+        rt.syscall("read", output_bytes=scene["triangles"].nbytes)
+        op_new(rt, env, framebuf.nbytes + scene["bvh"].nbytes)
+        build_bvh(rt, scene["triangles"], scene["bvh"], p["n_tris"])
+
+        render_frame(
+            rt, env, scene, framebuf,
+            p["n_tiles"], p["rays_per_tile"], p["depth"], p["fanout"], p["n_tris"],
+        )
+
+        out = framebuf.read_block(0, framebuf.length)
+        rt.flops(framebuf.length // 8)
+        self.checksum = float(out.sum())
+        rt.syscall("write", input_bytes=framebuf.nbytes)

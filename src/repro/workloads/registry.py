@@ -1,0 +1,67 @@
+"""Registry of all synthetic workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.bodytrack import Bodytrack
+from repro.workloads.canneal import Canneal
+from repro.workloads.dedup import Dedup
+from repro.workloads.facesim import Facesim
+from repro.workloads.ferret import Ferret
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.freqmine import Freqmine
+from repro.workloads.libquantum import Libquantum
+from repro.workloads.raytrace import Raytrace
+from repro.workloads.streamcluster import Streamcluster
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.vips import Vips
+from repro.workloads.x264 import X264
+
+__all__ = [
+    "WORKLOADS",
+    "PARSEC_NAMES",
+    "ALL_NAMES",
+    "get_workload",
+]
+
+_CLASSES: List[Type[Workload]] = [
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Freqmine,
+    Libquantum,
+    Raytrace,
+    Streamcluster,
+    Swaptions,
+    Vips,
+    X264,
+]
+
+#: name -> workload class.
+WORKLOADS: Dict[str, Type[Workload]] = {cls.name: cls for cls in _CLASSES}
+
+#: The PARSEC subset (the paper's Figures 4-12 use these).
+PARSEC_NAMES: List[str] = sorted(
+    cls.name for cls in _CLASSES if cls.suite == "parsec"
+)
+
+#: Everything, including SPEC libquantum (Figure 13 adds it).
+ALL_NAMES: List[str] = sorted(WORKLOADS)
+
+
+def get_workload(name: str, size: InputSize | str = InputSize.SIMSMALL) -> Workload:
+    """Instantiate a workload by benchmark name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(ALL_NAMES)}"
+        ) from None
+    return cls(size)

@@ -1,0 +1,149 @@
+"""Miniature *streamcluster*: online k-median clustering.
+
+The paper's critical-path case study (section IV-C) reports streamcluster's
+critical path as::
+
+    drand48_iterate -> nrand48_r -> lrand48 -> pkmedian -> localSearch ->
+    streamCluster -> main
+
+"Streamcluster is characterized by many short paths, where functions closer
+to the leaf-end of the critical path are of small consequence, e.g. rand",
+giving a high theoretical parallelism limit (Figure 13).  The miniature
+preserves that shape: per-point ``dist`` evaluations are independent short
+chains, while the ``lrand48`` random-number chain is serialised through the
+48-bit generator state -- exactly the structural critical path the paper
+finds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, op_new, std_vector_ctor
+
+__all__ = ["Streamcluster"]
+
+
+@traced("drand48_iterate")
+def drand48_iterate(rt: TracedRuntime, state: Buffer) -> None:
+    """Advance the 48-bit LCG state (serialising dependency)."""
+    x = int(state.read(0))
+    rt.iops(6)
+    state.write(0, (25214903917 * x + 11) & ((1 << 48) - 1))
+
+
+@traced("__nrand48_r")
+def nrand48_r(rt: TracedRuntime, state: Buffer) -> int:
+    drand48_iterate(rt, state)
+    value = int(state.read(0))
+    rt.iops(3)
+    return value >> 17
+
+
+@traced("lrand48")
+def lrand48(rt: TracedRuntime, state: Buffer) -> int:
+    rt.iops(2)
+    return nrand48_r(rt, state)
+
+
+@traced("dist")
+def dist(
+    rt: TracedRuntime, points: Buffer, a: int, b: int, dim: int
+) -> float:
+    """Squared distance between two points (independent short chain)."""
+    pa = points.read_block(a * dim, dim)
+    pb = points.read_block(b * dim, dim)
+    rt.flops(3 * dim)
+    return float(((pa - pb) ** 2).sum())
+
+
+@traced("pkmedian")
+def pkmedian(
+    rt: TracedRuntime,
+    points: Buffer,
+    costs: Buffer,
+    centers: list,
+    state: Buffer,
+    n: int,
+    dim: int,
+) -> float:
+    """One facility-location pass: assign points, probabilistically open."""
+    total = 0.0
+    for i in range(n):
+        rt.iops(5)
+        rt.branch("pkmedian.loop", i + 1 < n)
+        best = min(dist(rt, points, i, c, dim) for c in centers)
+        costs.write(i, best)
+        total += best
+        if lrand48(rt, state) % 97 == 0 and len(centers) < 24:
+            centers.append(i)
+    rt.flops(8)
+    return total
+
+
+@traced("localSearch")
+def local_search(
+    rt: TracedRuntime,
+    points: Buffer,
+    costs: Buffer,
+    state: Buffer,
+    n: int,
+    dim: int,
+    passes: int,
+) -> float:
+    centers = [0]
+    total = 0.0
+    for p in range(passes):
+        rt.iops(10)
+        rt.branch("localSearch.pass", p + 1 < passes)
+        total = pkmedian(rt, points, costs, centers, state, n, dim)
+    return total
+
+
+@traced("streamCluster")
+def stream_cluster(
+    rt: TracedRuntime,
+    points: Buffer,
+    costs: Buffer,
+    state: Buffer,
+    n: int,
+    dim: int,
+    passes: int,
+) -> float:
+    rt.iops(16)
+    return local_search(rt, points, costs, state, n, dim, passes)
+
+
+class Streamcluster(Workload):
+    """Online k-median clustering with the serialised rand48 chain."""
+    name = "streamcluster"
+    description = "online clustering with k-median local search"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_points": 128, "dim": 8, "passes": 3},
+        InputSize.SIMMEDIUM: {"n_points": 256, "dim": 8, "passes": 3},
+        InputSize.SIMLARGE: {"n_points": 512, "dim": 8, "passes": 4},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n, dim = p["n_points"], p["dim"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        points = rt.arena.alloc_f64("sc.points", n * dim)
+        costs = rt.arena.alloc_f64("sc.costs", n)
+        state = rt.arena.alloc_i64("sc.rand_state", 2)
+        points.poke_block(rng.normal(0.0, 10.0, n * dim))
+        state.poke(0, 0x1234ABCD5678)
+        rt.syscall("read", output_bytes=points.nbytes)
+
+        op_new(rt, env, costs.nbytes)
+        std_vector_ctor(rt, env, costs, costs.length)
+        total = stream_cluster(rt, points, costs, state, n, dim, p["passes"])
+        self.checksum = total
+        rt.syscall("write", input_bytes=costs.nbytes)

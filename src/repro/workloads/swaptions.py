@@ -1,0 +1,146 @@
+"""Miniature *swaptions*: HJM Monte-Carlo swaption pricing.
+
+swaptions is one of the paper's three low-coverage applications (Figure 7):
+its serial driver aggregates simulation statistics inline, so a large share
+of the execution is driver self-cost rather than callable kernels.  The
+kernels below it mirror PARSEC's hot functions: ``RanUnif`` (random draws),
+``HJM_SimPath_Forward_Blocking`` (forward-rate path simulation) and
+``Discount_Factors_Blocking``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, call_exp, call_sqrt, op_new, std_vector_ctor
+
+__all__ = ["Swaptions"]
+
+
+@traced("RanUnif")
+def ran_unif(rt: TracedRuntime, seed: Buffer, out: Buffer, count: int) -> None:
+    """Lehmer RNG filling a block of uniforms (serialised through the seed)."""
+    s = int(seed.read(0))
+    values = np.empty(count)
+    for i in range(count):
+        s = (16807 * s) % 2147483647
+        values[i] = s / 2147483647.0
+    rt.iops(4 * count)
+    seed.write(0, s)
+    out.write_block(values, 0)
+
+
+@traced("HJM_SimPath_Forward_Blocking")
+def hjm_sim_path(
+    rt: TracedRuntime,
+    env: LibEnv,
+    rands: Buffer,
+    factors: Buffer,
+    path: Buffer,
+    tenors: int,
+    steps: int,
+) -> None:
+    """Evolve the forward-rate curve along one simulated path."""
+    vol = factors.read_block(0, tenors)
+    curve = np.full(tenors, 0.05)
+    for t in range(steps):
+        shocks = rands.read_block((t * tenors) % max(1, rands.length - tenors), tenors)
+        rt.flops(7 * tenors)
+        curve = curve + vol * 0.01 * (shocks - 0.5) + 0.0001
+        path.write_block(curve, t * tenors)
+        rt.branch("hjm.step", t + 1 < steps)
+    drift = call_exp(rt, env, -float(curve.mean()))
+    rt.flops(4)
+    path.write(0, curve[0] * drift)
+
+
+@traced("Discount_Factors_Blocking")
+def discount_factors(
+    rt: TracedRuntime, env: LibEnv, path: Buffer, discounts: Buffer, tenors: int, steps: int
+) -> None:
+    total = np.zeros(tenors)
+    for t in range(steps):
+        rates = path.read_block(t * tenors, tenors)
+        rt.flops(2 * tenors)
+        total += rates
+    scale = call_exp(rt, env, -float(total.mean()) * 0.01)
+    rt.flops(2 * tenors)
+    discounts.write_block(np.exp(-total * 0.01) * scale, 0)
+
+
+@traced("HJM_Swaption_Blocking")
+def hjm_swaption(
+    rt: TracedRuntime,
+    env: LibEnv,
+    bufs: dict,
+    tenors: int,
+    steps: int,
+    trials: int,
+) -> float:
+    """Price one swaption by Monte Carlo over ``trials`` paths."""
+    payoff_sum = 0.0
+    for trial in range(trials):
+        rt.iops(10)
+        rt.branch("swaption.trial", trial + 1 < trials)
+        ran_unif(rt, bufs["seed"], bufs["rands"], tenors * 2)
+        hjm_sim_path(rt, env, bufs["rands"], bufs["factors"], bufs["path"], tenors, steps)
+        discount_factors(rt, env, bufs["path"], bufs["discounts"], tenors, steps)
+        d = bufs["discounts"].read_block(0, tenors)
+        rt.flops(2 * tenors)
+        payoff_sum += max(0.0, float(d.mean()) - 0.6)
+    sigma = call_sqrt(rt, env, payoff_sum / max(trials, 1))
+    rt.flops(6)
+    return payoff_sum / trials + 1e-6 * sigma
+
+
+class Swaptions(Workload):
+    """HJM Monte-Carlo swaption pricing with a self-heavy driver."""
+    name = "swaptions"
+    description = "HJM Monte-Carlo swaption pricing with a self-heavy driver"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_swaptions": 8, "tenors": 16, "steps": 8, "trials": 6},
+        InputSize.SIMMEDIUM: {"n_swaptions": 16, "tenors": 16, "steps": 8, "trials": 6},
+        InputSize.SIMLARGE: {"n_swaptions": 32, "tenors": 16, "steps": 10, "trials": 8},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        tenors, steps = p["tenors"], p["steps"]
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        bufs = {
+            "seed": rt.arena.alloc_i64("sw.seed", 2),
+            "rands": rt.arena.alloc_f64("sw.rands", tenors * 2),
+            "factors": rt.arena.alloc_f64("sw.factors", tenors),
+            "path": rt.arena.alloc_f64("sw.path", tenors * steps),
+            "discounts": rt.arena.alloc_f64("sw.discounts", tenors),
+            "prices": rt.arena.alloc_f64("sw.prices", p["n_swaptions"]),
+        }
+        bufs["seed"].poke(0, 271828183)
+        bufs["factors"].poke_block(rng.uniform(0.5, 1.5, tenors))
+        rt.syscall("read", output_bytes=bufs["factors"].nbytes)
+
+        op_new(rt, env, bufs["path"].nbytes)
+        std_vector_ctor(rt, env, bufs["prices"], bufs["prices"].length)
+
+        # Serial driver: inline statistics aggregation dominates (low
+        # coverage, as in Figure 7).
+        acc = 0.0
+        for i in range(p["n_swaptions"]):
+            rt.branch("main.swaption", i + 1 < p["n_swaptions"])
+            price = hjm_swaption(rt, env, bufs, tenors, steps, p["trials"])
+            # Inline convergence statistics / greeks bookkeeping: the serial
+            # driver self-cost behind swaptions' low Figure 7 coverage.
+            rt.iops(6000)
+            rt.flops(3000)
+            acc += price
+            bufs["prices"].write(i, price)
+
+        self.checksum = acc
+        rt.syscall("write", input_bytes=bufs["prices"].nbytes)

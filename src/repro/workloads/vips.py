@@ -1,0 +1,253 @@
+"""Miniature *vips*: image transformation pipeline.
+
+The paper drills into vips for the data re-use study (section IV-B):
+
+* ``conv_gen`` -- separable convolution over tiles.  Each input row is
+  re-read once per kernel tap while the output window slides over it, and
+  boundary rows are revisited for normalisation at the end of the (long)
+  per-tile call: its re-use lifetime histogram has "a long tail and a
+  central peak" (Figure 10).
+* ``imb_XYZ2Lab`` -- colourspace conversion running in short per-row calls
+  that hammer a small look-up table: re-use lifetimes are short, "a peak at
+  0 re-use and a short tail" (Figure 11).
+* ``affine_gen`` -- resampling with row interpolation (modest re-use).
+
+These three are "the three biggest contributors to the total unique data
+bytes processed by the benchmark ... each of their individual contributions
+being close to 10%", with the rest spread across numerous smaller helpers;
+``conv_gen`` appears in two calling contexts (``conv_gen(1)``/``(2)`` in
+Figure 9), here via the blur and sharpen passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, memcpy, op_new, std_vector_ctor
+
+__all__ = ["Vips"]
+
+
+@traced("im_prepare")
+def im_prepare(rt: TracedRuntime, region: Buffer, src: Buffer, start: int, count: int) -> None:
+    """Stage a region descriptor + pixels for a downstream stage."""
+    data = src.read_block(start, count)
+    rt.iops(count // 8 + 6)
+    region.write_block(data, 0)
+
+
+@traced("affine_gen")
+def affine_gen(
+    rt: TracedRuntime,
+    src: Buffer,
+    dst: Buffer,
+    width: int,
+    row0: int,
+    n_rows: int,
+) -> None:
+    """Resample rows: each output row interpolates two source rows."""
+    for y in range(row0, row0 + n_rows):
+        upper = src.read_block(y * width, width)
+        lower = src.read_block(min(y + 1, row0 + n_rows - 1) * width, width)
+        rt.flops(3 * width)
+        dst.write_block(0.625 * upper + 0.375 * lower, y * width)
+        rt.branch("affine.row", y + 1 < row0 + n_rows)
+
+
+@traced("conv_gen")
+def conv_gen(
+    rt: TracedRuntime,
+    src: Buffer,
+    dst: Buffer,
+    width: int,
+    height: int,
+    taps: int,
+) -> None:
+    """Vertical convolution over a whole tile (one long call).
+
+    Input row ``y`` is read by output rows ``y-taps+1 .. y``: every byte is
+    re-used ``taps-1`` times with a lifetime spanning ``taps`` row
+    iterations (the histogram's central peak).  Boundary rows are re-read
+    at the end of the call for edge normalisation (the long tail).
+    """
+    acc = np.zeros(width)
+    for y in range(height):
+        rows = [
+            src.read_block(min(y + t, height - 1) * width, width)
+            for t in range(taps)
+        ]
+        rt.flops((2 * taps + 1) * width)
+        acc = sum(rows) / taps
+        dst.write_block(acc, y * width)
+        rt.branch("conv.row", y + 1 < height)
+    # Edge normalisation: revisit sample rows across the tile at the end of
+    # the call.  Rows read early are re-read late -> lifetimes spread from
+    # short to the full call span (Figure 10's long tail).
+    for y in range(0, height, 8):
+        edge = src.read_block(y * width, width)
+        rt.flops(width)
+        dst.write_block(dst.read_block(y * width, width) + edge / taps, y * width)
+
+
+@traced("imb_XYZ2Lab")
+def imb_xyz2lab(
+    rt: TracedRuntime,
+    src: Buffer,
+    dst: Buffer,
+    lut: Buffer,
+    row_start: int,
+    width: int,
+) -> None:
+    """Convert one row of pixels through the cube-root look-up table.
+
+    Short call, tight LUT re-use: re-use lifetimes land in the lowest bin.
+    """
+    pixels = src.read_block(row_start, width)
+    for i in range(0, width, 8):
+        lut.read_block(int(abs(pixels[i])) % (lut.length - 8), 8)
+        rt.flops(24)
+    rt.flops(2 * width)
+    dst.write_block(np.cbrt(np.abs(pixels)) * 116.0 - 16.0, row_start)
+
+
+@traced("im_embed")
+def im_embed(rt: TracedRuntime, src: Buffer, dst: Buffer, width: int, height: int) -> None:
+    """Pad the image border: edge rows are replicated (re-read) outward."""
+    for y in range(height):
+        row = src.read_block(y * width, width)
+        rt.flops(width)
+        dst.write_block(row, y * width)
+        rt.branch("embed.row", y + 1 < height)
+    # Border replication re-reads the first and last rows a few times.
+    for rep in range(3):
+        src.read_block(0, width)
+        src.read_block((height - 1) * width, width)
+        rt.flops(width // 2)
+
+
+@traced("im_lintra")
+def im_lintra(
+    rt: TracedRuntime, src: Buffer, dst: Buffer, params: Buffer, width: int, height: int
+) -> None:
+    """Linear transform a*x + b over the whole image."""
+    params.read_block(0, 2)           # validate coefficients...
+    coeffs = params.read_block(0, 2)  # ...then load them (tight re-use)
+    rt.iops(6)
+    for y in range(height):
+        row = src.read_block(y * width, width)
+        rt.flops(2 * width)
+        dst.write_block(float(coeffs[0]) * row + float(coeffs[1]), y * width)
+        rt.branch("lintra.row", y + 1 < height)
+
+
+@traced("im_wrapmany")
+def im_wrapmany(rt: TracedRuntime, bufs: list, width: int) -> None:
+    """Pipeline glue: validate stage buffers (small)."""
+    rt.iops(8 * len(bufs))
+    for buf in bufs:
+        buf.read_block(0, min(8, buf.length))
+
+
+@traced("im_generate")
+def im_generate(
+    rt: TracedRuntime,
+    env: LibEnv,
+    stages: dict,
+    width: int,
+    height: int,
+    tile_rows: int,
+    taps: int,
+) -> None:
+    """Demand-driven pipeline driver:
+    embed -> affine -> blur -> sharpen -> lintra -> Lab."""
+    src, embed, affine, blur, sharp, linear, lab, lut, region = (
+        stages["src"],
+        stages["embed"],
+        stages["affine"],
+        stages["blur"],
+        stages["sharp"],
+        stages["linear"],
+        stages["lab"],
+        stages["lut"],
+        stages["region"],
+    )
+    im_wrapmany(rt, [src, embed, affine, blur, sharp, linear, lab], width)
+    im_embed(rt, src, embed, width, height)
+    for row0 in range(0, height, tile_rows):
+        rt.iops(20)  # tile scheduling
+        rt.branch("generate.tile", row0 + tile_rows < height)
+        n = min(tile_rows, height - row0)
+        im_prepare(rt, region, embed, row0 * width, min(64, embed.length))
+        affine_gen(rt, embed, affine, width, row0, n)
+    # Context 1: blur pass over the affine output (whole image, long calls).
+    im_blur(rt, affine, blur, width, height, taps)
+    # Context 2: sharpen pass re-runs conv_gen over the blurred image.
+    im_sharpen(rt, blur, sharp, width, height, taps)
+    im_lintra(rt, sharp, linear, stages["params"], width, height)
+    for y in range(height):
+        rt.branch("generate.lab", y + 1 < height)
+        imb_xyz2lab(rt, linear, lab, lut, y * width, width)
+
+
+@traced("im_conv")
+def im_blur(rt: TracedRuntime, src: Buffer, dst: Buffer, width: int, height: int, taps: int) -> None:
+    rt.iops(12)
+    conv_gen(rt, src, dst, width, height, taps)
+
+
+@traced("im_sharpen")
+def im_sharpen(rt: TracedRuntime, src: Buffer, dst: Buffer, width: int, height: int, taps: int) -> None:
+    rt.iops(12)
+    conv_gen(rt, src, dst, width, height, max(2, taps - 2))
+
+
+class Vips(Workload):
+    """Image pipeline: embed, affine, convolutions, linear, Lab stages."""
+    name = "vips"
+    description = "image pipeline: affine resample, convolutions, Lab conversion"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"width": 48, "height": 64, "tile_rows": 8, "taps": 5},
+        InputSize.SIMMEDIUM: {"width": 64, "height": 96, "tile_rows": 8, "taps": 5},
+        InputSize.SIMLARGE: {"width": 96, "height": 128, "tile_rows": 8, "taps": 5},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        width, height = p["width"], p["height"]
+        n_px = width * height
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        stages = {
+            "src": rt.arena.alloc_f64("vips.src", n_px),
+            "embed": rt.arena.alloc_f64("vips.embed", n_px),
+            "affine": rt.arena.alloc_f64("vips.affine", n_px),
+            "blur": rt.arena.alloc_f64("vips.blur", n_px),
+            "sharp": rt.arena.alloc_f64("vips.sharp", n_px),
+            "linear": rt.arena.alloc_f64("vips.linear", n_px),
+            "lab": rt.arena.alloc_f64("vips.lab", n_px),
+            "lut": rt.arena.alloc_f64("vips.lut", 256),
+            "region": rt.arena.alloc_f64("vips.region", 64),
+            "params": rt.arena.alloc_f64("vips.params", 8),
+        }
+        stages["src"].poke_block(rng.uniform(0.0, 255.0, n_px))
+        stages["lut"].poke_block(np.linspace(0.0, 1.0, 256))
+        stages["params"].poke_block([1.02, -3.5, 0, 0, 0, 0, 0, 0])
+        rt.syscall("read", output_bytes=stages["src"].nbytes)
+
+        rt.iops(3000)  # CLI parsing, operation graph setup in main
+        op_new(rt, env, n_px * 8)
+        std_vector_ctor(rt, env, stages["region"], stages["region"].length)
+        im_generate(rt, env, stages, width, height, p["tile_rows"], p["taps"])
+
+        # The kernel writes the image out directly from the Lab buffer; main
+        # only samples a strip for its completion checksum.
+        stages["lab"].read_block(0, width)
+        rt.flops(width)
+        self.checksum = float(stages["lab"].peek_block(0, n_px).sum())
+        rt.syscall("write", input_bytes=stages["lab"].nbytes)

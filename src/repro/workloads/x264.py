@@ -1,0 +1,169 @@
+"""Miniature *x264*: H.264 video encoding.
+
+Per-macroblock motion estimation re-reads the reference-frame search window
+many times (strong line re-use), DCT/quantisation are arithmetic-dense, and
+CABAC entropy coding is a serial integer chain threaded through the coder
+state -- which keeps x264's theoretical function-level parallelism modest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.decorators import traced
+from repro.runtime.memory import Buffer
+from repro.runtime.runtime import TracedRuntime
+from repro.workloads.base import InputSize, Workload
+from repro.workloads.lib import LibEnv, memcpy, op_new
+
+__all__ = ["X264"]
+
+_MB = 16  # macroblock pixels (1-D miniature)
+
+
+@traced("x264_pixel_sad")
+def pixel_sad(
+    rt: TracedRuntime, frame: Buffer, ref: Buffer, mb_off: int, cand_off: int
+) -> int:
+    cur = frame.read_block(mb_off, _MB)
+    cand = ref.read_block(cand_off, _MB)
+    rt.iops(3 * _MB)
+    return int(np.abs(cur - cand).sum())
+
+
+@traced("motion_search")
+def motion_search(
+    rt: TracedRuntime, frame: Buffer, ref: Buffer, mb_off: int, range_: int
+) -> int:
+    """Diamond search over the reference window (re-reads it heavily)."""
+    best = np.iinfo(np.int64).max
+    best_off = mb_off
+    for step in range(range_):
+        rt.iops(6)
+        rt.branch("me.step", step + 1 < range_)
+        cand = (mb_off + step * 4) % max(1, ref.length - _MB)
+        sad = pixel_sad(rt, frame, ref, mb_off, cand)
+        if sad < best:
+            best = sad
+            best_off = cand
+    return best_off
+
+
+@traced("dct4x4")
+def dct4x4(rt: TracedRuntime, frame: Buffer, ref: Buffer, coeffs: Buffer, mb_off: int, pred_off: int) -> None:
+    cur = frame.read_block(mb_off, _MB)
+    pred = ref.read_block(pred_off, _MB)
+    rt.iops(8 * _MB)
+    residual = cur - pred
+    coeffs.write_block(np.cumsum(residual) - residual.mean(), 0)
+
+
+@traced("quant4x4")
+def quant4x4(rt: TracedRuntime, coeffs: Buffer, qp: int) -> None:
+    c = coeffs.read_block(0, _MB)
+    rt.iops(2 * _MB)
+    coeffs.write_block((c / (1 + qp)).astype(coeffs.dtype), 0)
+
+
+@traced("cabac_encode")
+def cabac_encode(
+    rt: TracedRuntime, coeffs: Buffer, state: Buffer, bitstream: Buffer, out_pos: int
+) -> int:
+    """Binary arithmetic coding: serialised through the coder state."""
+    c = coeffs.read_block(0, _MB)
+    low = int(state.read(0))
+    rng_ = int(state.read(1))
+    rt.iops(7 * _MB)
+    for v in c.tolist():
+        low = (low * 3 + int(v)) & 0xFFFFFF
+        rng_ = (rng_ >> 1) | 0x10000
+    state.write(0, low)
+    state.write(1, rng_)
+    n_out = max(2, _MB // 4)
+    bitstream.write_block(
+        np.full(n_out, low & 0xFF, dtype=bitstream.dtype),
+        out_pos % max(1, bitstream.length - n_out),
+    )
+    return n_out
+
+
+@traced("x264_macroblock_analyse")
+def mb_analyse(
+    rt: TracedRuntime, frame: Buffer, ref: Buffer, mb_off: int, search_range: int
+) -> int:
+    """Mode decision: probe inter cost via motion search, compare to intra."""
+    rt.iops(24)  # lambda/cost setup, neighbour MV prediction
+    pred = motion_search(rt, frame, ref, mb_off, search_range)
+    intra_probe = frame.read_block(mb_off, _MB)
+    rt.iops(2 * _MB)  # intra SATD estimate
+    return pred
+
+
+@traced("x264_encoder_encode")
+def encoder_encode(
+    rt: TracedRuntime,
+    env: LibEnv,
+    frame: Buffer,
+    ref: Buffer,
+    coeffs: Buffer,
+    state: Buffer,
+    bitstream: Buffer,
+    n_mbs: int,
+    search_range: int,
+    qp: int,
+) -> int:
+    out_pos = 0
+    for mb in range(n_mbs):
+        rt.iops(14)
+        rt.branch("enc.mb", mb + 1 < n_mbs)
+        mb_off = mb * _MB
+        pred = mb_analyse(rt, frame, ref, mb_off, search_range)
+        dct4x4(rt, frame, ref, coeffs, mb_off, pred)
+        quant4x4(rt, coeffs, qp)
+        out_pos += cabac_encode(rt, coeffs, state, bitstream, out_pos)
+    # Reconstruct the reference for the next frame.
+    memcpy(rt, ref, 0, frame, 0, min(frame.length, ref.length))
+    return out_pos
+
+
+class X264(Workload):
+    """H.264 encoding: motion search, DCT/quant, serial CABAC."""
+    name = "x264"
+    description = "H.264 encoding: motion search, DCT, CABAC"
+
+    PARAMS = {
+        InputSize.SIMSMALL: {"n_frames": 3, "n_mbs": 16, "search_range": 8, "qp": 6},
+        InputSize.SIMMEDIUM: {"n_frames": 4, "n_mbs": 24, "search_range": 8, "qp": 6},
+        InputSize.SIMLARGE: {"n_frames": 6, "n_mbs": 32, "search_range": 10, "qp": 6},
+    }
+
+    def main(self, rt: TracedRuntime) -> None:
+        p = self.params
+        n_px = p["n_mbs"] * _MB
+        rng = self.rng()
+        env = LibEnv.create(rt.arena)
+
+        video = rt.arena.alloc_i64("x264.video", n_px * p["n_frames"])
+        frame = rt.arena.alloc_i64("x264.frame", n_px)
+        ref = rt.arena.alloc_i64("x264.ref", n_px)
+        coeffs = rt.arena.alloc_f64("x264.coeffs", _MB)
+        state = rt.arena.alloc_i64("x264.cabac_state", 4)
+        bitstream = rt.arena.alloc_u8("x264.bitstream", 4096)
+
+        video.poke_block(rng.integers(0, 256, video.length))
+        state.poke(1, 0x1FE)
+        rt.syscall("read", output_bytes=video.nbytes)
+        op_new(rt, env, bitstream.length)
+
+        total_bits = 0
+        for f in range(p["n_frames"]):
+            rt.iops(800)  # rate-control and lookahead bookkeeping in main
+            rt.branch("main.frame", f + 1 < p["n_frames"])
+            memcpy(rt, frame, 0, video, f * n_px, n_px)
+            total_bits += encoder_encode(
+                rt, env, frame, ref, coeffs, state, bitstream,
+                p["n_mbs"], p["search_range"], p["qp"],
+            )
+
+        self.checksum = float(total_bits)
+        rt.syscall("write", input_bytes=total_bits)

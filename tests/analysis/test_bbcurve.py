@@ -1,0 +1,88 @@
+"""BB-curve tests: buffer size vs external bandwidth pressure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bbcurve import BBCurveProfiler
+from repro.analysis.partition import BusModel
+from repro.workloads import get_workload
+
+
+class TestScoping:
+    def test_only_target_accesses_recorded(self):
+        p = BBCurveProfiler(["hot"])
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        p.on_mem_read(0, 64)           # outside any target: ignored
+        p.on_fn_enter("hot")
+        p.on_mem_read(0, 64)
+        p.on_fn_enter("child")         # sub-tree accesses belong to hot
+        p.on_mem_read(64, 64)
+        p.on_fn_exit("child")
+        p.on_fn_exit("hot")
+        p.on_fn_exit("main")
+        p.on_run_end()
+        curve = p.curve("hot")
+        assert curve.total_accesses == 2
+
+    def test_innermost_target_wins(self):
+        p = BBCurveProfiler(["outer", "inner"])
+        p.on_run_begin()
+        p.on_fn_enter("outer")
+        p.on_mem_read(0, 64)
+        p.on_fn_enter("inner")
+        p.on_mem_read(64, 64)
+        p.on_fn_exit("inner")
+        p.on_fn_exit("outer")
+        p.on_run_end()
+        assert p.curve("outer").total_accesses == 1
+        assert p.curve("inner").total_accesses == 1
+
+    def test_unknown_target_rejected(self):
+        p = BBCurveProfiler(["hot"])
+        with pytest.raises(KeyError):
+            p.curve("cold")
+
+
+class TestCurveShape:
+    @pytest.fixture(scope="class")
+    def conv_curve(self):
+        profiler = BBCurveProfiler(["conv_gen"], line_size=64)
+        get_workload("vips", "simsmall").run(profiler)
+        return profiler.curve("conv_gen")
+
+    def test_external_traffic_monotone_in_buffer(self, conv_curve):
+        externals = [pt.external_bytes for pt in conv_curve.points]
+        assert externals == sorted(externals, reverse=True)
+
+    def test_large_buffer_reaches_cold_floor(self, conv_curve):
+        """With an unbounded buffer only cold fetches remain: the unique
+        footprint of the function, far below total traffic."""
+        floor = conv_curve.points[-1]
+        assert floor.external_bytes < 0.5 * conv_curve.total_bytes
+        assert floor.external_bytes > 0
+
+    def test_reuse_makes_buffers_pay_off(self):
+        """conv_gen (taps-deep re-use) benefits more from a buffer than
+        imb_XYZ2Lab-style streaming."""
+        profiler = BBCurveProfiler(["conv_gen", "affine_gen"], line_size=64)
+        get_workload("vips", "simsmall").run(profiler)
+        conv = profiler.curve("conv_gen", capacities=[1, 256])
+        affine = profiler.curve("affine_gen", capacities=[1, 256])
+
+        def saving(curve):
+            small = curve.external_bytes_at(1)
+            big = curve.external_bytes_at(256)
+            return (small - big) / small
+
+        assert saving(conv) > saving(affine)
+
+    def test_breakeven_improves_with_buffer(self, conv_curve):
+        bus = BusModel(bytes_per_cycle=8.0)
+        small = conv_curve.breakeven_at(1, bus)
+        big = conv_curve.breakeven_at(4096, bus)
+        assert (not math.isfinite(small)) or big <= small
+        assert math.isfinite(big)

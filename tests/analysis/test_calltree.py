@@ -1,0 +1,47 @@
+"""Annotated calltree renderer tests."""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis import render_calltree
+
+
+class TestRenderCalltree:
+    def test_shares_sum_sensibly(self, toy_profiles):
+        sigil, _ = toy_profiles
+        out = render_calltree(sigil, min_share=0.0)
+        assert "100.0%" in out  # main is everything
+        for name in ("main", "A", "C", "D"):
+            assert name in out
+
+    def test_children_sorted_by_inclusive_cost(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        out = render_calltree(sigil, min_share=0.0, max_depth=2)
+        lines = [l for l in out.splitlines() if "%" in l and "|" in l or "`-" in l]
+        # bs_thread dominates blackscholes: it must appear before strtof.
+        text = out.replace("\n", " ")
+        assert text.index("bs_thread") < text.index("strtof")
+
+    def test_depth_limit_marks_truncation(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        out = render_calltree(sigil, max_depth=1, min_share=0.0)
+        assert "depth limit" in out
+
+    def test_pruning_summarised(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        out = render_calltree(sigil, min_share=0.5)
+        assert "subtree(s) below" in out
+
+    def test_comm_column_toggle(self, toy_profiles):
+        sigil, _ = toy_profiles
+        with_comm = render_calltree(sigil)
+        without = render_calltree(sigil, show_comm=False)
+        assert "[" in with_comm.splitlines()[2]
+        assert "uniq_in_B" not in without
+
+    def test_percentages_well_formed(self, toy_profiles):
+        sigil, _ = toy_profiles
+        out = render_calltree(sigil, min_share=0.0)
+        for match in re.finditer(r"(\d+\.\d)%", out):
+            assert 0.0 <= float(match.group(1)) <= 100.0

@@ -1,0 +1,112 @@
+"""CDFG construction and sub-tree merging tests (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CDFG, compute_inclusive, subtree_has_syscall
+from repro.common.cct import INVALID_CTX
+
+
+class TestCDFG:
+    def test_call_edges_mirror_tree(self, toy_profiles):
+        sigil, _ = toy_profiles
+        cdfg = CDFG(sigil)
+        edges = {(e.caller, e.callee) for e in cdfg.call_edges()}
+        for node in cdfg.nodes():
+            assert (node.parent.id, node.id) in edges
+
+    def test_toy_data_edges_match_figure_1_shape(self, toy_profiles):
+        """main feeds A and C; A feeds C and D1; C feeds D2."""
+        sigil, _ = toy_profiles
+        cdfg = CDFG(sigil)
+        main = sigil.tree.find(("main",)).id
+        a = sigil.tree.find(("main", "A")).id
+        c = sigil.tree.find(("main", "C")).id
+        d1 = sigil.tree.find(("main", "A", "D")).id
+        d2 = sigil.tree.find(("main", "C", "D")).id
+        pairs = {(e.writer, e.reader) for e in cdfg.data_edges()}
+        assert (main, a) in pairs
+        assert (main, c) in pairs
+        assert (a, c) in pairs
+        assert (a, d1) in pairs
+        assert (c, d2) in pairs
+
+    def test_edge_weights_are_unique_bytes(self, toy_profiles):
+        sigil, _ = toy_profiles
+        cdfg = CDFG(sigil)
+        a = sigil.tree.find(("main", "A")).id
+        c = sigil.tree.find(("main", "C")).id
+        edge = next(e for e in cdfg.data_edges() if (e.writer, e.reader) == (a, c))
+        assert edge.unique_bytes == 8
+
+    def test_context_labels_disambiguate(self, toy_profiles):
+        sigil, _ = toy_profiles
+        cdfg = CDFG(sigil)
+        d1 = sigil.tree.find(("main", "A", "D")).id
+        d2 = sigil.tree.find(("main", "C", "D")).id
+        labels = {cdfg.label(d1), cdfg.label(d2)}
+        assert labels == {"D(1)", "D(2)"}
+        assert cdfg.label(INVALID_CTX) == "<input>"
+
+    def test_dot_export(self, toy_profiles):
+        sigil, _ = toy_profiles
+        dot = CDFG(sigil).to_dot()
+        assert dot.startswith("digraph")
+        assert "style=dashed" in dot and "style=bold" in dot
+
+
+class TestMerging:
+    def test_internal_edges_absorbed(self, toy_profiles):
+        """Merging A's sub-tree absorbs the A->D1 edge (Figure 2)."""
+        sigil, cg = toy_profiles
+        a_node = sigil.tree.find(("main", "A"))
+        costs = compute_inclusive(sigil, cg, a_node)
+        # Inputs crossing into the box: 8 bytes main->A, plus the 8
+        # not-yet-written bytes D1 reads (program input).  The A->D1 edge is
+        # internal and absorbed.
+        assert costs.unique_input_bytes == 16
+        # Outputs: A->C (8) and A->D2 (8); both consumers outside the box.
+        assert costs.unique_output_bytes == 16
+
+    def test_inclusive_ops_roll_up(self, toy_profiles):
+        sigil, cg = toy_profiles
+        a_node = sigil.tree.find(("main", "A"))
+        d1 = sigil.tree.find(("main", "A", "D"))
+        merged = compute_inclusive(sigil, cg, a_node)
+        a_self = sigil.fn_comm(a_node.id).ops
+        d_self = sigil.fn_comm(d1.id).ops
+        assert merged.ops == a_self + d_self
+
+    def test_leaf_merge_is_self(self, toy_profiles):
+        sigil, cg = toy_profiles
+        d1 = sigil.tree.find(("main", "A", "D"))
+        costs = compute_inclusive(sigil, cg, d1)
+        assert costs.ops == sigil.fn_comm(d1.id).ops
+        assert costs.est_cycles > 0
+
+    def test_est_cycles_align_with_callgrind(self, toy_profiles):
+        sigil, cg = toy_profiles
+        a_sigil = sigil.tree.find(("main", "A"))
+        a_cg = cg.tree.find(("main", "A"))
+        costs = compute_inclusive(sigil, cg, a_sigil)
+        assert costs.est_cycles == pytest.approx(cg.estimated_cycles(a_cg))
+
+    def test_syscall_detection(self):
+        from repro.core import SigilConfig, SigilProfiler
+
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        p.on_fn_enter("io_fn")
+        p.on_syscall_enter("write", 8)
+        p.on_syscall_exit("write", 0)
+        p.on_fn_exit("io_fn")
+        p.on_fn_enter("pure_fn")
+        p.on_fn_exit("pure_fn")
+        p.on_fn_exit("main")
+        p.on_run_end()
+        prof = p.profile()
+        assert subtree_has_syscall(prof.tree.find(("main", "io_fn")))
+        assert not subtree_has_syscall(prof.tree.find(("main", "pure_fn")))
+        assert subtree_has_syscall(prof.tree.find(("main",)))

@@ -1,0 +1,79 @@
+"""Profile-diff tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import diff_profiles
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace.events import OpKind
+
+
+def make_profile(include_extra: bool, scale: int = 1):
+    p = SigilProfiler(SigilConfig())
+    p.on_run_begin()
+    p.on_fn_enter("main")
+    p.on_fn_enter("kernel")
+    p.on_op(OpKind.INT, 100 * scale)
+    p.on_mem_write(0x100, 8 * scale)
+    p.on_fn_exit("kernel")
+    p.on_fn_enter("reader")
+    p.on_mem_read(0x100, 8 * scale)
+    p.on_fn_exit("reader")
+    if include_extra:
+        p.on_fn_enter("extra")
+        p.on_op(OpKind.FLOAT, 5)
+        p.on_fn_exit("extra")
+    p.on_fn_exit("main")
+    p.on_run_end()
+    return p.profile()
+
+
+class TestDiff:
+    def test_identical_profiles_zero_delta(self):
+        diff = diff_profiles(make_profile(False), make_profile(False))
+        assert all(d.ops_delta == 0 for d in diff.deltas)
+        assert diff.ops_ratio == pytest.approx(1.0)
+        assert not diff.appeared() and not diff.disappeared()
+
+    def test_scaling_detected(self):
+        diff = diff_profiles(make_profile(False, 1), make_profile(False, 3))
+        kernel = next(d for d in diff.deltas if d.name == "kernel")
+        assert kernel.ops == (100, 300)
+        assert kernel.ops_ratio == pytest.approx(3.0)
+        reader = next(d for d in diff.deltas if d.name == "reader")
+        assert reader.unique_input == (8, 24)
+
+    def test_appeared_and_disappeared(self):
+        diff = diff_profiles(make_profile(False), make_profile(True))
+        assert [d.name for d in diff.appeared()] == ["extra"]
+        assert not diff.disappeared()
+        reverse = diff_profiles(make_profile(True), make_profile(False))
+        assert [d.name for d in reverse.disappeared()] == ["extra"]
+
+    def test_matching_by_path_not_id(self):
+        """Context ids differ across runs; matching must use paths."""
+        a = make_profile(True)
+        b = make_profile(True)
+        diff = diff_profiles(a, b)
+        assert all(d.ops_delta == 0 for d in diff.deltas)
+
+    def test_ranking_by_absolute_change(self):
+        diff = diff_profiles(make_profile(False, 1), make_profile(False, 4))
+        top = diff.by_ops_change(1)
+        assert top[0].name == "kernel"
+
+
+class TestDiffCli:
+    def test_cli_diff(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.io import dump_profile
+
+        a, b = tmp_path / "a.profile", tmp_path / "b.profile"
+        dump_profile(make_profile(False, 1), a)
+        dump_profile(make_profile(True, 2), b)
+        code = main(["diff", str(a), str(b)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ops_delta" in out
+        assert "only in subject" in out

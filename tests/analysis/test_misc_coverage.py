@@ -1,0 +1,82 @@
+"""Coverage for smaller analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CDFG, inclusive_cost_table
+from repro.analysis.merge import MergedNode, compute_inclusive
+
+
+class TestInclusiveCostTable:
+    def test_every_context_present(self, toy_profiles):
+        sigil, cg = toy_profiles
+        table = inclusive_cost_table(sigil, cg)
+        assert set(table) == {n.id for n in sigil.contexts()}
+
+    def test_matches_individual_computation(self, toy_profiles):
+        sigil, cg = toy_profiles
+        table = inclusive_cost_table(sigil, cg)
+        a = sigil.tree.find(("main", "A"))
+        assert table[a.id] == compute_inclusive(sigil, cg, a)
+
+    def test_root_child_includes_everything(self, toy_profiles):
+        sigil, cg = toy_profiles
+        table = inclusive_cost_table(sigil, cg)
+        main = sigil.tree.find(("main",))
+        assert table[main.id].ops == sum(
+            fc.ops for fc in sigil.functions.values()
+        )
+
+    def test_merged_node_name(self, toy_profiles):
+        sigil, cg = toy_profiles
+        a = sigil.tree.find(("main", "A"))
+        merged = MergedNode(a, compute_inclusive(sigil, cg, a))
+        assert merged.name == "A"
+
+
+class TestCdfgEdgeQueries:
+    def test_edges_into_and_from(self, toy_profiles):
+        sigil, _ = toy_profiles
+        cdfg = CDFG(sigil)
+        c = sigil.tree.find(("main", "C")).id
+        into = cdfg.data_edges_into(c)
+        assert {e.writer for e in into} == {
+            sigil.tree.find(("main",)).id,
+            sigil.tree.find(("main", "A")).id,
+        }
+        outof = cdfg.data_edges_from(c)
+        assert all(e.writer == c for e in outof)
+
+    def test_local_edges_excluded_by_default(self):
+        from repro.core import SigilConfig, SigilProfiler
+
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("f")
+        p.on_mem_write(0x10, 8)
+        p.on_mem_read(0x10, 8)
+        p.on_fn_exit("f")
+        p.on_run_end()
+        cdfg = CDFG(p.profile())
+        assert cdfg.data_edges() == []
+        assert len(cdfg.data_edges(include_local=True)) == 1
+
+    def test_dot_max_nodes(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        dot = CDFG(sigil).to_dot(max_nodes=3)
+        node_lines = [
+            line for line in dot.splitlines()
+            if "[label=" in line and "->" not in line
+        ]
+        assert len(node_lines) == 3
+
+
+class TestProfileByName:
+    def test_by_name_sums_contexts(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        by_name = sigil.by_name()
+        mpn_total = sum(
+            sigil.fn_comm(n.id).ops for n in sigil.contexts_named("__mpn_mul")
+        )
+        assert by_name["__mpn_mul"].ops == mpn_total

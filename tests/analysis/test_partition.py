@@ -1,0 +1,133 @@
+"""Partitioning tests: breakeven-speedup (Eq. 1) and calltree trimming."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    BusModel,
+    PartitionPolicy,
+    breakeven_speedup,
+    trim_calltree,
+)
+
+
+class TestBreakevenSpeedup:
+    def test_equation_1(self):
+        # S = t_sw / (t_sw - (t_in + t_out))
+        assert breakeven_speedup(100.0, 5.0, 5.0) == pytest.approx(100 / 90)
+
+    def test_no_communication_is_unity(self):
+        assert breakeven_speedup(100.0, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_communication_dominates_is_infinite(self):
+        assert breakeven_speedup(10.0, 6.0, 6.0) == math.inf
+        assert breakeven_speedup(10.0, 10.0, 0.0) == math.inf
+
+    def test_zero_time_is_infinite(self):
+        assert breakeven_speedup(0.0, 0.0, 0.0) == math.inf
+
+    def test_monotone_in_communication(self):
+        values = [breakeven_speedup(100.0, t, t) for t in (0, 10, 20, 40)]
+        assert values == sorted(values)
+
+
+class TestBusModel:
+    def test_bandwidth(self):
+        bus = BusModel(bytes_per_cycle=8.0)
+        assert bus.offload_cycles(80) == pytest.approx(10.0)
+
+    def test_latency_per_transfer(self):
+        bus = BusModel(bytes_per_cycle=8.0, per_transfer_latency=100.0)
+        assert bus.offload_cycles(80, n_transfers=2) == pytest.approx(210.0)
+
+    def test_zero_bytes_free(self):
+        assert BusModel().offload_cycles(0) == 0.0
+
+
+class TestTrimming:
+    def test_toy_trim_produces_disjoint_candidates(self, toy_profiles):
+        sigil, cg = toy_profiles
+        trimmed = trim_calltree(sigil, cg)
+        ids_seen = set()
+        for cand in trimmed.candidates:
+            subtree = {n.id for n in cand.node.walk()}
+            assert not (subtree & ids_seen), "candidate subtrees overlap"
+            ids_seen |= subtree
+
+    def test_main_never_a_candidate(self, toy_profiles):
+        sigil, cg = toy_profiles
+        trimmed = trim_calltree(sigil, cg)
+        assert all(c.name != "main" for c in trimmed.candidates)
+
+    def test_coverage_bounded(self, toy_profiles):
+        sigil, cg = toy_profiles
+        trimmed = trim_calltree(sigil, cg)
+        assert 0.0 <= trimmed.coverage <= 1.0
+        assert trimmed.total_cycles == pytest.approx(cg.total_cycles())
+
+    def test_sorted_candidates(self, blackscholes_profiles):
+        sigil, cg = blackscholes_profiles
+        trimmed = trim_calltree(sigil, cg)
+        top = trimmed.sorted_candidates()
+        assert [c.breakeven for c in top] == sorted(c.breakeven for c in top)
+        worst = trimmed.sorted_candidates(worst_first=True)
+        assert worst[0].breakeven == max(c.breakeven for c in top)
+
+    def test_syscall_subtrees_stay_interior(self):
+        """A sub-tree containing I/O cannot be merged into an accelerator."""
+        from repro.callgrind import CallgrindCollector
+        from repro.core import SigilConfig, SigilProfiler
+        from repro.trace import ObserverPipe, OpKind
+
+        sigil = SigilProfiler(SigilConfig())
+        cg = CallgrindCollector()
+        pipe = ObserverPipe([sigil, cg])
+        pipe.on_run_begin()
+        pipe.on_fn_enter("main")
+        pipe.on_fn_enter("loader")
+        pipe.on_syscall_enter("read", 0)
+        pipe.on_syscall_exit("read", 100)
+        pipe.on_op(OpKind.INT, 50)
+        pipe.on_fn_enter("decode")
+        pipe.on_op(OpKind.INT, 500)
+        pipe.on_fn_exit("decode")
+        pipe.on_fn_exit("loader")
+        pipe.on_fn_exit("main")
+        pipe.on_run_end()
+        trimmed = trim_calltree(sigil.profile(), cg.profile)
+        names = {c.name for c in trimmed.candidates}
+        assert "loader" not in names
+        assert "decode" in names
+
+    def test_policy_never_merge(self, blackscholes_profiles):
+        sigil, cg = blackscholes_profiles
+        policy = PartitionPolicy(never_merge=frozenset({"main", "bs_thread"}))
+        trimmed = trim_calltree(sigil, cg, policy)
+        assert all(c.name != "bs_thread" for c in trimmed.candidates)
+        # With bs_thread interior, candidates come from below it (either the
+        # pricing kernel merged, or its libm leaves if splitting wins).
+        below = {"BlkSchlsEqEuroNoDiv", "CNDF", "__ieee754_exp",
+                 "__ieee754_expf", "__ieee754_logf", "__ieee754_sqrt"}
+        assert below & {c.name for c in trimmed.candidates}
+
+    def test_compute_dense_functions_rank_best(self, blackscholes_profiles):
+        """Table II/III shape: compute-dense kernels have breakeven near 1;
+        allocator/utility functions rank worst."""
+        sigil, cg = blackscholes_profiles
+        trimmed = trim_calltree(sigil, cg)
+        ranked = trimmed.sorted_candidates()
+        assert ranked[0].breakeven < 1.2
+        by_name = {c.name: c.breakeven for c in ranked}
+        assert "free" in by_name
+        assert by_name["free"] > ranked[0].breakeven
+
+    def test_trim_without_callgrind_gives_inf(self, toy_profiles):
+        """Without timing data every breakeven degenerates; the structure
+        still comes out."""
+        sigil, _ = toy_profiles
+        trimmed = trim_calltree(sigil, None)
+        assert trimmed.total_cycles == 0.0
+        assert trimmed.coverage == 0.0

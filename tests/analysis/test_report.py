@@ -1,0 +1,77 @@
+"""Renderer tests: tables, bar charts, stacked bars, histograms."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    format_si,
+    render_barchart,
+    render_histogram,
+    render_stacked_bars,
+    render_table,
+)
+
+
+class TestFormatSi:
+    def test_scales(self):
+        assert format_si(1234) == "1.23K"
+        assert format_si(1_234_567) == "1.23M"
+        assert format_si(2_000_000_000) == "2.00G"
+        assert format_si(42) == "42"
+        assert format_si(1.5) == "1.5"
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        out = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        header, rule, r1, r2 = lines
+        assert header.index("value") == r1.index("1")
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+
+class TestBarchart:
+    def test_bars_proportional(self):
+        out = render_barchart({"a": 10.0, "b": 5.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("#") == 10
+        assert b_line.count("#") == 5
+
+    def test_empty(self):
+        assert "(no data)" in render_barchart({})
+
+
+class TestStackedBars:
+    def test_percentages_shown(self):
+        data = {"bench": {"0": 0.5, "1-9": 0.25, ">9": 0.25}}
+        out = render_stacked_bars(data)
+        assert "0:50.0%" in out
+        assert "legend:" in out
+
+    def test_rows_normalised_independently(self):
+        data = {
+            "a": {"x": 2.0, "y": 2.0},
+            "b": {"x": 30.0, "y": 10.0},
+        }
+        out = render_stacked_bars(data)
+        assert "x:50.0%" in out
+        assert "x:75.0%" in out
+
+
+class TestHistogram:
+    def test_counts_displayed(self):
+        out = render_histogram([(0, 100), (1000, 10), (2000, 1)])
+        assert out.splitlines()[0].endswith("100")
+
+    def test_log_scale_compresses(self):
+        linear = render_histogram([(0, 1000), (1, 1)], log_scale=False, width=30)
+        logd = render_histogram([(0, 1000), (1, 1)], log_scale=True, width=30)
+        lin_small = linear.splitlines()[1].count("#")
+        log_small = logd.splitlines()[1].count("#")
+        assert log_small > lin_small
+
+    def test_empty(self):
+        assert "(no data)" in render_histogram([])

@@ -1,0 +1,121 @@
+"""Re-use post-processing tests (Figures 8-11 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    byte_reuse_breakdown,
+    lifetime_histogram,
+    top_reuse_functions,
+    top_unique_contributors,
+)
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace.events import OpKind
+
+
+class TestByteBreakdown:
+    def test_normalised_fractions_sum_to_one(self, vips_profile):
+        breakdown = byte_reuse_breakdown(vips_profile)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert set(breakdown) == {"0", "1-9", ">9"}
+
+    def test_raw_counts_available(self, vips_profile):
+        raw = byte_reuse_breakdown(vips_profile, normalised=False)
+        assert sum(raw.values()) > 0
+
+    def test_requires_reuse_mode(self, toy_profiles):
+        p = SigilProfiler(SigilConfig())  # no reuse mode
+        p.on_run_begin()
+        p.on_run_end()
+        with pytest.raises(ValueError):
+            byte_reuse_breakdown(p.profile())
+
+
+class TestRanking:
+    def test_top_functions_sorted_by_contribution(self, vips_profile):
+        rankings = top_reuse_functions(vips_profile, n=8)
+        windows = [r.reused_windows for r in rankings]
+        assert windows == sorted(windows, reverse=True)
+        assert all(r.reused_windows > 0 for r in rankings)
+
+    def test_vips_conv_gen_contexts_distinguished(self, vips_profile):
+        """Figure 9 separates conv_gen(1) and conv_gen(2)."""
+        rankings = top_reuse_functions(vips_profile, n=10)
+        labels = {r.label for r in rankings}
+        assert "conv_gen(1)" in labels
+        assert "conv_gen(2)" in labels
+
+    def test_average_lifetime_consistent(self, vips_profile):
+        for r in top_reuse_functions(vips_profile, n=5):
+            stats = vips_profile.reuse.per_fn[r.node.id]
+            assert r.average_lifetime == pytest.approx(
+                stats.lifetime_sum / stats.reused_windows
+            )
+
+    def test_top_unique_contributors_shares(self, vips_profile):
+        contributors = top_unique_contributors(vips_profile, n=10)
+        shares = [share for _, _, share in contributors]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) <= 1.0 + 1e-9
+
+
+class TestHistogram:
+    def test_histogram_sorted_by_bin(self, vips_profile):
+        conv = vips_profile.tree.by_name("conv_gen")[0]
+        hist = lifetime_histogram(vips_profile, conv.id)
+        starts = [s for s, _ in hist]
+        assert starts == sorted(starts)
+        assert all(count > 0 for _, count in hist)
+
+    def test_histogram_totals_match_windows(self, vips_profile):
+        conv = vips_profile.tree.by_name("conv_gen")[0]
+        hist = lifetime_histogram(vips_profile, conv.id)
+        stats = vips_profile.reuse.per_fn[conv.id]
+        assert sum(c for _, c in hist) == stats.reused_windows
+
+    def test_unknown_context_empty(self, vips_profile):
+        assert lifetime_histogram(vips_profile, 10_000) == []
+
+
+class TestVipsShapes:
+    """The qualitative Figure 9-11 claims on our miniature vips."""
+
+    def test_conv_gen_lifetimes_exceed_xyz2lab(self, vips_profile):
+        """conv_gen: long per-tile windows; imb_XYZ2Lab: short per-row
+        windows ("peak at 0 ... short tail")."""
+        conv = max(
+            vips_profile.tree.by_name("conv_gen"),
+            key=lambda n: vips_profile.reuse.per_fn[n.id].reused_windows,
+        )
+        lab = vips_profile.tree.by_name("imb_XYZ2Lab")[0]
+        conv_stats = vips_profile.reuse.per_fn[conv.id]
+        lab_stats = vips_profile.reuse.per_fn[lab.id]
+        assert conv_stats.average_lifetime > 5 * lab_stats.average_lifetime
+
+    def test_xyz2lab_histogram_peaks_at_zero_bin(self, vips_profile):
+        lab = vips_profile.tree.by_name("imb_XYZ2Lab")[0]
+        hist = dict(lifetime_histogram(vips_profile, lab.id))
+        assert hist, "expected reuse in imb_XYZ2Lab"
+        peak_bin = max(hist, key=hist.get)
+        assert peak_bin == 0
+
+    def test_conv_gen_histogram_has_tail(self, vips_profile):
+        conv = max(
+            vips_profile.tree.by_name("conv_gen"),
+            key=lambda n: vips_profile.reuse.per_fn[n.id].reused_windows,
+        )
+        hist = lifetime_histogram(vips_profile, conv.id)
+        lab = vips_profile.tree.by_name("imb_XYZ2Lab")[0]
+        lab_hist = lifetime_histogram(vips_profile, lab.id)
+        assert hist[-1][0] > lab_hist[-1][0], "conv_gen tail should be longer"
+
+    def test_big_three_contribute_most_unique_bytes(self, vips_profile):
+        """affine_gen, conv_gen and imb_XYZ2Lab lead the unique-byte
+        contributors, "with each of their individual contributions being
+        close to 10%" and the rest spread thinner."""
+        top = top_unique_contributors(vips_profile, n=6)
+        names = {label.split("(")[0] for label, _, _ in top}
+        assert {"affine_gen", "conv_gen", "imb_XYZ2Lab"} <= names
+        shares = [share for _, _, share in top]
+        assert all(0.05 < s < 0.30 for s in shares)

@@ -1,0 +1,61 @@
+"""Calling-context tree tests."""
+
+from __future__ import annotations
+
+from repro.common.cct import ROOT_NAME, ContextTree
+
+
+class TestContextTree:
+    def test_interning(self):
+        tree = ContextTree()
+        a1 = tree.child(tree.root, "a")
+        a2 = tree.child(tree.root, "a")
+        assert a1 is a2
+        assert len(tree) == 2
+
+    def test_dense_ids(self):
+        tree = ContextTree()
+        nodes = [tree.child(tree.root, f"f{i}") for i in range(5)]
+        assert [n.id for n in nodes] == [1, 2, 3, 4, 5]
+        assert all(tree.node(n.id) is n for n in nodes)
+
+    def test_path(self):
+        tree = ContextTree()
+        a = tree.child(tree.root, "a")
+        b = tree.child(a, "b")
+        c = tree.child(b, "c")
+        assert c.path == ("a", "b", "c")
+        assert tree.root.path == ()
+
+    def test_depth(self):
+        tree = ContextTree()
+        a = tree.child(tree.root, "a")
+        b = tree.child(a, "b")
+        assert (tree.root.depth, a.depth, b.depth) == (0, 1, 2)
+
+    def test_find(self):
+        tree = ContextTree()
+        a = tree.child(tree.root, "a")
+        b = tree.child(a, "b")
+        assert tree.find(("a", "b")) is b
+        assert tree.find(("a", "zzz")) is None
+        assert tree.find(()) is tree.root
+
+    def test_by_name_across_contexts(self):
+        tree = ContextTree()
+        a = tree.child(tree.root, "a")
+        b = tree.child(tree.root, "b")
+        d1 = tree.child(a, "d")
+        d2 = tree.child(b, "d")
+        assert set(tree.by_name("d")) == {d1, d2}
+
+    def test_walk_covers_subtree(self):
+        tree = ContextTree()
+        a = tree.child(tree.root, "a")
+        b = tree.child(a, "b")
+        c = tree.child(a, "c")
+        d = tree.child(b, "d")
+        assert {n.id for n in a.walk()} == {a.id, b.id, c.id, d.id}
+
+    def test_root_name(self):
+        assert ContextTree().root.name == ROOT_NAME

@@ -1,0 +1,92 @@
+"""Shared fixtures: toy programs and cached workload profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.callgrind import CallgrindCollector
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace import ObserverPipe
+from repro.vm import Machine, ProgramBuilder
+from repro.workloads import get_workload
+
+
+def build_toy_program():
+    """The spirit of the paper's toy program (Figures 1-3).
+
+    main writes data consumed by A and C; A produces for C and D; C produces
+    for D; D is called from two different contexts (D1/D2 in Figure 2).
+    """
+    pb = ProgramBuilder()
+
+    main = pb.function("main")
+    buf = main.const(0x1000)
+    x = main.const(5)
+    main.store(x, buf, offset=0, size=8)  # main -> A
+    main.store(x, buf, offset=8, size=8)  # main -> C
+    main.call("A", args=[buf])
+    main.call("C", args=[buf])
+    main.ret()
+
+    a = pb.function("A", n_params=1)
+    v = a.load(a.param(0), offset=0, size=8)
+    w = a.addi(v, 1)
+    a.store(w, a.param(0), offset=16, size=8)  # A -> C
+    a.store(w, a.param(0), offset=24, size=8)  # A -> D (via context 1)
+    a.call("D", args=[a.param(0)])
+    a.ret()
+
+    c = pb.function("C", n_params=1)
+    u = c.load(c.param(0), offset=8, size=8)   # from main
+    t = c.load(c.param(0), offset=16, size=8)  # from A
+    s = c.alu("add", u, t)
+    c.store(s, c.param(0), offset=32, size=8)  # C -> D (via context 2)
+    c.call("D", args=[c.param(0)])
+    c.ret()
+
+    d = pb.function("D", n_params=1)
+    p = d.load(d.param(0), offset=24, size=8)
+    q = d.load(d.param(0), offset=32, size=8)
+    r = d.alu("add", p, q)
+    d.store(r, d.param(0), offset=40, size=8)
+    d.ret()
+
+    return pb.build()
+
+
+@pytest.fixture(scope="session")
+def toy_program():
+    return build_toy_program()
+
+
+def profile_toy(config: SigilConfig | None = None):
+    """Run the toy program under Sigil (+Callgrind); returns (sigil, cg)."""
+    program = build_toy_program()
+    sigil = SigilProfiler(
+        config if config is not None else SigilConfig(reuse_mode=True, event_mode=True)
+    )
+    cg = CallgrindCollector()
+    Machine().run(program, ObserverPipe([sigil, cg]))
+    return sigil.profile(), cg.profile
+
+
+@pytest.fixture(scope="session")
+def toy_profiles():
+    return profile_toy()
+
+
+@pytest.fixture(scope="session")
+def blackscholes_profiles():
+    """Cached blackscholes simsmall run with full Sigil modes + Callgrind."""
+    sigil = SigilProfiler(SigilConfig(reuse_mode=True, event_mode=True))
+    cg = CallgrindCollector()
+    get_workload("blackscholes", "simsmall").run(ObserverPipe([sigil, cg]))
+    return sigil.profile(), cg.profile
+
+
+@pytest.fixture(scope="session")
+def vips_profile():
+    """Cached vips simsmall reuse-mode profile (Figures 9-11 source)."""
+    sigil = SigilProfiler(SigilConfig(reuse_mode=True))
+    get_workload("vips", "simsmall").run(sigil)
+    return sigil.profile()

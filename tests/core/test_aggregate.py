@@ -1,0 +1,102 @@
+"""CommMatrix unit tests: edges, classification views, boundary accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.cct import INVALID_CTX
+from repro.core.aggregate import CommEdge, CommMatrix, FnComm
+
+
+class TestEdges:
+    def test_add_accumulates(self):
+        m = CommMatrix()
+        m.add(1, 2, unique=8)
+        m.add(1, 2, unique=4, nonunique=16)
+        edge = m.get(1, 2)
+        assert edge.unique_bytes == 12
+        assert edge.nonunique_bytes == 16
+        assert edge.total_bytes == 28
+
+    def test_get_missing_is_zero(self):
+        m = CommMatrix()
+        edge = m.get(5, 6)
+        assert edge.unique_bytes == 0 and edge.total_bytes == 0
+
+    def test_len_counts_pairs(self):
+        m = CommMatrix()
+        m.add(1, 2, unique=1)
+        m.add(2, 1, unique=1)
+        m.add(1, 2, nonunique=1)
+        assert len(m) == 2
+
+
+class TestClassificationViews:
+    def make(self):
+        m = CommMatrix()
+        m.add(1, 1, unique=10)              # local
+        m.add(2, 1, unique=20, nonunique=5)  # input from 2
+        m.add(INVALID_CTX, 1, unique=30)     # program input
+        m.add(1, 3, unique=40)               # output to 3
+        return m
+
+    def test_local(self):
+        assert self.make().unique_local_bytes(1) == 10
+
+    def test_input_includes_program_input(self):
+        m = self.make()
+        assert m.unique_input_bytes(1) == 50
+        assert set(m.input_edges(1)) == {2, INVALID_CTX}
+
+    def test_output(self):
+        m = self.make()
+        assert m.unique_output_bytes(1) == 40
+        assert set(m.output_edges(1)) == {3}
+
+    def test_views_do_not_overlap(self):
+        m = self.make()
+        total_in_edges = sum(e.total_bytes for e in m.input_edges(1).values())
+        local = m.local_edge(1).total_bytes
+        # 55 external input + 10 local == all bytes read by ctx 1.
+        assert total_in_edges + local == 65
+
+
+class TestBoundary:
+    def make(self):
+        # Sub-tree {1, 2}: external producer 3, external consumer 4.
+        m = CommMatrix()
+        m.add(1, 2, unique=100)             # internal: absorbed
+        m.add(3, 2, unique=8)               # input
+        m.add(INVALID_CTX, 1, unique=16)    # program input
+        m.add(2, 4, unique=24)              # output
+        m.add(2, 4, nonunique=999)          # re-reads don't count (accelerator buffer)
+        return m
+
+    def test_internal_edges_absorbed(self):
+        inp, out = self.make().boundary_bytes({1, 2})
+        assert inp == 24  # 8 + 16 program input (default included)
+        assert out == 24
+
+    def test_program_input_excludable(self):
+        inp, out = self.make().boundary_bytes({1, 2}, include_program_input=False)
+        assert inp == 8
+        assert out == 24
+
+    def test_nonunique_never_counts(self):
+        _, out = self.make().boundary_bytes({1, 2})
+        assert out == 24  # the 999 non-unique bytes are free
+
+    def test_whole_graph_has_no_internal_boundary(self):
+        m = self.make()
+        inp, out = m.boundary_bytes({1, 2, 3, 4}, include_program_input=False)
+        assert inp == 0 and out == 0
+
+
+class TestFnComm:
+    def test_ops_property(self):
+        fc = FnComm(iops=3, flops=4)
+        assert fc.ops == 7
+
+    def test_defaults_zero(self):
+        fc = FnComm()
+        assert fc.reads == fc.read_bytes == fc.syscall_input_bytes == 0

@@ -1,0 +1,130 @@
+"""Re-use distance analysis tests, including the LRU-equivalence property."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import COLD, ReuseDistanceProfiler
+
+
+def touch_lines(profiler: ReuseDistanceProfiler, lines) -> None:
+    for line in lines:
+        profiler.on_mem_read(line * profiler.line_size, 1)
+
+
+class TestStackDistance:
+    def test_first_access_is_cold(self):
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [5])
+        assert p.histogram == {COLD: 1}
+
+    def test_immediate_rereference_distance_zero(self):
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [5, 5])
+        assert p.histogram[0] == 1
+
+    def test_classic_sequence(self):
+        # a b c a : a's re-reference skips over {b, c} -> distance 2.
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [1, 2, 3, 1])
+        assert p.histogram[2] == 1
+
+    def test_repeats_do_not_inflate_distance(self):
+        # a b b b a : only ONE distinct line between the two a's.
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [1, 2, 2, 2, 1])
+        assert p.histogram[1] == 1
+
+    def test_straddling_access_touches_lines(self):
+        p = ReuseDistanceProfiler(64)
+        p.on_mem_read(60, 8)
+        assert p.accesses == 2
+        assert p.cold_misses == 2
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceProfiler(33)
+
+
+class TestMissRatio:
+    def test_cold_always_misses(self):
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [1, 2, 3])
+        assert p.miss_ratio(100) == 1.0
+
+    def test_capacity_one_keeps_only_last_line(self):
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [1, 1, 2, 2, 1])
+        # hits: the immediate re-touches of 1 and 2 (distance 0); misses:
+        # 2 colds + the final 1 (distance 1 >= capacity 1).
+        assert p.miss_ratio(1) == pytest.approx(3 / 5)
+
+    def test_curve_is_monotone(self):
+        p = ReuseDistanceProfiler()
+        touch_lines(p, [1, 2, 3, 1, 2, 3, 4, 1])
+        curve = p.miss_ratio_curve([1, 2, 4, 8, 16])
+        ratios = [r for _, r in curve]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceProfiler().miss_ratio(0)
+
+
+class _LRUCache:
+    """Reference fully-associative LRU cache."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lines: "OrderedDict[int, bool]" = OrderedDict()
+
+    def access(self, line: int) -> bool:
+        """Returns True on miss."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return False
+        self._lines[line] = True
+        if len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+        return True
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=300),
+    st.sampled_from([1, 2, 4, 8, 16]),
+)
+@settings(max_examples=150, deadline=None)
+def test_miss_ratio_equals_lru_simulation(lines, capacity):
+    """The defining property: stack distance >= C iff a C-line LRU misses."""
+    profiler = ReuseDistanceProfiler()
+    cache = _LRUCache(capacity)
+    touch_lines(profiler, lines)
+    misses = sum(cache.access(line) for line in lines)
+    assert profiler.miss_ratio(capacity) == pytest.approx(misses / len(lines))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_histogram_accounts_every_access(lines):
+    profiler = ReuseDistanceProfiler()
+    touch_lines(profiler, lines)
+    assert sum(profiler.histogram.values()) == len(lines)
+    assert profiler.cold_misses == len(set(lines))
+
+
+class TestOnWorkloads:
+    def test_vips_curve_shows_working_set_knee(self):
+        """Long re-use lifetimes (conv_gen) -> the miss-ratio curve drops
+        substantially once the working set fits."""
+        from repro.workloads import get_workload
+
+        profiler = ReuseDistanceProfiler(64)
+        get_workload("vips", "simsmall").run(profiler)
+        small = profiler.miss_ratio(4)
+        large = profiler.miss_ratio(4096)
+        assert small > large
+        assert large <= profiler.cold_misses / profiler.accesses + 1e-9

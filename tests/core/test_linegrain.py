@@ -1,0 +1,65 @@
+"""Line-granularity re-use mode tests (section IV-B3, Figure 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linegrain import LineReuseProfiler
+from repro.trace.events import OpKind
+
+
+class TestLineTracking:
+    def test_straddling_access_touches_both_lines(self):
+        p = LineReuseProfiler(64)
+        p.on_mem_read(60, 8)  # bytes 60..67 cross the line at 64
+        assert p.n_lines == 2
+
+    def test_reuse_counts_repeat_touches(self):
+        p = LineReuseProfiler(64)
+        p.on_mem_write(0, 8)
+        p.on_mem_read(8, 8)    # same line
+        p.on_mem_read(32, 16)  # same line
+        records = p.records()
+        assert len(records) == 1
+        assert records[0].accesses == 3
+        assert records[0].reuse_count == 2
+
+    def test_lifetime_spans_first_to_last(self):
+        p = LineReuseProfiler(64)
+        p.on_mem_write(0, 8)
+        p.on_op(OpKind.INT, 100)
+        p.on_mem_read(0, 8)
+        rec = p.records()[0]
+        assert rec.lifetime == 101
+
+    def test_rewrites_do_not_retire_lines(self):
+        """A line is a fixed container: overwrites keep accumulating."""
+        p = LineReuseProfiler(64)
+        for _ in range(5):
+            p.on_mem_write(0, 64)
+        assert p.records()[0].accesses == 5
+
+    def test_breakdown_buckets(self):
+        p = LineReuseProfiler(64)
+        p.on_mem_read(0, 8)            # line 0: 0 re-uses
+        for _ in range(12):
+            p.on_mem_read(64, 8)       # line 1: 11 re-uses
+        breakdown = p.reuse_breakdown()
+        assert breakdown["0"] == 1
+        assert breakdown["10-99"] == 1
+        assert sum(breakdown.values()) == 2
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            LineReuseProfiler(48)
+
+
+class TestLineVsByteGranularity:
+    def test_adjacent_bytes_share_line_reuse(self):
+        """Two distinct bytes on one line count as line re-use even though
+        byte-level reuse is zero -- the architecture-dependence the paper
+        notes for this mode."""
+        p = LineReuseProfiler(64)
+        p.on_mem_read(0, 1)
+        p.on_mem_read(1, 1)
+        assert p.records()[0].reuse_count == 1

@@ -1,0 +1,152 @@
+"""Event-mode tests: segments and dependency edges (section II-C2, Fig 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.core.segments import EDGE_CALL, EDGE_DATA, EDGE_ORDER, EventLog
+from repro.trace.events import OpKind
+
+
+def _profiler() -> SigilProfiler:
+    return SigilProfiler(SigilConfig(event_mode=True))
+
+
+class TestSegmentCreation:
+    def test_resumed_caller_gets_new_segment(self):
+        """Figure 3: 'we add the second occurrence of A as a separate node
+        although it belongs to the same call'."""
+        p = _profiler()
+        p.on_run_begin()
+        p.on_fn_enter("A")
+        p.on_op(OpKind.INT, 10)
+        p.on_fn_enter("C")
+        p.on_op(OpKind.INT, 18)
+        p.on_fn_exit("C")
+        p.on_op(OpKind.INT, 5)
+        p.on_fn_exit("A")
+        p.on_run_end()
+        events = p.profile().events
+        a_ctx = p.tree.by_name("A")[0].id
+        a_segments = [s for s in events.segments if s.ctx_id == a_ctx]
+        assert len(a_segments) == 2
+        assert a_segments[0].call_id == a_segments[1].call_id
+        assert [s.ops for s in a_segments] == [10, 5]
+
+    def test_order_edge_enforces_same_call_order(self):
+        """'We also add a dependency link to the previous occurrence of A to
+        conservatively enforce order between regions within A.'"""
+        p = _profiler()
+        p.on_run_begin()
+        p.on_fn_enter("A")
+        p.on_fn_enter("C")
+        p.on_fn_exit("C")
+        p.on_fn_exit("A")
+        p.on_run_end()
+        events = p.profile().events
+        a_ctx = p.tree.by_name("A")[0].id
+        a_ids = [s.seg_id for s in events.segments if s.ctx_id == a_ctx]
+        order = [
+            e for e in events.edges()
+            if e.kind == EDGE_ORDER and e.src == a_ids[0] and e.dst == a_ids[1]
+        ]
+        assert len(order) == 1
+
+    def test_call_edge_from_caller_segment(self):
+        p = _profiler()
+        p.on_run_begin()
+        p.on_fn_enter("A")
+        p.on_fn_enter("C")
+        p.on_fn_exit("C")
+        p.on_fn_exit("A")
+        p.on_run_end()
+        events = p.profile().events
+        a0 = next(s for s in events.segments if s.ctx_id == p.tree.by_name("A")[0].id)
+        c0 = next(s for s in events.segments if s.ctx_id == p.tree.by_name("C")[0].id)
+        assert any(
+            e.kind == EDGE_CALL and e.src == a0.seg_id and e.dst == c0.seg_id
+            for e in events.edges()
+        )
+
+
+class TestDataEdges:
+    def test_data_edge_weighted_by_unique_bytes(self):
+        p = _profiler()
+        p.on_run_begin()
+        p.on_fn_enter("A")
+        p.on_mem_write(0x100, 24)
+        p.on_fn_exit("A")
+        p.on_fn_enter("D")
+        p.on_mem_read(0x100, 24)
+        p.on_mem_read(0x100, 24)  # re-read adds no new edge weight
+        p.on_fn_exit("D")
+        p.on_run_end()
+        events = p.profile().events
+        data = [e for e in events.edges() if e.kind == EDGE_DATA]
+        assert len(data) == 1
+        assert data[0].bytes == 24
+
+    def test_consumption_identifies_producing_segment(self):
+        """'Node D is then added when it consumes data from that particular
+        call of A' -- the edge points to the exact producing segment."""
+        p = _profiler()
+        p.on_run_begin()
+        for i in range(2):
+            p.on_fn_enter("A")
+            p.on_mem_write(0x100 + 64 * i, 8)
+            p.on_fn_exit("A")
+        p.on_fn_enter("D")
+        p.on_mem_read(0x100 + 64, 8)  # from the SECOND call of A
+        p.on_fn_exit("D")
+        p.on_run_end()
+        events = p.profile().events
+        data = [e for e in events.edges() if e.kind == EDGE_DATA]
+        assert len(data) == 1
+        producer = events.segments[data[0].src]
+        a_segs = [
+            s for s in events.segments
+            if s.ctx_id == p.tree.by_name("A")[0].id
+        ]
+        assert producer.seg_id == a_segs[1].seg_id
+
+    def test_edges_point_forward_in_time(self):
+        p = _profiler()
+        p.on_run_begin()
+        p.on_fn_enter("A")
+        p.on_mem_write(0x100, 8)
+        p.on_fn_enter("B")
+        p.on_mem_read(0x100, 8)
+        p.on_mem_write(0x200, 8)
+        p.on_fn_exit("B")
+        p.on_mem_read(0x200, 8)
+        p.on_fn_exit("A")
+        p.on_run_end()
+        events = p.profile().events
+        for e in events.edges():
+            assert e.src < e.dst
+
+
+class TestEventLogUnit:
+    def test_data_bytes_aggregate_per_pair(self):
+        log = EventLog()
+        log.new_segment(0, 0, 0)
+        log.new_segment(1, 1, 1)
+        log.add_data_bytes(0, 1, 8)
+        log.add_data_bytes(0, 1, 16)
+        data = [e for e in log.edges() if e.kind == EDGE_DATA]
+        assert len(data) == 1 and data[0].bytes == 24
+
+    def test_self_edges_ignored(self):
+        log = EventLog()
+        log.new_segment(0, 0, 0)
+        log.add_data_bytes(0, 0, 8)
+        assert not [e for e in log.edges() if e.kind == EDGE_DATA]
+
+    def test_total_ops(self):
+        log = EventLog()
+        s1 = log.new_segment(0, 0, 0)
+        s2 = log.new_segment(1, 1, 0)
+        s1.ops = 7
+        s2.ops = 5
+        assert log.total_ops() == 12

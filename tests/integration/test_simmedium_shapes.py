@@ -1,0 +1,72 @@
+"""Scale robustness: the evaluation's qualitative shapes hold at simmedium.
+
+The benches assert the paper's claims at simsmall; these tests re-check the
+headline orderings at the next input scale, guarding against conclusions
+that only hold at one size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SigilConfig, profile_workload
+from repro.analysis import (
+    analyze_critical_path,
+    byte_reuse_breakdown,
+    top_reuse_functions,
+    trim_calltree,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_runs():
+    cfg = SigilConfig(reuse_mode=True, event_mode=True)
+    names = ("blackscholes", "canneal", "fluidanimate", "streamcluster", "vips")
+    return {name: profile_workload(name, "simmedium", config=cfg) for name in names}
+
+
+class TestPartitioningShapes:
+    def test_best_candidates_near_one(self, medium_runs):
+        for name in ("blackscholes", "canneal"):
+            run = medium_runs[name]
+            trimmed = trim_calltree(run.sigil, run.callgrind)
+            best = trimmed.sorted_candidates()[0]
+            assert best.breakeven < 1.3, name
+
+    def test_canneal_coverage_still_low(self, medium_runs):
+        run = medium_runs["canneal"]
+        trimmed = trim_calltree(run.sigil, run.callgrind)
+        assert trimmed.coverage < 0.65
+
+    def test_utility_functions_still_worst(self, medium_runs):
+        run = medium_runs["blackscholes"]
+        trimmed = trim_calltree(run.sigil, run.callgrind)
+        worst = trimmed.sorted_candidates(worst_first=True)[:3]
+        assert {"free", "dl_addr", "std::vector"} & {c.name for c in worst}
+
+
+class TestCriticalPathShapes:
+    def test_fluidanimate_stays_serial(self, medium_runs):
+        result = analyze_critical_path(medium_runs["fluidanimate"].sigil.events)
+        assert result.max_parallelism < 2.0
+
+    def test_streamcluster_stays_parallel(self, medium_runs):
+        run = medium_runs["streamcluster"]
+        result = analyze_critical_path(run.sigil.events)
+        assert result.max_parallelism > 5.0
+        chain = result.path_functions(run.sigil.tree)
+        assert "drand48_iterate" in chain and "pkmedian" in chain
+
+
+class TestReuseShapes:
+    def test_vips_conv_gen_still_tops_lifetimes(self, medium_runs):
+        profile = medium_runs["vips"].sigil
+        rankings = top_reuse_functions(profile, n=6)
+        floor = max(r.reused_windows for r in rankings) * 0.01
+        major = [r for r in rankings if r.reused_windows >= floor]
+        top = max(major, key=lambda r: r.average_lifetime)
+        assert top.label.startswith("conv_gen")
+
+    def test_blackscholes_still_reuse_free(self, medium_runs):
+        breakdown = byte_reuse_breakdown(medium_runs["blackscholes"].sigil)
+        assert breakdown["0"] > 0.9

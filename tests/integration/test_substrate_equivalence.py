@@ -1,0 +1,139 @@
+"""Substrate equivalence: the VM and the traced-Python runtime must produce
+identical communication classification for the same program logic.
+
+The paper's claim that Sigil "can use any framework that identifies
+communicating entities" only holds if the methodology is
+substrate-independent.  This differential test implements one program --
+a producer filling a buffer, a consumer reducing it (with a re-read), and a
+finalizer overwriting part of it -- on both substrates, with identical
+function names and identical memory access sequences, and requires the
+communication matrices to match byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.runtime import TracedRuntime
+from repro.vm import Machine, ProgramBuilder
+
+BASE = 0x4000
+N = 8  # 8-byte elements
+
+
+def run_vm_version():
+    pb = ProgramBuilder()
+
+    main = pb.function("main")
+    buf = main.const(BASE)
+    main.call("produce", args=[buf])
+    main.call("consume", args=[buf])
+    main.call("finalize", args=[buf])
+    main.ret()
+
+    produce = pb.function("produce", n_params=1)
+    for i in range(N):
+        v = produce.const(i * 3)
+        produce.store(v, produce.param(0), offset=8 * i, size=8)
+    produce.ret()
+
+    consume = pb.function("consume", n_params=1)
+    acc = consume.const(0)
+    for i in range(N):
+        v = consume.load(consume.param(0), offset=8 * i, size=8)
+        consume.alu("add", acc, v, dst=acc)
+    # Re-read the first element (non-unique).
+    consume.load(consume.param(0), offset=0, size=8)
+    consume.store(acc, consume.param(0), offset=8 * N, size=8)
+    consume.ret()
+
+    finalize = pb.function("finalize", n_params=1)
+    total = finalize.load(finalize.param(0), offset=8 * N, size=8)
+    finalize.store(total, finalize.param(0), offset=0, size=8)  # overwrite
+    finalize.load(finalize.param(0), offset=0, size=8)          # own write
+    finalize.ret()
+
+    profiler = SigilProfiler(SigilConfig())
+    Machine().run(pb.build(), profiler)
+    return profiler.profile()
+
+
+def run_runtime_version():
+    profiler = SigilProfiler(SigilConfig())
+    rt = TracedRuntime(profiler)
+    with rt.run("main"):
+        with rt.frame("produce"):
+            for i in range(N):
+                rt.observer.on_mem_write(BASE + 8 * i, 8)
+        with rt.frame("consume"):
+            for i in range(N):
+                rt.observer.on_mem_read(BASE + 8 * i, 8)
+            rt.observer.on_mem_read(BASE, 8)
+            rt.observer.on_mem_write(BASE + 8 * N, 8)
+        with rt.frame("finalize"):
+            rt.observer.on_mem_read(BASE + 8 * N, 8)
+            rt.observer.on_mem_write(BASE, 8)
+            rt.observer.on_mem_read(BASE, 8)
+    return profiler.profile()
+
+
+def comm_by_paths(profile):
+    def path_of(ctx):
+        return None if ctx < 0 else profile.tree.node(ctx).path
+
+    return {
+        (path_of(w), path_of(r)): (e.unique_bytes, e.nonunique_bytes)
+        for (w, r), e in profile.comm.items()
+    }
+
+
+class TestSubstrateEquivalence:
+    def test_comm_matrices_identical(self):
+        vm = comm_by_paths(run_vm_version())
+        py = comm_by_paths(run_runtime_version())
+        assert vm == py
+
+    def test_expected_classification(self):
+        prof = run_vm_version()
+        produce = prof.tree.find(("main", "produce"))
+        consume = prof.tree.find(("main", "consume"))
+        finalize = prof.tree.find(("main", "finalize"))
+        edge = prof.comm.get(produce.id, consume.id)
+        assert edge.unique_bytes == 8 * N
+        assert edge.nonunique_bytes == 8  # the deliberate re-read
+        assert prof.comm.get(consume.id, finalize.id).unique_bytes == 8
+        # finalize reads its own overwrite: local.
+        assert prof.unique_local_bytes(finalize.id) == 8
+
+    def test_memory_traffic_totals_match(self):
+        vm = run_vm_version()
+        py = run_runtime_version()
+        for path in (("main", "produce"), ("main", "consume"), ("main", "finalize")):
+            a = vm.fn_comm(vm.tree.find(path).id)
+            b = py.fn_comm(py.tree.find(path).id)
+            assert (a.reads, a.read_bytes, a.writes, a.write_bytes) == (
+                b.reads, b.read_bytes, b.writes, b.write_bytes
+            ), path
+
+
+class TestRobustness:
+    def test_unbalanced_exit_raises_clear_error(self):
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("f")
+        p.on_fn_exit("f")
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            p.on_fn_exit("f")
+
+    def test_profile_idempotent(self):
+        p = SigilProfiler(SigilConfig(reuse_mode=True))
+        p.on_run_begin()
+        p.on_fn_enter("f")
+        p.on_mem_write(0x10, 8)
+        p.on_mem_read(0x10, 8)
+        p.on_fn_exit("f")
+        p.on_run_end()
+        first = p.profile().reuse.byte_breakdown()
+        second = p.profile().reuse.byte_breakdown()
+        assert first == second  # finalisation must not double-retire

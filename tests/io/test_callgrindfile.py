@@ -1,0 +1,69 @@
+"""Callgrind-profile persistence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import dump_callgrind, dumps_callgrind, load_callgrind, loads_callgrind
+
+
+class TestRoundTrip:
+    def test_text_stable(self, toy_profiles):
+        _, cg = toy_profiles
+        text = dumps_callgrind(cg)
+        assert dumps_callgrind(loads_callgrind(text)) == text
+
+    def test_costs_preserved(self, toy_profiles):
+        _, cg = toy_profiles
+        loaded = loads_callgrind(dumps_callgrind(cg))
+        for node in cg.tree.nodes:
+            if node.parent is None:
+                continue
+            other = loaded.tree.find(node.path)
+            assert other is not None
+            a = cg.costs_of(node.id)
+            b = loaded.costs_of(other.id)
+            assert (a.instructions, a.iops, a.flops, a.l1_misses) == (
+                b.instructions, b.iops, b.flops, b.l1_misses
+            )
+
+    def test_cycle_estimates_survive(self, toy_profiles):
+        _, cg = toy_profiles
+        loaded = loads_callgrind(dumps_callgrind(cg))
+        assert loaded.total_cycles() == pytest.approx(cg.total_cycles())
+
+    def test_model_preserved(self, toy_profiles):
+        _, cg = toy_profiles
+        loaded = loads_callgrind(dumps_callgrind(cg))
+        assert loaded.cycle_model == cg.cycle_model
+
+    def test_file_roundtrip(self, toy_profiles, tmp_path):
+        _, cg = toy_profiles
+        path = tmp_path / "toy.cg"
+        dump_callgrind(cg, path)
+        assert load_callgrind(path).total_cycles() == pytest.approx(cg.total_cycles())
+
+    def test_offline_partitioning_matches_live(self, blackscholes_profiles):
+        """The full partitioning study must be reproducible from files."""
+        from repro.analysis import trim_calltree
+        from repro.io import dumps_profile, loads_profile
+
+        sigil, cg = blackscholes_profiles
+        sigil2 = loads_profile(dumps_profile(sigil))
+        cg2 = loads_callgrind(dumps_callgrind(cg))
+        live = trim_calltree(sigil, cg)
+        offline = trim_calltree(sigil2, cg2)
+        live_rank = [(c.name, round(c.breakeven, 9)) for c in live.sorted_candidates()]
+        off_rank = [(c.name, round(c.breakeven, 9)) for c in offline.sorted_candidates()]
+        assert live_rank == off_rank
+        assert offline.coverage == pytest.approx(live.coverage)
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            loads_callgrind("nope\n")
+
+    def test_unknown_line(self):
+        with pytest.raises(ValueError):
+            loads_callgrind("# callgrind-equiv 1\nwat 1 2\n")

@@ -1,0 +1,68 @@
+"""Event-file persistence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_critical_path
+from repro.core.segments import EDGE_DATA, EventLog
+from repro.io import dump_events, dumps_events, load_events, loads_events
+
+
+def make_log() -> EventLog:
+    log = EventLog()
+    s0 = log.new_segment(0, 0, 0)
+    s1 = log.new_segment(1, 1, 5)
+    s2 = log.new_segment(2, 2, 9)
+    s0.ops, s1.ops, s2.ops = 3, 10, 7
+    log.add_call_edge(0, 1)
+    log.add_order_edge(0, 2)
+    log.add_data_bytes(1, 2, 64)
+    return log
+
+
+class TestRoundTrip:
+    def test_text_stable(self):
+        log = make_log()
+        text = dumps_events(log)
+        assert dumps_events(loads_events(text)) == text
+
+    def test_segments_preserved(self):
+        loaded = loads_events(dumps_events(make_log()))
+        assert loaded.n_segments == 3
+        assert [s.ops for s in loaded.segments] == [3, 10, 7]
+        assert [s.start_time for s in loaded.segments] == [0, 5, 9]
+
+    def test_edges_preserved(self):
+        loaded = loads_events(dumps_events(make_log()))
+        kinds = sorted(e.kind for e in loaded.edges())
+        assert kinds == ["call", "data", "order"]
+        data = [e for e in loaded.edges() if e.kind == EDGE_DATA]
+        assert data[0].bytes == 64
+
+    def test_critical_path_identical_after_roundtrip(self, toy_profiles):
+        sigil, _ = toy_profiles
+        loaded = loads_events(dumps_events(sigil.events))
+        live = analyze_critical_path(sigil.events)
+        offline = analyze_critical_path(loaded)
+        assert offline.critical_length == live.critical_length
+        assert offline.serial_length == live.serial_length
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.txt"
+        dump_events(make_log(), path)
+        assert load_events(path).n_segments == 3
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            loads_events("garbage\n")
+
+    def test_out_of_order_segments_rejected(self):
+        with pytest.raises(ValueError):
+            loads_events("# sigil-events 1\nseg 5 0 0 0 0\n")
+
+    def test_unknown_edge_kind(self):
+        with pytest.raises(ValueError):
+            loads_events("# sigil-events 1\nseg 0 0 0 0 0\nedge warp 0 0\n")

@@ -1,0 +1,95 @@
+"""callgrind-format export tests: structural validity of the output."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.io import export_callgrind, export_sigil
+
+
+def parse_callgrind(text):
+    """Minimal callgrind-format parser: fn -> (self vector, calls list)."""
+    events = None
+    functions = {}
+    current = None
+    pending_call = None
+    for line in text.splitlines():
+        if line.startswith("events:"):
+            events = line.split(":", 1)[1].split()
+        elif line.startswith("fn="):
+            current = line[3:]
+            functions.setdefault(current, {"self": None, "calls": []})
+        elif line.startswith("cfn="):
+            pending_call = [line[4:], None, None]
+        elif line.startswith("calls="):
+            pending_call[1] = int(line.split("=", 1)[1].split()[0])
+        elif re.match(r"^\d", line):
+            costs = [int(x) for x in line.split()[1:]]
+            if pending_call is not None:
+                pending_call[2] = costs
+                functions[current]["calls"].append(tuple(pending_call))
+                pending_call = None
+            elif current is not None and functions[current]["self"] is None:
+                functions[current]["self"] = costs
+    return events, functions
+
+
+class TestCallgrindExport:
+    def test_structure_and_events(self, toy_profiles, tmp_path):
+        _, cg = toy_profiles
+        out = tmp_path / "toy.callgrind"
+        export_callgrind(cg, out)
+        text = out.read_text()
+        assert text.startswith("# callgrind format")
+        events, functions = parse_callgrind(text)
+        assert events == ["Ir", "Dr", "Dw", "L1m", "LLm", "Bc", "Bm"]
+        assert "main" in functions and "D" in functions
+
+    def test_self_costs_match_profile(self, toy_profiles, tmp_path):
+        _, cg = toy_profiles
+        out = tmp_path / "toy.callgrind"
+        export_callgrind(cg, out)
+        _, functions = parse_callgrind(out.read_text())
+        main = cg.tree.find(("main",))
+        costs = cg.self_costs[main.id]
+        assert functions["main"]["self"][0] == costs.instructions
+
+    def test_call_records_present(self, toy_profiles, tmp_path):
+        _, cg = toy_profiles
+        out = tmp_path / "toy.callgrind"
+        export_callgrind(cg, out)
+        _, functions = parse_callgrind(out.read_text())
+        callees = {c[0] for c in functions["main"]["calls"]}
+        assert callees == {"A", "C"}
+        a_call = next(c for c in functions["main"]["calls"] if c[0] == "A")
+        assert a_call[1] == 1  # one call
+        # Inclusive Ir of A >= A's self Ir.
+        assert a_call[2][0] >= functions["A"]["self"][0]
+
+
+class TestSigilExport:
+    def test_communication_events(self, toy_profiles, tmp_path):
+        sigil, _ = toy_profiles
+        out = tmp_path / "toy.sigil.callgrind"
+        export_sigil(sigil, out)
+        events, functions = parse_callgrind(out.read_text())
+        assert events == ["Ops", "UniqIn", "UniqOut", "Local", "NonUniqIn"]
+        a = sigil.tree.find(("main", "A"))
+        assert functions["A"]["self"][1] == sigil.unique_input_bytes(a.id)
+        assert functions["A"]["self"][2] == sigil.unique_output_bytes(a.id)
+
+    def test_inclusive_call_vectors_accumulate(self, blackscholes_profiles, tmp_path):
+        sigil, _ = blackscholes_profiles
+        out = tmp_path / "bs.sigil.callgrind"
+        export_sigil(sigil, out)
+        _, functions = parse_callgrind(out.read_text())
+        bs_call = next(
+            c for c in functions["main"]["calls"] if c[0] == "bs_thread"
+        )
+        bs_thread = sigil.tree.find(("main", "bs_thread"))
+        subtree_ops = sum(
+            sigil.fn_comm(n.id).ops for n in bs_thread.walk()
+        )
+        assert bs_call[2][0] == subtree_ops

@@ -1,0 +1,295 @@
+"""Differential property test: the vectorised shadow-memory profiler versus
+a byte-at-a-time pure-Python reference model of section II's methodology.
+
+The reference model is deliberately naive (one dict entry per byte, no
+NumPy, no paging) so that any disagreement points at the optimised
+implementation.  Hypothesis drives random interleavings of function
+enter/exit, reads, and writes over a small address range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SigilConfig, SigilProfiler
+
+
+@dataclass
+class _RefByte:
+    writer: Optional[Tuple[str, ...]] = None
+    reader: Optional[Tuple[str, ...]] = None
+    reader_call: int = -1
+
+
+class ReferenceSigil:
+    """Byte-at-a-time reference implementation of the classification."""
+
+    def __init__(self) -> None:
+        self.stack: List[Tuple[str, ...]] = [()]
+        self.call_stack: List[int] = [0]
+        self.call_counter = 0
+        self.bytes: Dict[int, _RefByte] = {}
+        # (writer_path|None, reader_path) -> [unique, nonunique]
+        self.edges: Dict[Tuple[Optional[Tuple[str, ...]], Tuple[str, ...]], List[int]] = {}
+
+    def enter(self, name: str) -> None:
+        self.stack.append(self.stack[-1] + (name,))
+        self.call_counter += 1
+        self.call_stack.append(self.call_counter)
+
+    def exit(self) -> None:
+        self.stack.pop()
+        self.call_stack.pop()
+
+    def write(self, addr: int, size: int) -> None:
+        ctx = self.stack[-1]
+        for a in range(addr, addr + size):
+            self.bytes[a] = _RefByte(writer=ctx)
+
+    def read(self, addr: int, size: int) -> None:
+        ctx = self.stack[-1]
+        for a in range(addr, addr + size):
+            shadow = self.bytes.setdefault(a, _RefByte())
+            unique = shadow.reader != ctx
+            key = (shadow.writer, ctx)
+            counts = self.edges.setdefault(key, [0, 0])
+            counts[0 if unique else 1] += 1
+            shadow.reader = ctx
+            shadow.reader_call = self.call_stack[-1]
+
+
+# -- trace generation -------------------------------------------------------
+
+_FN_NAMES = ("f", "g", "h")
+
+
+@st.composite
+def traces(draw):
+    """A random well-formed trace: balanced enters/exits, small accesses."""
+    n_steps = draw(st.integers(min_value=1, max_value=60))
+    steps = []
+    depth = 0
+    for _ in range(n_steps):
+        kinds = ["read", "write", "enter"]
+        if depth > 0:
+            kinds.append("exit")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "enter":
+            steps.append(("enter", draw(st.sampled_from(_FN_NAMES))))
+            depth += 1
+        elif kind == "exit":
+            steps.append(("exit",))
+            depth -= 1
+        else:
+            addr = draw(st.integers(min_value=0, max_value=40))
+            size = draw(st.integers(min_value=1, max_value=12))
+            steps.append((kind, addr, size))
+    for _ in range(depth):
+        steps.append(("exit",))
+    return steps
+
+
+def run_both(steps):
+    profiler = SigilProfiler(SigilConfig())
+    ref = ReferenceSigil()
+    profiler.on_run_begin()
+    exits: List[str] = []
+    for step in steps:
+        if step[0] == "enter":
+            profiler.on_fn_enter(step[1])
+            ref.enter(step[1])
+            exits.append(step[1])
+        elif step[0] == "exit":
+            profiler.on_fn_exit(exits.pop())
+            ref.exit()
+        elif step[0] == "read":
+            profiler.on_mem_read(step[1], step[2])
+            ref.read(step[1], step[2])
+        else:
+            profiler.on_mem_write(step[1], step[2])
+            ref.write(step[1], step[2])
+    profiler.on_run_end()
+    return profiler.profile(), ref
+
+
+@given(traces())
+@settings(max_examples=200, deadline=None)
+def test_edges_match_reference(steps):
+    prof, ref = run_both(steps)
+
+    def path_of(ctx_id: int) -> Optional[Tuple[str, ...]]:
+        return None if ctx_id < 0 else prof.tree.node(ctx_id).path
+
+    got = {
+        (path_of(w), path_of(r)): [e.unique_bytes, e.nonunique_bytes]
+        for (w, r), e in prof.comm.items()
+    }
+    assert got == ref.edges
+
+
+@given(traces())
+@settings(max_examples=100, deadline=None)
+def test_read_bytes_fully_classified(steps):
+    """Invariant: every function's raw read traffic equals the sum of edge
+    bytes attributed to it as reader."""
+    prof, _ = run_both(steps)
+    for node in prof.contexts():
+        classified = sum(
+            e.total_bytes for (_, r), e in prof.comm.items() if r == node.id
+        )
+        assert classified == prof.fn_comm(node.id).read_bytes
+
+
+@given(traces())
+@settings(max_examples=100, deadline=None)
+def test_unique_at_most_address_span_per_writer(steps):
+    """A reader can take at most one unique byte per (address, generation);
+    with addresses bounded to [0, 52), unique bytes from the invalid
+    producer can never exceed the span."""
+    prof, _ = run_both(steps)
+    from repro.common.cct import INVALID_CTX
+
+    for (w, r), e in prof.comm.items():
+        if w == INVALID_CTX:
+            assert e.unique_bytes <= 52
+
+
+@st.composite
+def page_boundary_traces(draw):
+    """Traces whose accesses straddle the 4096-byte shadow page boundary."""
+    n_steps = draw(st.integers(min_value=1, max_value=40))
+    steps = []
+    depth = 0
+    for _ in range(n_steps):
+        kinds = ["read", "write", "enter"]
+        if depth > 0:
+            kinds.append("exit")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "enter":
+            steps.append(("enter", draw(st.sampled_from(_FN_NAMES))))
+            depth += 1
+        elif kind == "exit":
+            steps.append(("exit",))
+            depth -= 1
+        else:
+            addr = draw(st.integers(min_value=4080, max_value=4112))
+            size = draw(st.integers(min_value=1, max_value=24))
+            steps.append((kind, addr, size))
+    steps.extend([("exit",)] * depth)
+    return steps
+
+
+@given(page_boundary_traces())
+@settings(max_examples=120, deadline=None)
+def test_page_straddling_matches_reference(steps):
+    """Classification must be identical when ranges cross shadow pages."""
+    prof, ref = run_both(steps)
+
+    def path_of(ctx_id):
+        return None if ctx_id < 0 else prof.tree.node(ctx_id).path
+
+    got = {
+        (path_of(w), path_of(r)): [e.unique_bytes, e.nonunique_bytes]
+        for (w, r), e in prof.comm.items()
+    }
+    assert got == ref.edges
+
+
+class ThreadedReferenceSigil(ReferenceSigil):
+    """Reference model with per-thread call stacks (shared shadow bytes)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads = {0: (self.stack, self.call_stack)}
+        self._tid = 0
+
+    def switch(self, tid: int) -> None:
+        if tid == self._tid:
+            return
+        self._threads[self._tid] = (self.stack, self.call_stack)
+        if tid not in self._threads:
+            self.call_counter += 1
+            self._threads[tid] = ([()], [self.call_counter])
+        self.stack, self.call_stack = self._threads[tid]
+        self._tid = tid
+
+
+@st.composite
+def threaded_traces(draw):
+    """Random interleavings across up to three virtual threads."""
+    n_steps = draw(st.integers(min_value=1, max_value=60))
+    steps = []
+    depths = {0: 0, 1: 0, 2: 0}
+    tid = 0
+    for _ in range(n_steps):
+        kinds = ["read", "write", "enter", "switch"]
+        if depths[tid] > 0:
+            kinds.append("exit")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "switch":
+            tid = draw(st.sampled_from([0, 1, 2]))
+            steps.append(("switch", tid))
+        elif kind == "enter":
+            steps.append(("enter", draw(st.sampled_from(_FN_NAMES))))
+            depths[tid] += 1
+        elif kind == "exit":
+            steps.append(("exit",))
+            depths[tid] -= 1
+        else:
+            addr = draw(st.integers(min_value=0, max_value=40))
+            size = draw(st.integers(min_value=1, max_value=12))
+            steps.append((kind, addr, size))
+    # Drain every thread's stack.
+    for t, depth in depths.items():
+        if depth:
+            steps.append(("switch", t))
+            steps.extend([("exit",)] * depth)
+    return steps
+
+
+def run_both_threaded(steps):
+    profiler = SigilProfiler(SigilConfig())
+    ref = ThreadedReferenceSigil()
+    profiler.on_run_begin()
+    exits = {0: [], 1: [], 2: []}
+    tid = 0
+    for step in steps:
+        if step[0] == "switch":
+            tid = step[1]
+            profiler.on_thread_switch(tid)
+            ref.switch(tid)
+        elif step[0] == "enter":
+            profiler.on_fn_enter(step[1])
+            ref.enter(step[1])
+            exits[tid].append(step[1])
+        elif step[0] == "exit":
+            profiler.on_fn_exit(exits[tid].pop())
+            ref.exit()
+        elif step[0] == "read":
+            profiler.on_mem_read(step[1], step[2])
+            ref.read(step[1], step[2])
+        else:
+            profiler.on_mem_write(step[1], step[2])
+            ref.write(step[1], step[2])
+    profiler.on_run_end()
+    return profiler.profile(), ref
+
+
+@given(threaded_traces())
+@settings(max_examples=150, deadline=None)
+def test_threaded_edges_match_reference(steps):
+    """Cross-thread classification equals the per-thread reference model."""
+    prof, ref = run_both_threaded(steps)
+
+    def path_of(ctx_id):
+        return None if ctx_id < 0 else prof.tree.node(ctx_id).path
+
+    got = {
+        (path_of(w), path_of(r)): [e.unique_bytes, e.nonunique_bytes]
+        for (w, r), e in prof.comm.items()
+    }
+    assert got == ref.edges

@@ -1,0 +1,184 @@
+"""Traced-Python runtime tests: structure, ops, buffers, decorators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Buffer, RuntimeError_, TracedRuntime, traced
+from repro.trace import RecordingObserver
+from repro.trace.events import (
+    Branch,
+    FnEnter,
+    FnExit,
+    MemRead,
+    MemWrite,
+    Op,
+    OpKind,
+    SyscallEnter,
+)
+
+
+class TestFunctionStructure:
+    def test_run_brackets_entry(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        with rt.run("main"):
+            pass
+        assert obs.events == [FnEnter("main"), FnExit("main")]
+
+    def test_nested_frames(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        with rt.run():
+            with rt.frame("a"):
+                with rt.frame("b"):
+                    assert rt.current_function == "b"
+                    assert rt.depth == 3
+        names = [type(e).__name__ for e in obs.events]
+        assert names == ["FnEnter"] * 3 + ["FnExit"] * 3
+
+    def test_mismatched_exit_raises(self):
+        rt = TracedRuntime()
+        rt.enter("a")
+        with pytest.raises(RuntimeError_):
+            rt.exit("b")
+
+    def test_exit_on_empty_stack_raises(self):
+        rt = TracedRuntime()
+        with pytest.raises(RuntimeError_):
+            rt.exit("a")
+
+    def test_nested_run_rejected(self):
+        rt = TracedRuntime()
+        with rt.run():
+            with pytest.raises(RuntimeError_):
+                with rt.run():
+                    pass
+
+
+class TestOpsAndBranches:
+    def test_op_kinds(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        rt.iops(3)
+        rt.flops(5)
+        assert Op(OpKind.INT, 3) in obs.events
+        assert Op(OpKind.FLOAT, 5) in obs.events
+
+    def test_zero_ops_suppressed(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        rt.iops(0)
+        assert obs.events == []
+
+    def test_branch_sites_interned(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        rt.branch("loop", True)
+        rt.branch("loop", False)
+        rt.branch("other", True)
+        branches = [e for e in obs.events if isinstance(e, Branch)]
+        assert branches[0].site == branches[1].site
+        assert branches[2].site != branches[0].site
+
+    def test_syscall(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        rt.syscall("read", output_bytes=100)
+        assert SyscallEnter("read", 0) in obs.events
+
+
+class TestBuffers:
+    def test_element_access_emits_events(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        buf = rt.arena.alloc_f64("x", 8)
+        buf.write(2, 1.5)
+        assert buf.read(2) == 1.5
+        assert MemWrite(buf.addr_of(2), 8) in obs.events
+        assert MemRead(buf.addr_of(2), 8) in obs.events
+
+    def test_block_access_single_event(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        buf = rt.arena.alloc_f64("x", 16)
+        buf.write_block(np.arange(16.0))
+        data = buf.read_block(4, 8)
+        assert (data == np.arange(4.0, 12.0)).all()
+        reads = [e for e in obs.events if isinstance(e, MemRead)]
+        assert reads == [MemRead(buf.addr_of(4), 64)]
+
+    def test_peek_poke_untraced(self):
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        buf = rt.arena.alloc_i64("x", 4)
+        buf.poke(0, 99)
+        assert buf.peek(0) == 99
+        assert obs.events == []
+
+    def test_bounds_checked(self):
+        rt = TracedRuntime()
+        buf = rt.arena.alloc_u8("x", 4)
+        with pytest.raises(IndexError):
+            buf.read(4)
+        with pytest.raises(IndexError):
+            buf.read_block(2, 3)
+        with pytest.raises(ValueError):
+            buf.read_block(0, -1)
+
+    def test_buffers_do_not_overlap_or_share_lines(self):
+        rt = TracedRuntime()
+        a = rt.arena.alloc_u8("a", 100)
+        b = rt.arena.alloc_u8("b", 100)
+        assert b.base >= a.base + 100
+        assert a.base % 64 == 0 and b.base % 64 == 0
+
+    def test_dtype_preserved(self):
+        rt = TracedRuntime()
+        buf = rt.arena.alloc_i32("x", 4)
+        assert buf.itemsize == 4
+        buf.write(0, 2**20)
+        assert buf.read(0) == 2**20
+
+
+class TestTracedDecorator:
+    def test_bare_decorator_uses_function_name(self):
+        @traced
+        def my_kernel(rt):
+            return 42
+
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        assert my_kernel(rt) == 42
+        assert obs.events == [FnEnter("my_kernel"), FnExit("my_kernel")]
+
+    def test_named_decorator(self):
+        @traced("std::foo::bar")
+        def helper(rt):
+            pass
+
+        obs = RecordingObserver()
+        helper(TracedRuntime(obs))
+        assert obs.events[0] == FnEnter("std::foo::bar")
+        assert helper.symbol_name == "std::foo::bar"
+
+    def test_exit_on_exception(self):
+        @traced("boom")
+        def boom(rt):
+            raise ValueError("x")
+
+        obs = RecordingObserver()
+        rt = TracedRuntime(obs)
+        with pytest.raises(ValueError):
+            boom(rt)
+        assert obs.events == [FnEnter("boom"), FnExit("boom")]
+        assert rt.depth == 0
+
+    def test_requires_runtime_first_arg(self):
+        @traced
+        def f(rt):
+            pass
+
+        with pytest.raises(TypeError):
+            f("not a runtime")

@@ -1,0 +1,290 @@
+"""CLI tests: every subcommand, live and offline paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("blackscholes", "libquantum", "x264"):
+            assert name in out
+        assert "simsmall" in out
+
+
+class TestProfile:
+    def test_summary_output(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "streamcluster", "--top", "5")
+        assert code == 0
+        assert "streamcluster" in out
+        assert "contexts" in out
+        assert "uniq_in_B" in out
+
+    def test_writes_all_outputs(self, capsys, tmp_path):
+        prof = tmp_path / "w.profile"
+        events = tmp_path / "w.events"
+        cg = tmp_path / "w.cg"
+        code, out, _ = run_cli(
+            capsys, "profile", "freqmine", "--reuse", "--events",
+            "-o", str(prof), "--events-out", str(events),
+            "--callgrind-out", str(cg),
+        )
+        assert code == 0
+        assert prof.read_text().startswith("# sigil-profile 1")
+        assert events.read_text().startswith("# sigil-events 1")
+        assert cg.read_text().startswith("# callgrind-equiv 1")
+
+    def test_events_out_requires_events(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "profile", "freqmine",
+            "--events-out", str(tmp_path / "x.events"),
+        )
+        assert code == 2
+        assert "--events" in err
+
+    def test_memory_limit_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "dedup", "--max-shadow-pages", "8",
+        )
+        assert code == 0
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "profile", "doom")
+
+
+class TestReport:
+    def test_offline_report(self, capsys, tmp_path):
+        prof = tmp_path / "w.profile"
+        run_cli(capsys, "profile", "canneal", "-o", str(prof))
+        code, out, _ = run_cli(capsys, "report", str(prof), "--top", "6")
+        assert code == 0
+        assert "data edges" in out
+        assert "mul" in out or "swap_locations" in out
+
+    def test_dot_export(self, capsys, tmp_path):
+        prof = tmp_path / "w.profile"
+        dot = tmp_path / "w.dot"
+        run_cli(capsys, "profile", "canneal", "-o", str(prof))
+        code, _, _ = run_cli(capsys, "report", str(prof), "--dot", str(dot))
+        assert code == 0
+        assert dot.read_text().startswith("digraph")
+
+
+class TestPartition:
+    def test_live(self, capsys):
+        code, out, _ = run_cli(capsys, "partition", "blackscholes")
+        assert code == 0
+        assert "S(breakeven)" in out
+        assert "candidates cover" in out
+
+    def test_offline_matches_live(self, capsys, tmp_path):
+        prof = tmp_path / "bs.profile"
+        cg = tmp_path / "bs.cg"
+        run_cli(capsys, "profile", "blackscholes", "-o", str(prof),
+                "--callgrind-out", str(cg))
+        code, offline_out, _ = run_cli(
+            capsys, "partition", "--profile", str(prof), "--callgrind", str(cg)
+        )
+        assert code == 0
+        _, live_out, _ = run_cli(capsys, "partition", "blackscholes")
+        # Same candidate table (headers + rows), regardless of run order.
+        offline_table = offline_out.split("\n\n")[-1]
+        live_table = live_out.split("\n\n")[-1]
+        assert offline_table == live_table
+
+    def test_bandwidth_changes_breakeven(self, capsys):
+        _, narrow, _ = run_cli(capsys, "partition", "vips", "--bandwidth", "1")
+        _, wide, _ = run_cli(capsys, "partition", "vips", "--bandwidth", "64")
+        assert narrow != wide
+
+    def test_missing_inputs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "partition")
+
+
+class TestReuse:
+    def test_breakdown_and_rankings(self, capsys):
+        code, out, _ = run_cli(capsys, "reuse", "vips")
+        assert code == 0
+        assert "re-use count" in out
+        assert "conv_gen" in out
+        assert "contributors" in out
+
+    def test_function_histogram(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "reuse", "vips", "--function", "imb_XYZ2Lab"
+        )
+        assert code == 0
+        assert "lifetime histogram" in out
+
+    def test_unknown_function(self, capsys):
+        code, _, err = run_cli(capsys, "reuse", "vips", "--function", "nope")
+        assert code == 2
+        assert "not found" in err
+
+
+class TestCritpath:
+    def test_live_workload(self, capsys):
+        code, out, _ = run_cli(capsys, "critpath", "streamcluster")
+        assert code == 0
+        assert "parallelism" in out
+        assert "pkmedian" in out
+
+    def test_event_file_with_schedule(self, capsys, tmp_path):
+        events = tmp_path / "sc.events"
+        run_cli(capsys, "profile", "streamcluster", "--events",
+                "--events-out", str(events))
+        code, out, _ = run_cli(
+            capsys, "critpath", str(events), "--cores", "1,2,4"
+        )
+        assert code == 0
+        assert "speedup" in out
+        assert "cross_core_B" in out
+
+    def test_bogus_target(self, capsys):
+        code, _, err = run_cli(capsys, "critpath", "no-such-thing")
+        assert code == 2
+
+
+class TestRun:
+    def test_assembly_program(self, capsys, tmp_path):
+        src = tmp_path / "prog.s"
+        src.write_text(
+            ".func main\n"
+            "    const r0, 4096\n"
+            "    const r1, 5\n"
+            "    store r1, [r0+0], 8\n"
+            "    call double, r0 -> r2\n"
+            "    ret r2\n"
+            "\n"
+            ".func double/1\n"
+            "    load r1, [r0+0], 8\n"
+            "    muli r2, r1, 2\n"
+            "    ret r2\n"
+        )
+        code, out, _ = run_cli(capsys, "run", str(src))
+        assert code == 0
+        assert "returned 10" in out
+        assert "double" in out
+
+    def test_run_writes_outputs(self, capsys, tmp_path):
+        src = tmp_path / "prog.s"
+        src.write_text(".func main\n    const r0, 1\n    ret r0\n")
+        prof = tmp_path / "p.profile"
+        events = tmp_path / "p.events"
+        code, _, _ = run_cli(
+            capsys, "run", str(src), "--events",
+            "-o", str(prof), "--events-out", str(events),
+        )
+        assert code == 0
+        assert prof.exists() and events.exists()
+
+    def test_shipped_example_runs(self, capsys):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "toy_program.s"
+        code, out, _ = run_cli(capsys, "run", str(example))
+        assert code == 0
+        assert "returned 42" in out
+
+
+class TestReportTree:
+    def test_calltree_rendering(self, capsys, tmp_path):
+        prof = tmp_path / "w.profile"
+        run_cli(capsys, "profile", "dedup", "-o", str(prof))
+        code, out, _ = run_cli(capsys, "report", str(prof), "--tree")
+        assert code == 0
+        assert "incl%" in out
+        assert "sha1_block_data_order" in out
+
+    def test_matmul_example(self, capsys):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "matmul.s"
+        code, out, _ = run_cli(capsys, "run", str(example))
+        assert code == 0
+        assert "returned 4944" in out  # sum of (A @ A) with A = 1..16
+        assert "dot_row" in out
+
+
+class TestFigures:
+    def test_single_figure_regeneration(self, capsys):
+        code, out, _ = run_cli(capsys, "figures", "--only", "fig9")
+        assert code == 0
+        assert "fig9_vips_lifetimes.txt" in out
+
+    def test_kcachegrind_export(self, capsys, tmp_path):
+        prof = tmp_path / "w.profile"
+        kcg = tmp_path / "w.callgrind"
+        run_cli(capsys, "profile", "dedup", "-o", str(prof))
+        code, out, _ = run_cli(
+            capsys, "report", str(prof), "--kcachegrind", str(kcg)
+        )
+        assert code == 0
+        assert kcg.read_text().startswith("# callgrind format")
+        assert "events: Ops UniqIn UniqOut Local NonUniqIn" in kcg.read_text()
+
+
+class TestAssemblyPipeline:
+    def test_run_then_offline_analyses(self, capsys, tmp_path):
+        """Author a program in assembly, profile it once, then run the
+        report and critical-path studies purely from the files."""
+        src = tmp_path / "prog.s"
+        src.write_text(
+            ".func main\n"
+            "    const r0, 4096\n"
+            "    call fill, r0\n"
+            "    call sum, r0 -> r1\n"
+            "    ret r1\n"
+            "\n"
+            ".func fill/1\n"
+            "    const r1, 0\n"
+            "loop:\n"
+            "    muli r2, r1, 8\n"
+            "    add  r3, r0, r2\n"
+            "    store r1, [r3+0], 8\n"
+            "    addi r1, r1, 1\n"
+            "    lti  r4, r1, 8\n"
+            "    br   r4, loop\n"
+            "    ret\n"
+            "\n"
+            ".func sum/1\n"
+            "    const r1, 0\n"
+            "    const r2, 0\n"
+            "sloop:\n"
+            "    muli r3, r1, 8\n"
+            "    add  r4, r0, r3\n"
+            "    load r5, [r4+0], 8\n"
+            "    add  r2, r2, r5\n"
+            "    addi r1, r1, 1\n"
+            "    lti  r6, r1, 8\n"
+            "    br   r6, sloop\n"
+            "    ret r2\n"
+        )
+        prof = tmp_path / "p.profile"
+        events = tmp_path / "p.events"
+        code, out, _ = run_cli(
+            capsys, "run", str(src), "--events",
+            "-o", str(prof), "--events-out", str(events),
+        )
+        assert code == 0
+        assert "returned 28" in out  # 0+1+...+7
+
+        code, out, _ = run_cli(capsys, "report", str(prof), "--tree")
+        assert code == 0
+        assert "fill" in out and "sum" in out
+
+        code, out, _ = run_cli(capsys, "critpath", str(events), "--cores", "1,2")
+        assert code == 0
+        assert "parallelism" in out

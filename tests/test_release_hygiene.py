@@ -1,0 +1,80 @@
+"""Release hygiene: importability, docstrings, and documentation accuracy."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_imports_and_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20, f"{module_name} docstring too thin"
+
+
+@pytest.mark.parametrize("module_name", [m for m in all_modules() if m != "repro"])
+def test_public_api_is_documented(module_name):
+    """Every name a module exports must carry a docstring."""
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        obj = getattr(module, name)
+        if isinstance(obj, (int, str, float, tuple, frozenset, dict)):
+            continue  # constants document themselves via the module
+        assert getattr(obj, "__doc__", None), f"{module_name}.{name} undocumented"
+
+
+class TestDocsReferenceRealFiles:
+    DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md"] + [
+        f"docs/{p.name}" for p in (REPO / "docs").glob("*.md")
+    ]
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_referenced_paths_exist(self, doc):
+        text = (REPO / doc).read_text()
+        pattern = re.compile(
+            r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_./-]+"
+            r"\.(?:py|md|s|txt))`"
+        )
+        missing = []
+        for match in pattern.finditer(text):
+            path = match.group(1)
+            if path.startswith("benchmarks/results/"):
+                continue  # generated artifacts
+            if not (REPO / path).exists():
+                missing.append(path)
+        assert not missing, f"{doc} references missing files: {missing}"
+
+    def test_readme_names_real_cli_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subcommands = set(
+            parser._subparsers._group_actions[0].choices  # noqa: SLF001
+        )
+        readme = (REPO / "README.md").read_text()
+        for cmd in re.findall(r"^repro (\w+)", readme, flags=re.MULTILINE):
+            assert cmd in subcommands, f"README mentions unknown command {cmd!r}"
+
+    def test_design_experiment_index_bench_files_exist(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for name in re.findall(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", text):
+            assert (REPO / "benchmarks" / name).exists(), name

@@ -1,0 +1,78 @@
+"""Observer plumbing tests: pipe fan-out, recording, replay."""
+
+from __future__ import annotations
+
+from repro.trace import (
+    NullObserver,
+    ObserverPipe,
+    RecordingObserver,
+    TraceObserver,
+    replay,
+)
+from repro.trace.events import FnEnter, FnExit, MemRead, MemWrite, Op, OpKind
+
+
+def emit_sample(obs):
+    obs.on_run_begin()
+    obs.on_fn_enter("main")
+    obs.on_op(OpKind.INT, 3)
+    obs.on_mem_write(0x10, 4)
+    obs.on_mem_read(0x10, 4)
+    obs.on_branch(0, True)
+    obs.on_syscall_enter("read", 1)
+    obs.on_syscall_exit("read", 2)
+    obs.on_fn_exit("main")
+    obs.on_run_end()
+
+
+class TestPipe:
+    def test_fans_out_in_order(self):
+        a, b = RecordingObserver(), RecordingObserver()
+        emit_sample(ObserverPipe([a, b]))
+        assert a.events == b.events
+        assert len(a.events) == 8
+
+    def test_null_observer_accepts_everything(self):
+        emit_sample(NullObserver())  # must not raise
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(RecordingObserver(), TraceObserver)
+        assert isinstance(NullObserver(), TraceObserver)
+
+
+class TestReplay:
+    def test_replay_equals_live(self):
+        live = RecordingObserver()
+        emit_sample(live)
+        replayed = RecordingObserver()
+        replay(live.events, replayed)
+        assert replayed.events == live.events
+
+    def test_replay_into_profiler_matches_live(self):
+        """A stored trace must profile identically to a live run -- the
+        paper's promise that released profiles replace re-running Sigil."""
+        from repro.core import SigilConfig, SigilProfiler
+        from repro.io import dumps_profile
+
+        live_rec = RecordingObserver()
+        emit_sample(live_rec)
+
+        p1 = SigilProfiler(SigilConfig(reuse_mode=True))
+        emit_sample(p1)
+        p2 = SigilProfiler(SigilConfig(reuse_mode=True))
+        replay(live_rec.events, p2)
+        assert dumps_profile(p1.profile()) == dumps_profile(p2.profile())
+
+
+class TestEventDataclasses:
+    def test_equality_and_hash(self):
+        assert MemRead(1, 2) == MemRead(1, 2)
+        assert MemRead(1, 2) != MemWrite(1, 2)
+        assert hash(FnEnter("f")) == hash(FnEnter("f"))
+
+    def test_frozen(self):
+        import pytest
+
+        ev = Op(OpKind.INT, 1)
+        with pytest.raises(Exception):
+            ev.count = 2

@@ -1,0 +1,163 @@
+"""Assembler/disassembler tests, including the round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import RecordingObserver
+from repro.trace.events import FnEnter, SyscallEnter
+from repro.vm import Machine
+from repro.vm.asm import AsmError, assemble, disassemble
+
+HELLO = """
+; toy producer/consumer
+.func main
+    const r0, 4096
+    const r1, 7
+    store r1, [r0+0], 8
+    call  helper, r0 -> r2
+    syscall write, in=8
+    ret   r2
+
+.func helper/1
+    load  r1, [r0+0], 8
+    addi  r2, r1, 35
+    ret   r2
+"""
+
+
+class TestAssemble:
+    def test_executes(self):
+        program = assemble(HELLO)
+        result = Machine().run(program)
+        assert result.value == 42
+
+    def test_trace_shape(self):
+        program = assemble(HELLO)
+        obs = RecordingObserver()
+        Machine().run(program, obs)
+        entries = [e.name for e in obs.events if isinstance(e, FnEnter)]
+        assert entries == ["main", "helper"]
+        assert SyscallEnter("write", 8) in obs.events
+
+    def test_loop_with_labels(self):
+        program = assemble("""
+.func main
+    const r0, 5
+    const r1, 0
+loop:
+    add  r1, r1, r0
+    subi r0, r0, 1
+    gti  r2, r0, 0
+    br   r2, loop
+    ret  r1
+""")
+        assert Machine().run(program).value == 15
+
+    def test_forward_label(self):
+        program = assemble("""
+.func main
+    const r0, 1
+    br r0, done
+    const r1, 99
+done:
+    ret r0
+""")
+        assert Machine().run(program).value == 1
+
+    def test_float_ops(self):
+        program = assemble("""
+.func main
+    const r0, 2.25
+    fsqrt r1, r0
+    fmul  r2, r1, r1
+    const r3, 8192
+    store r2, [r3+0], 8, f
+    load  r4, [r3+0], 8, f
+    ret   r4
+""")
+        assert Machine().run(program).value == pytest.approx(2.25)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+; leading comment
+
+.func main     ; trailing comment
+    const r0, 3   ; another
+    ret r0
+""")
+        assert Machine().run(program).value == 3
+
+    def test_hex_immediates(self):
+        program = assemble(".func main\n const r0, 0x10\n ret r0\n")
+        assert Machine().run(program).value == 16
+
+
+class TestErrors:
+    def test_instruction_outside_function(self):
+        with pytest.raises(AsmError, match="outside"):
+            assemble("const r0, 1\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble(".func main\n frobnicate r0\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError, match="expected register"):
+            assemble(".func main\n mov r0, x1\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError, match="expects"):
+            assemble(".func main\n add r0, r1\n")
+
+    def test_unbound_label(self):
+        from repro.vm.errors import UnknownLabelError
+
+        with pytest.raises(UnknownLabelError):
+            assemble(".func main\n const r0, 1\n br r0, nowhere\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmError, match="operand"):
+            assemble(".func main\n load r0, r1, 8\n")
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble(".func main\n const r0, 1\n wat\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble_identity(self):
+        program = assemble(HELLO)
+        text = disassemble(program)
+        again = assemble(text)
+        for name, func in program.functions.items():
+            assert again.functions[name].code == func.code
+            assert again.functions[name].n_params == func.n_params
+
+    def test_roundtrip_with_control_flow(self):
+        program = assemble("""
+.func main
+    const r0, 5
+    const r1, 0
+top:
+    add r1, r1, r0
+    subi r0, r0, 1
+    gti r2, r0, 0
+    br r2, top
+    call leaf -> r3
+    ret r1
+
+.func leaf
+    const r0, 1
+    ret r0
+""")
+        again = assemble(disassemble(program))
+        assert Machine().run(again).value == Machine().run(program).value
+        for name in program.functions:
+            assert again.functions[name].code == program.functions[name].code
+
+    def test_roundtrip_toy_program(self, toy_program):
+        text = disassemble(toy_program)
+        again = assemble(text)
+        for name, func in toy_program.functions.items():
+            assert again.functions[name].code == func.code

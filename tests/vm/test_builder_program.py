@@ -1,0 +1,124 @@
+"""Builder API and program validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import (
+    InvalidRegisterError,
+    ProgramBuilder,
+    ProgramError,
+    UnknownFunctionError,
+    UnknownLabelError,
+)
+from repro.vm.isa import Alu, BranchIf, Call, Ret
+from repro.vm.program import Function, Program
+
+
+class TestBuilder:
+    def test_registers_are_fresh(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        regs = {f.const(i) for i in range(10)}
+        assert len(regs) == 10
+
+    def test_params_occupy_low_registers(self):
+        pb = ProgramBuilder()
+        f = pb.function("f", n_params=3)
+        assert [f.param(i) for i in range(3)] == [0, 1, 2]
+        assert f.reg() == 3
+
+    def test_param_out_of_range(self):
+        pb = ProgramBuilder()
+        f = pb.function("f", n_params=1)
+        with pytest.raises(ProgramError):
+            f.param(1)
+
+    def test_implicit_return_appended(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.const(1)
+        func = f.finalise()
+        assert isinstance(func.code[-1], Ret)
+
+    def test_unbound_label_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        lab = f.label()
+        one = f.const(1)
+        f.branch_if(one, lab)
+        with pytest.raises(UnknownLabelError):
+            f.finalise()
+
+    def test_label_bound_twice_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        lab = f.label()
+        f.bind(lab)
+        with pytest.raises(ProgramError):
+            f.bind(lab)
+
+    def test_duplicate_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("f")
+        with pytest.raises(ProgramError):
+            pb.function("f")
+
+    def test_branch_sites_unique(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        lab = f.label()
+        f.bind(lab)
+        c = f.const(0)
+        f.branch_if(c, lab)
+        f.branch_if(c, lab)
+        func = f.finalise()
+        sites = [ins.site for ins in func.code if isinstance(ins, BranchIf)]
+        assert len(set(sites)) == 2
+
+
+class TestValidation:
+    def test_missing_entry(self):
+        program = Program(entry="main")
+        with pytest.raises(UnknownFunctionError):
+            program.validate()
+
+    def test_entry_with_params_rejected(self):
+        program = Program()
+        program.add(Function("main", 1, (Ret(None),), 2))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_call_to_undefined_function(self):
+        program = Program()
+        program.add(Function("main", 0, (Call("ghost", ()), Ret(None)), 1))
+        with pytest.raises(UnknownFunctionError):
+            program.validate()
+
+    def test_call_arity_mismatch(self):
+        program = Program()
+        program.add(Function("main", 0, (Call("f", (0,)), Ret(None)), 1))
+        program.add(Function("f", 2, (Ret(None),), 3))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_register_out_of_frame(self):
+        program = Program()
+        program.add(Function("main", 0, (Alu("add", 5, 0, 0), Ret(None)), 2))
+        with pytest.raises(InvalidRegisterError):
+            program.validate()
+
+    def test_bad_alu_op(self):
+        program = Program()
+        program.add(Function("main", 0, (Alu("frobnicate", 0, 0, 0), Ret(None)), 1))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_branch_target_out_of_range(self):
+        program = Program()
+        program.add(Function("main", 0, (BranchIf(0, 99, 0), Ret(None)), 1))
+        with pytest.raises(UnknownLabelError):
+            program.validate()
+
+    def test_valid_program_passes(self, toy_program):
+        toy_program.validate()

@@ -1,0 +1,237 @@
+"""Mini-VM interpreter tests: semantics and trace emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import RecordingObserver
+from repro.trace.events import Branch, FnEnter, FnExit, MemRead, MemWrite, Op, OpKind
+from repro.vm import (
+    ExecutionLimitExceeded,
+    FlatMemory,
+    Machine,
+    ProgramBuilder,
+    VMError,
+)
+
+
+def run_main(build_fn, **machine_kwargs):
+    pb = ProgramBuilder()
+    build_fn(pb)
+    obs = RecordingObserver()
+    result = Machine(**machine_kwargs).run(pb.build(), obs)
+    return result, obs
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(10)
+            b = f.const(3)
+            s = f.alu("add", a, b)
+            d = f.alu("div", s, b)
+            f.ret(d)
+
+        result, _ = run_main(build)
+        assert result.value == 4
+
+    def test_float_ops(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(2.0)
+            r = f.funary("fsqrt", a)
+            r2 = f.falu("fmul", r, r)
+            f.ret(r2)
+
+        result, _ = run_main(build)
+        assert result.value == pytest.approx(2.0)
+
+    def test_division_by_zero_raises(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(1)
+            z = f.const(0)
+            f.alu("div", a, z)
+            f.ret()
+
+        with pytest.raises(VMError):
+            run_main(build)
+
+    def test_comparison_ops_produce_flags(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(5)
+            b = f.const(7)
+            lt = f.alu("lt", a, b)
+            ge = f.alu("ge", a, b)
+            combined = f.alu("shl", lt, ge)  # 1 << 0 == 1
+            f.ret(combined)
+
+        result, _ = run_main(build)
+        assert result.value == 1
+
+
+class TestMemoryInstructions:
+    def test_store_load_roundtrip(self):
+        def build(pb):
+            f = pb.function("main")
+            base = f.const(0x2000)
+            v = f.const(-12345)
+            f.store(v, base, offset=16, size=8)
+            out = f.load(base, offset=16, size=8)
+            f.ret(out)
+
+        result, obs = run_main(build)
+        assert result.value == -12345
+        assert MemWrite(0x2010, 8) in obs.events
+        assert MemRead(0x2010, 8) in obs.events
+
+    def test_float_memory(self):
+        def build(pb):
+            f = pb.function("main")
+            base = f.const(0x2000)
+            v = f.const(3.25)
+            f.store(v, base, size=8, is_float=True)
+            out = f.load(base, size=8, is_float=True)
+            f.ret(out)
+
+        result, _ = run_main(build)
+        assert result.value == 3.25
+
+
+class TestControlFlow:
+    def test_loop_sums(self):
+        def build(pb):
+            f = pb.function("main")
+            i = f.const(0)
+            acc = f.const(0)
+            limit = f.const(5)
+            top = f.label()
+            f.bind(top)
+            f.alu("add", acc, i, dst=acc)
+            f.alui("add", i, 1, dst=i)
+            cond = f.alu("lt", i, limit)
+            f.branch_if(cond, top)
+            f.ret(acc)
+
+        result, obs = run_main(build)
+        assert result.value == 0 + 1 + 2 + 3 + 4
+        branches = [e for e in obs.events if isinstance(e, Branch)]
+        assert len(branches) == 5
+        assert [b.taken for b in branches] == [True] * 4 + [False]
+
+    def test_call_and_return_value(self):
+        def build(pb):
+            f = pb.function("main")
+            x = f.const(20)
+            y = f.call_value("double", args=[x])
+            f.ret(y)
+            d = pb.function("double", n_params=1)
+            r = d.alui("mul", d.param(0), 2)
+            d.ret(r)
+
+        result, obs = run_main(build)
+        assert result.value == 40
+        names = [e.name for e in obs.events if isinstance(e, FnEnter)]
+        assert names == ["main", "double"]
+
+    def test_recursion(self):
+        def build(pb):
+            f = pb.function("main")
+            n = f.const(6)
+            r = f.call_value("fact", args=[n])
+            f.ret(r)
+            g = pb.function("fact", n_params=1)
+            one = g.const(1)
+            cond = g.alu("le", g.param(0), one)
+            base = g.label()
+            g.branch_if(cond, base)
+            nm1 = g.alui("sub", g.param(0), 1)
+            rec = g.call_value("fact", args=[nm1])
+            out = g.alu("mul", g.param(0), rec)
+            g.ret(out)
+            g.bind(base)
+            g.ret(one)
+
+        result, _ = run_main(build)
+        assert result.value == 720
+
+    def test_halt_unwinds_stack(self):
+        def build(pb):
+            f = pb.function("main")
+            f.call("child")
+            f.ret()
+            c = pb.function("child")
+            c.halt()
+
+        _, obs = run_main(build)
+        exits = [e.name for e in obs.events if isinstance(e, FnExit)]
+        assert exits == ["child", "main"]
+
+    def test_fuel_limit(self):
+        def build(pb):
+            f = pb.function("main")
+            top = f.label()
+            f.bind(top)
+            one = f.const(1)
+            f.branch_if(one, top)
+
+        with pytest.raises(ExecutionLimitExceeded):
+            run_main(build, max_instructions=1000)
+
+
+class TestTraceShape:
+    def test_enter_exit_balanced(self):
+        def build(pb):
+            f = pb.function("main")
+            f.call("a")
+            f.ret()
+            a = pb.function("a")
+            a.call("b")
+            a.ret()
+            b = pb.function("b")
+            b.ret()
+
+        _, obs = run_main(build)
+        depth = 0
+        for e in obs.events:
+            if isinstance(e, FnEnter):
+                depth += 1
+            elif isinstance(e, FnExit):
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    def test_op_events_count_instructions(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(1)
+            b = f.const(2)
+            f.alu("add", a, b)
+            f.falu("fadd", a, b)
+            f.ret()
+
+        result, obs = run_main(build)
+        ops = [e for e in obs.events if isinstance(e, Op)]
+        kinds = [o.kind for o in ops]
+        assert kinds.count(OpKind.INT) == 3  # 2 consts + 1 add
+        assert kinds.count(OpKind.FLOAT) == 1
+
+    def test_syscall_events(self):
+        def build(pb):
+            f = pb.function("main")
+            f.syscall("read", input_bytes=8, output_bytes=256)
+            f.ret()
+
+        _, obs = run_main(build)
+        from repro.trace.events import SyscallEnter, SyscallExit
+
+        assert SyscallEnter("read", 8) in obs.events
+        assert SyscallExit("read", 256) in obs.events
+
+    def test_deterministic_across_runs(self, toy_program):
+        o1, o2 = RecordingObserver(), RecordingObserver()
+        Machine().run(toy_program, o1)
+        Machine().run(toy_program, o2)
+        assert o1.events == o2.events

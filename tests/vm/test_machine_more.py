@@ -1,0 +1,188 @@
+"""Additional mini-VM coverage: remaining opcodes and edge behaviours."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.vm import Machine, ProgramBuilder
+from repro.vm.isa import Alu, Const, Ret
+from repro.vm.program import Function, Program
+
+
+def run(build):
+    pb = ProgramBuilder()
+    build(pb)
+    return Machine().run(pb.build())
+
+
+class TestRemainingIntOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("mod", 17, 5, 2),
+        ("min", -3, 7, -3),
+        ("max", -3, 7, 7),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 3, 4, 48),
+        ("shr", 48, 4, 3),
+        ("le", 4, 4, 1),
+        ("ne", 4, 4, 0),
+        ("gt", 5, 4, 1),
+        ("ge", 3, 4, 0),
+        ("eq", 9, 9, 1),
+    ])
+    def test_op(self, op, a, b, expected):
+        def build(pb):
+            f = pb.function("main")
+            ra = f.const(a)
+            rb = f.const(b)
+            f.ret(f.alu(op, ra, rb))
+
+        assert run(build).value == expected
+
+    def test_mov(self):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(99)
+            f.ret(f.mov(a))
+
+        assert run(build).value == 99
+
+    def test_mod_by_zero(self):
+        from repro.vm import VMError
+
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(1)
+            z = f.const(0)
+            f.alu("mod", a, z)
+            f.ret()
+
+        with pytest.raises(VMError):
+            run(build)
+
+
+class TestRemainingFloatOps:
+    @pytest.mark.parametrize("op,x,expected", [
+        ("fneg", 2.5, -2.5),
+        ("fabs", -2.5, 2.5),
+        ("fexp", 0.0, 1.0),
+        ("flog", 1.0, 0.0),
+    ])
+    def test_unary(self, op, x, expected):
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(x)
+            f.ret(f.funary(op, a))
+
+        assert run(build).value == pytest.approx(expected)
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("fsub", 5.0, 1.5, 3.5),
+        ("fdiv", 7.0, 2.0, 3.5),
+        ("fmin", 1.0, 2.0, 1.0),
+        ("fmax", 1.0, 2.0, 2.0),
+    ])
+    def test_binary(self, op, a, b, expected):
+        def build(pb):
+            f = pb.function("main")
+            ra = f.const(a)
+            rb = f.const(b)
+            f.ret(f.falu(op, ra, rb))
+
+        assert run(build).value == pytest.approx(expected)
+
+    def test_fdiv_by_zero(self):
+        from repro.vm import VMError
+
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(1.0)
+            z = f.const(0.0)
+            f.falu("fdiv", a, z)
+            f.ret()
+
+        with pytest.raises(VMError):
+            run(build)
+
+
+class TestStructuralEdges:
+    def test_fall_off_end_implicit_return(self):
+        """Hand-built code without a Ret: the machine returns implicitly."""
+        program = Program()
+        program.add(Function("main", 0, (Const(0, 7),), 1))
+        result = Machine().run(program)
+        assert result.value is None
+        assert result.instructions == 1
+
+    def test_call_void_function_result_defaults_zero(self):
+        def build(pb):
+            f = pb.function("main")
+            r = f.call_value("void_fn")
+            f.ret(r)
+            v = pb.function("void_fn")
+            v.const(5)
+            v.ret()  # no value
+
+        assert run(build).value == 0
+
+    def test_small_int_sizes_roundtrip_sign(self):
+        def build(pb):
+            f = pb.function("main")
+            base = f.const(0x3000)
+            v = f.const(-2)
+            f.store(v, base, offset=0, size=2)
+            f.ret(f.load(base, offset=0, size=2))
+
+        assert run(build).value == -2
+
+    def test_nested_syscalls_from_child(self):
+        from repro.trace import RecordingObserver
+        from repro.trace.events import SyscallEnter
+
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.call("io")
+        f.ret()
+        io = pb.function("io")
+        io.syscall("write", input_bytes=64)
+        io.ret()
+        obs = RecordingObserver()
+        Machine().run(pb.build(), obs)
+        assert SyscallEnter("write", 64) in obs.events
+
+
+class TestFloatDomainErrors:
+    @pytest.mark.parametrize("op,x", [
+        ("fsqrt", -1.0),
+        ("fexp", 1e6),
+        ("flog", 0.0),
+        ("flog", -3.0),
+    ])
+    def test_domain_errors_raise_vm_error(self, op, x):
+        from repro.vm import VMError
+
+        def build(pb):
+            f = pb.function("main")
+            a = f.const(x)
+            f.funary(op, a)
+            f.ret()
+
+        with pytest.raises(VMError):
+            run(build)
+
+    def test_asm_negative_offset(self):
+        from repro.vm.asm import assemble
+        from repro.vm import Machine
+
+        program = assemble("""
+.func main
+    const r0, 4104
+    const r1, 11
+    store r1, [r0-8], 8
+    load  r2, [r0-8], 8
+    ret   r2
+""")
+        assert Machine().run(program).value == 11

@@ -1,0 +1,81 @@
+"""FlatMemory tests: sparse pages, typed access, allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import FlatMemory, MemoryFault
+from repro.vm.memory import PAGE_SIZE
+
+
+class TestByteAccess:
+    def test_roundtrip(self):
+        mem = FlatMemory()
+        mem.write_bytes(0x1234, b"hello")
+        assert mem.read_bytes(0x1234, 5) == b"hello"
+
+    def test_cross_page_write_and_read(self):
+        mem = FlatMemory()
+        addr = PAGE_SIZE - 3
+        mem.write_bytes(addr, b"abcdef")
+        assert mem.read_bytes(addr, 6) == b"abcdef"
+
+    def test_strict_read_of_unmapped_faults(self):
+        mem = FlatMemory()
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0x9999, 4)
+
+    def test_non_strict_reads_zero(self):
+        mem = FlatMemory(strict=False)
+        assert mem.read_bytes(0x9999, 4) == b"\x00" * 4
+
+    def test_negative_address_faults(self):
+        mem = FlatMemory()
+        with pytest.raises(MemoryFault):
+            mem.write_bytes(-8, b"x")
+
+
+class TestTypedAccess:
+    def test_signed_int_roundtrip(self):
+        mem = FlatMemory()
+        mem.write_int(0x100, -42, 8)
+        assert mem.read_int(0x100, 8) == -42
+
+    def test_small_sizes(self):
+        mem = FlatMemory()
+        mem.write_int(0x100, 127, 1)
+        assert mem.read_int(0x100, 1) == 127
+
+    def test_float_roundtrip(self):
+        mem = FlatMemory()
+        mem.write_float(0x200, 2.718281828)
+        assert mem.read_float(0x200) == pytest.approx(2.718281828)
+
+
+class TestAllocator:
+    def test_alloc_disjoint(self):
+        mem = FlatMemory()
+        a = mem.alloc(100)
+        b = mem.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        mem = FlatMemory()
+        addr = mem.alloc(10, align=64)
+        assert addr % 64 == 0
+
+    def test_bad_alignment_rejected(self):
+        mem = FlatMemory()
+        with pytest.raises(ValueError):
+            mem.alloc(8, align=3)
+
+    def test_negative_size_rejected(self):
+        mem = FlatMemory()
+        with pytest.raises(ValueError):
+            mem.alloc(-1)
+
+    def test_mapped_bytes_tracks_pages(self):
+        mem = FlatMemory()
+        assert mem.mapped_bytes == 0
+        mem.write_bytes(0, b"x")
+        assert mem.mapped_bytes == PAGE_SIZE

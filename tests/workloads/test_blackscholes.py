@@ -1,0 +1,76 @@
+"""blackscholes miniature: semantic and structural checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.runtime import TracedRuntime
+from repro.trace import NullObserver
+from repro.workloads.blackscholes import Blackscholes, cndf, strtof
+from repro.workloads.lib import LibEnv
+
+
+class TestKernels:
+    def test_cndf_matches_closed_form(self):
+        """The polynomial CNDF must track the true normal CDF."""
+        rt = TracedRuntime(NullObserver())
+        env = LibEnv.create(rt.arena)
+        for x in (-2.0, -0.5, 0.0, 0.5, 1.0, 2.5):
+            expected = 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+            assert cndf(rt, env, x) == pytest.approx(expected, abs=2e-3)
+
+    def test_cndf_symmetry(self):
+        rt = TracedRuntime(NullObserver())
+        env = LibEnv.create(rt.arena)
+        assert cndf(rt, env, 1.3) + cndf(rt, env, -1.3) == pytest.approx(1.0, abs=1e-6)
+
+    def test_strtof_parses_digits(self):
+        rt = TracedRuntime(NullObserver())
+        env = LibEnv.create(rt.arena)
+        text = rt.arena.alloc_u8("text", 8)
+        out = rt.arena.alloc_f64("out", 4)
+        text.poke_block([ord(c) for c in "00012345"])
+        strtof(rt, env, text, 0, out, 1)
+        assert out.peek(1) == pytest.approx(12345 / 1e4)
+
+
+class TestWorkload:
+    def test_prices_are_finite_and_mixed(self):
+        w = Blackscholes("simsmall")
+        w.run(NullObserver())
+        assert math.isfinite(w.checksum)
+        assert w.checksum != 0.0
+
+    def test_pricing_dominates_operations(self):
+        sigil = SigilProfiler(SigilConfig())
+        Blackscholes("simsmall").run(sigil)
+        prof = sigil.profile()
+        by_name = prof.by_name()
+        pricing = (
+            by_name["BlkSchlsEqEuroNoDiv"].ops
+            + by_name["CNDF"].ops
+            + sum(v.ops for k, v in by_name.items() if k.startswith("__ieee754"))
+        )
+        assert pricing > 0.4 * prof.total_ops()
+
+    def test_strtof_feeds_pricing(self):
+        """The parse -> price dataflow: strtof writes the option records the
+        pricing kernel consumes."""
+        sigil = SigilProfiler(SigilConfig())
+        Blackscholes("simsmall").run(sigil)
+        prof = sigil.profile()
+        strtof_ctx = prof.contexts_named("strtof")[0].id
+        blk_ctx = prof.contexts_named("BlkSchlsEqEuroNoDiv")[0].id
+        edge = prof.comm.get(strtof_ctx, blk_ctx)
+        n = Blackscholes.PARAMS[next(iter(Blackscholes.PARAMS))]["n_options"]
+        assert edge.unique_bytes == n * 6 * 8
+
+    def test_mpn_mul_called_from_strtof_context(self):
+        sigil = SigilProfiler(SigilConfig())
+        Blackscholes("simsmall").run(sigil)
+        prof = sigil.profile()
+        mpn = prof.contexts_named("__mpn_mul")
+        assert any(node.parent.name == "strtof" for node in mpn)

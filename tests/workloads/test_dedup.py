@@ -1,0 +1,83 @@
+"""dedup miniature: deduplication actually happens, pipeline edges exist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.runtime import TracedRuntime
+from repro.trace import NullObserver
+from repro.workloads.dedup import Dedup, adler32, sha1_block
+from repro.workloads.lib import LibEnv
+
+
+class TestKernels:
+    def test_sha1_deterministic_and_content_sensitive(self):
+        rt = TracedRuntime(NullObserver())
+        data = rt.arena.alloc_u8("data", 128)
+        digest = rt.arena.alloc_i64("digest", 4)
+        data.poke_block(list(range(100, 228)))
+        sha1_block(rt, data, 0, 128, digest)
+        first = list(digest.peek_block())
+        sha1_block(rt, data, 0, 128, digest)
+        assert list(digest.peek_block()) == first
+        data.poke(0, 7)
+        sha1_block(rt, data, 0, 128, digest)
+        assert list(digest.peek_block()) != first
+
+    def test_adler32_changes_with_content(self):
+        rt = TracedRuntime(NullObserver())
+        data = rt.arena.alloc_u8("data", 64)
+        data.poke_block([1] * 64)
+        a = adler32(rt, data, 0, 64)
+        data.poke_block([2] * 64)
+        b = adler32(rt, data, 0, 64)
+        assert a != b
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        sigil = SigilProfiler(SigilConfig())
+        Dedup("simsmall").run(sigil)
+        return sigil.profile()
+
+    def test_duplicates_are_skipped(self, profile):
+        """~25% of chunks repeat a base pattern; compression must run on
+        fewer chunks than the stream contains."""
+        n_chunks = Dedup.PARAMS[next(iter(Dedup.PARAMS))]["n_chunks"]
+        compress_calls = sum(
+            node.calls for node in profile.contexts_named("Compress")
+        )
+        refine_calls = sum(
+            node.calls for node in profile.contexts_named("FragmentRefine")
+        )
+        assert refine_calls == n_chunks
+        assert compress_calls < n_chunks
+        assert compress_calls >= n_chunks * 0.5
+
+    def test_digest_flows_from_sha1_to_hashtable(self, profile):
+        sha1_ctxs = profile.contexts_named("sha1_block_data_order")
+        ht = profile.contexts_named("hashtable_search")[0]
+        flow = sum(
+            profile.comm.get(ctx.id, ht.id).unique_bytes for ctx in sha1_ctxs
+        )
+        assert flow > 0
+
+    def test_write_file_serialises_through_stream_state(self, profile):
+        """write_file reads the cursor its previous call wrote: a self-edge
+        (local bytes) on the write_file context."""
+        wf = profile.contexts_named("write_file")[0]
+        assert profile.unique_local_bytes(wf.id) > 0
+
+    def test_growing_address_footprint(self):
+        """Per-chunk output allocations grow the shadow footprint: dedup is
+        the memory-limit poster child (section III-A)."""
+        small = SigilProfiler(SigilConfig())
+        medium = SigilProfiler(SigilConfig())
+        Dedup("simsmall").run(small)
+        Dedup("simmedium").run(medium)
+        assert (
+            medium.profile().shadow_stats.peak_pages
+            > small.profile().shadow_stats.peak_pages
+        )

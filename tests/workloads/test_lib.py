@@ -1,0 +1,127 @@
+"""Shared library-kernel tests: the miniatures compute real results."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import TracedRuntime
+from repro.trace import RecordingObserver
+from repro.trace.events import FnEnter
+from repro.workloads.lib import (
+    LibEnv,
+    call_exp,
+    call_isnan,
+    call_log,
+    call_mpn_mul,
+    call_sqrt,
+    memchr,
+    memcpy,
+    memmove,
+    memset,
+    op_free,
+    op_new,
+    string_assign,
+    string_compare,
+)
+
+
+@pytest.fixture()
+def rt():
+    return TracedRuntime(RecordingObserver())
+
+
+@pytest.fixture()
+def env(rt):
+    return LibEnv.create(rt.arena)
+
+
+class TestLibm:
+    def test_exp_value(self, rt, env):
+        assert call_exp(rt, env, 1.0) == pytest.approx(math.e)
+
+    def test_exp_clamps_extremes(self, rt, env):
+        assert call_exp(rt, env, 10000.0) == pytest.approx(math.exp(700))
+
+    def test_log_value(self, rt, env):
+        assert call_log(rt, env, math.e) == pytest.approx(1.0)
+
+    def test_log_nonpositive(self, rt, env):
+        assert call_log(rt, env, 0.0) == -math.inf
+
+    def test_sqrt(self, rt, env):
+        assert call_sqrt(rt, env, 9.0) == pytest.approx(3.0)
+
+    def test_isnan(self, rt, env):
+        assert call_isnan(rt, env, float("nan")) is True
+        assert call_isnan(rt, env, 1.0) is False
+
+    def test_symbol_names_emitted(self, rt, env):
+        call_exp(rt, env, 1.0)
+        names = [e.name for e in rt.observer.events if isinstance(e, FnEnter)]
+        assert names == ["__ieee754_exp"]
+
+    def test_mpn_mul_magnitude(self, rt, env):
+        assert call_mpn_mul(rt, env, 3, 5, n_limbs=2) == (3 * 2) * (5 * 2)
+
+
+class TestMemoryUtilities:
+    def test_memcpy_copies(self, rt):
+        src = rt.arena.alloc_u8("src", 32)
+        dst = rt.arena.alloc_u8("dst", 32)
+        src.poke_block(np.arange(32, dtype=np.uint8))
+        memcpy(rt, dst, 0, src, 0, 32)
+        assert (dst.peek_block() == src.peek_block()).all()
+
+    def test_memmove_moves(self, rt):
+        buf = rt.arena.alloc_u8("b", 16)
+        buf.poke_block(np.arange(16, dtype=np.uint8))
+        memmove(rt, buf, 4, buf, 0, 8)
+        assert list(buf.peek_block(4, 8)) == list(range(8))
+
+    def test_memset_fills(self, rt):
+        buf = rt.arena.alloc_u8("b", 16)
+        memset(rt, buf, 0, 16, 7)
+        assert (buf.peek_block() == 7).all()
+
+    def test_memchr_found_and_missing(self, rt):
+        buf = rt.arena.alloc_u8("b", 16)
+        buf.poke(9, 42)
+        assert memchr(rt, buf, 0, 16, 42) == 9
+        assert memchr(rt, buf, 0, 8, 42) == -1
+
+    def test_string_compare(self, rt):
+        a = rt.arena.alloc_u8("a", 8)
+        b = rt.arena.alloc_u8("b", 8)
+        a.poke_block([1, 2, 3, 4, 5, 6, 7, 8])
+        b.poke_block([1, 2, 3, 4, 5, 6, 7, 8])
+        assert string_compare(rt, a, 0, b, 0, 8) == 0
+        b.poke(3, 9)
+        assert string_compare(rt, a, 0, b, 0, 8) < 0
+
+    def test_string_assign(self, rt, env):
+        src = rt.arena.alloc_u8("src", 16)
+        dst = rt.arena.alloc_u8("dst", 16)
+        src.poke_block(np.full(16, 3, dtype=np.uint8))
+        string_assign(rt, env, dst, src, 0, 8)
+        assert (dst.peek_block(0, 8) == 3).all()
+
+
+class TestAllocator:
+    def test_new_advances_cursor(self, rt, env):
+        a = op_new(rt, env, 64)
+        b = op_new(rt, env, 64)
+        assert b == a + 64
+
+    def test_free_records_token(self, rt, env):
+        token = op_new(rt, env, 8)
+        op_free(rt, env, token)
+        assert env.heap_meta.peek(1) == token
+
+    def test_rodata_staged_untraced(self, rt):
+        """LibEnv staging must not emit trace events (it is program input)."""
+        before = len(rt.observer.events)
+        LibEnv.create(rt.arena)
+        assert len(rt.observer.events) == before

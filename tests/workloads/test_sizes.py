@@ -1,0 +1,32 @@
+"""All three PARSEC-style input sizes run and scale for every workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace import NullObserver
+from repro.workloads import ALL_NAMES, InputSize, get_workload
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_simlarge_runs(name):
+    w = get_workload(name, InputSize.SIMLARGE)
+    w.run(NullObserver())
+    assert hasattr(w, "checksum")
+
+
+@pytest.mark.parametrize("name", ["blackscholes", "dedup", "vips"])
+def test_work_scales_monotonically(name):
+    times = []
+    for size in InputSize:
+        profiler = SigilProfiler(SigilConfig())
+        get_workload(name, size).run(profiler)
+        times.append(profiler.profile().total_time)
+    assert times == sorted(times)
+    assert times[-1] > 1.5 * times[0]
+
+
+def test_size_strings_accepted():
+    w = get_workload("x264", "simlarge")
+    assert w.size is InputSize.SIMLARGE

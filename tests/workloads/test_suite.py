@@ -1,0 +1,166 @@
+"""Suite-wide workload tests: every benchmark, every size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.trace.observer import BaseObserver, NullObserver
+from repro.workloads import ALL_NAMES, PARSEC_NAMES, WORKLOADS, InputSize, get_workload
+
+
+class BalanceChecker(BaseObserver):
+    """Asserts enter/exit balance and sane event arguments on the fly."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.max_depth = 0
+        self.events = 0
+        self.ops = 0
+
+    def on_fn_enter(self, name: str) -> None:
+        assert name and "\n" not in name
+        self.depth += 1
+        self.max_depth = max(self.max_depth, self.depth)
+
+    def on_fn_exit(self, name: str) -> None:
+        self.depth -= 1
+        assert self.depth >= 0, "function exit without matching enter"
+
+    def on_mem_read(self, addr: int, size: int) -> None:
+        assert addr >= 0 and size > 0
+        self.events += 1
+
+    def on_mem_write(self, addr: int, size: int) -> None:
+        assert addr >= 0 and size > 0
+        self.events += 1
+
+    def on_op(self, kind, count: int) -> None:
+        assert count > 0
+        self.ops += count
+
+
+class TestRegistry:
+    def test_fourteen_workloads(self):
+        assert len(ALL_NAMES) == 14
+        assert len(PARSEC_NAMES) == 13
+        assert "libquantum" in ALL_NAMES and "libquantum" not in PARSEC_NAMES
+
+    def test_names_match_classes(self):
+        for name, cls in WORKLOADS.items():
+            assert cls.name == name
+            assert cls.description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("vips", "gigantic")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_runs_balanced(self, name):
+        checker = BalanceChecker()
+        get_workload(name, "simsmall").run(checker)
+        assert checker.depth == 0
+        assert checker.max_depth >= 2, "expected at least main + one kernel"
+        assert checker.events > 0 and checker.ops > 0
+
+    def test_deterministic_checksum(self, name):
+        w1 = get_workload(name, "simsmall")
+        w2 = get_workload(name, "simsmall")
+        w1.run(NullObserver())
+        w2.run(NullObserver())
+        assert w1.checksum == w2.checksum
+
+    def test_all_sizes_defined(self, name):
+        cls = WORKLOADS[name]
+        assert set(cls.PARAMS) == set(InputSize)
+
+    def test_sizes_scale_up(self, name):
+        """simmedium must do at least as much work as simsmall."""
+        small = BalanceChecker()
+        medium = BalanceChecker()
+        get_workload(name, "simsmall").run(small)
+        get_workload(name, "simmedium").run(medium)
+        assert medium.ops > small.ops
+
+    def test_profiles_under_sigil(self, name):
+        sigil = SigilProfiler(SigilConfig())
+        get_workload(name, "simsmall").run(sigil)
+        prof = sigil.profile()
+        assert prof.total_time > 0
+        assert len(prof.contexts()) >= 3
+        assert len(prof.comm) > 0
+
+
+EXPECTED_FUNCTIONS = {
+    "blackscholes": {"strtof", "BlkSchlsEqEuroNoDiv", "CNDF", "__ieee754_expf",
+                     "__ieee754_logf", "__mpn_mul", "free", "dl_addr"},
+    "bodytrack": {"FlexImage::Set", "ImageMeasurements::ImageErrorInside",
+                  "DMatrix", "std::vector", "_IO_file_xsgetn", "_IO_sputbackc"},
+    "canneal": {"netlist::swap_locations", "mul", "memchr", "memmove",
+                "std::string::compare", "__mpn_rshift", "__mpn_lshift",
+                "std::locale::locale", "std::basic_string", "operator new",
+                "isnan"},
+    "dedup": {"sha1_block_data_order", "adler32", "_tr_flush_block",
+              "write_file", "hashtable_search"},
+    "facesim": {"Update_Position_Based_State", "Add_Velocity_Independent_Forces",
+                "One_Newton_Step_Toward_Steady_State", "CG_Iterate",
+                "Update_Collision_Body_List"},
+    "ferret": {"image_segment", "extract_features", "query_index", "emd",
+               "rank_candidates"},
+    "fluidanimate": {"RebuildGrid", "ComputeDensities", "ComputeForces",
+                     "ProcessCollisions", "AdvanceParticles"},
+    "freqmine": {"scan1_DB", "build_header_table", "insert_transaction",
+                 "FP_growth"},
+    "libquantum": {"quantum_sigma_x", "quantum_cnot", "quantum_toffoli",
+                   "quantum_gate_apply"},
+    "raytrace": {"BuildBVH", "RenderFrame", "RenderTile", "TraceRay",
+                 "Intersect", "Shade"},
+    "streamcluster": {"streamCluster", "localSearch", "pkmedian", "dist",
+                      "lrand48", "__nrand48_r", "drand48_iterate"},
+    "swaptions": {"HJM_Swaption_Blocking", "HJM_SimPath_Forward_Blocking",
+                  "Discount_Factors_Blocking", "RanUnif"},
+    "vips": {"affine_gen", "conv_gen", "imb_XYZ2Lab", "im_generate",
+             "im_prepare", "im_wrapmany"},
+    "x264": {"motion_search", "x264_pixel_sad", "x264_macroblock_analyse",
+             "dct4x4", "quant4x4", "cabac_encode", "x264_encoder_encode"},
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FUNCTIONS))
+def test_paper_function_inventory(name):
+    """Each miniature carries the hot-function names the paper reports."""
+    sigil = SigilProfiler(SigilConfig())
+    get_workload(name, "simsmall").run(sigil)
+    prof = sigil.profile()
+    profiled = {node.name for node in prof.contexts()}
+    missing = EXPECTED_FUNCTIONS[name] - profiled
+    assert not missing, f"{name} missing paper functions: {missing}"
+
+
+def test_sha1_two_contexts_in_dedup():
+    """Table II lists sha1_block_data_order twice: two calling contexts."""
+    sigil = SigilProfiler(SigilConfig())
+    get_workload("dedup", "simsmall").run(sigil)
+    contexts = sigil.profile().contexts_named("sha1_block_data_order")
+    assert len(contexts) == 2
+
+
+def test_image_error_inside_two_contexts_in_bodytrack():
+    sigil = SigilProfiler(SigilConfig())
+    get_workload("bodytrack", "simsmall").run(sigil)
+    contexts = sigil.profile().contexts_named(
+        "ImageMeasurements::ImageErrorInside"
+    )
+    assert len(contexts) == 2
+
+
+def test_conv_gen_two_contexts_in_vips():
+    sigil = SigilProfiler(SigilConfig())
+    get_workload("vips", "simsmall").run(sigil)
+    assert len(sigil.profile().contexts_named("conv_gen")) == 2

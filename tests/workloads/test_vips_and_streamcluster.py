@@ -1,0 +1,103 @@
+"""vips and streamcluster miniatures: the reuse and critical-path anchors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SigilConfig, SigilProfiler
+from repro.runtime import TracedRuntime
+from repro.trace import NullObserver
+from repro.workloads.streamcluster import Streamcluster, dist, drand48_iterate
+from repro.workloads.vips import Vips
+
+
+class TestVipsPipeline:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        sigil = SigilProfiler(SigilConfig(reuse_mode=True))
+        Vips("simsmall").run(sigil)
+        return sigil.profile()
+
+    def test_stage_dataflow_order(self, profile):
+        """embed -> affine -> conv(blur) -> conv(sharpen) -> lintra -> Lab:
+        each stage consumes bytes the previous stage produced."""
+        def ctx(name, which=0):
+            return profile.contexts_named(name)[which].id
+
+        convs = sorted(profile.contexts_named("conv_gen"), key=lambda n: n.id)
+        chain = [
+            (ctx("im_embed"), ctx("affine_gen")),
+            (ctx("affine_gen"), convs[0].id),
+            (convs[0].id, convs[1].id),
+            (convs[1].id, ctx("im_lintra")),
+            (ctx("im_lintra"), ctx("imb_XYZ2Lab")),
+        ]
+        for writer, reader in chain:
+            assert profile.comm.get(writer, reader).unique_bytes > 0, (
+                profile.tree.node(writer).name,
+                profile.tree.node(reader).name,
+            )
+
+    def test_conv_gen_rereads_per_tap(self, profile):
+        """A taps-deep vertical convolution re-reads interior rows taps-1
+        times: non-unique bytes dominate conv_gen's input edge."""
+        convs = profile.contexts_named("conv_gen")
+        blur = min(convs, key=lambda n: n.id)
+        affine = profile.contexts_named("affine_gen")[0]
+        edge = profile.comm.get(affine.id, blur.id)
+        taps = Vips.PARAMS[next(iter(Vips.PARAMS))]["taps"]
+        assert edge.nonunique_bytes > (taps - 2) * edge.unique_bytes
+
+    def test_lab_output_is_real(self):
+        w = Vips("simsmall")
+        w.run(NullObserver())
+        assert np.isfinite(w.checksum)
+
+    def test_lut_is_highly_reused(self, profile):
+        lab = profile.contexts_named("imb_XYZ2Lab")[0]
+        stats = profile.reuse.per_fn[lab.id]
+        assert stats.reuse_accesses > 0
+
+
+class TestStreamcluster:
+    def test_dist_is_euclidean_squared(self):
+        rt = TracedRuntime(NullObserver())
+        points = rt.arena.alloc_f64("pts", 16)
+        points.poke_block([0.0] * 8 + [3.0, 4.0] + [0.0] * 6)
+        assert dist(rt, points, 0, 1, 8) == pytest.approx(25.0)
+
+    def test_lcg_advances_state(self):
+        rt = TracedRuntime(NullObserver())
+        state = rt.arena.alloc_i64("state", 2)
+        state.poke(0, 12345)
+        drand48_iterate(rt, state)
+        first = int(state.peek(0))
+        drand48_iterate(rt, state)
+        assert int(state.peek(0)) != first
+        assert first == (25214903917 * 12345 + 11) & ((1 << 48) - 1)
+
+    def test_rand_chain_contexts(self):
+        """The rand48 helpers nest exactly as the paper's chain shows:
+        lrand48 -> __nrand48_r -> drand48_iterate."""
+        sigil = SigilProfiler(SigilConfig())
+        Streamcluster("simsmall").run(sigil)
+        prof = sigil.profile()
+        iterate = prof.contexts_named("drand48_iterate")[0]
+        assert iterate.path[-3:] == ("lrand48", "__nrand48_r", "drand48_iterate")
+
+    def test_centers_open_during_search(self):
+        """pkmedian probabilistically opens facilities; the costs buffer
+        must show distances shrinking to zero for chosen centers."""
+        w = Streamcluster("simsmall")
+        w.run(NullObserver())
+        assert w.checksum > 0.0
+
+    def test_rng_state_serialises_rand_calls(self):
+        """Each drand48_iterate reads the state its previous call wrote --
+        the memory dependence behind the paper's critical path."""
+        sigil = SigilProfiler(SigilConfig())
+        Streamcluster("simsmall").run(sigil)
+        prof = sigil.profile()
+        it = prof.contexts_named("drand48_iterate")[0]
+        assert prof.unique_local_bytes(it.id) > 0
