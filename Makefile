@@ -1,12 +1,20 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples clean
+.PHONY: install test property benches figures examples telemetry-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test:
+test: telemetry-smoke
 	pytest tests/
+
+# Prove the self-telemetry loop end to end: profile a small workload with a
+# manifest, then render it back through `repro stats`.
+telemetry-smoke:
+	PYTHONPATH=src python -m repro profile blackscholes --size simsmall \
+		--manifest-out .telemetry-smoke.manifest.json >/dev/null
+	PYTHONPATH=src python -m repro stats .telemetry-smoke.manifest.json
+	rm -f .telemetry-smoke.manifest.json
 
 property:
 	pytest tests/property/ -q
@@ -26,4 +34,5 @@ examples:
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks
+	rm -f .telemetry-smoke.manifest.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,22 +6,30 @@ session), renders the paper-style table/series to stdout, and saves the
 text artifact under ``benchmarks/results/``.  The pytest-benchmark fixture
 times the operative tool step so ``--benchmark-only`` also yields a
 performance baseline for the tooling itself.
+
+Timing now goes through :func:`repro.harness.profile_workload`'s per-phase
+clock, so the overhead figures charge only the *execute* phase to the tool
+(workload construction and profile aggregation are reported separately).
+Every cached full profile and every best-of timing appends one JSON line to
+``benchmarks/results/manifests.jsonl`` -- the longitudinal self-overhead
+record that lets future PRs prove a hot-path change actually helped.
 """
 
 from __future__ import annotations
 
 import functools
+import json
 import time
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Tuple
 
-from repro.callgrind import CallgrindCollector
-from repro.core import LineReuseProfiler, SigilConfig, SigilProfiler
-from repro.harness import ProfiledRun
-from repro.trace import NullObserver, ObserverPipe
+from repro.core import LineReuseProfiler, SigilConfig
+from repro.harness import ProfiledRun, native_run, profile_workload
+from repro.telemetry import Telemetry, git_rev
 from repro.workloads import get_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
+MANIFESTS_LOG = RESULTS_DIR / "manifests.jsonl"
 
 #: Workloads the paper's overhead/reuse figures sweep (PARSEC subset used
 #: throughout section III-A / IV-B).
@@ -57,64 +65,93 @@ PARALLELISM_SUITE = (
 )
 
 
+def append_manifest_line(record: dict) -> None:
+    """Append one JSON line to the perf-trajectory log (manifests.jsonl)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with MANIFESTS_LOG.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def _timing_record(tool: str, name: str, size: str, run: ProfiledRun) -> dict:
+    """A compact one-line record of one best-of timing measurement."""
+    return {
+        "kind": "timing",
+        "tool": tool,
+        "workload": name,
+        "size": size,
+        "setup_seconds": run.setup_seconds,
+        "execute_seconds": run.execute_seconds,
+        "aggregate_seconds": run.aggregate_seconds,
+        "git_rev": git_rev(),
+        "created_unix": time.time(),
+    }
+
+
 @functools.lru_cache(maxsize=None)
 def full_run(name: str, size: str = "simsmall") -> ProfiledRun:
     """Sigil (reuse+event) + Callgrind profile of one workload, cached."""
-    workload = get_workload(name, size)
-    sigil = SigilProfiler(SigilConfig(reuse_mode=True, event_mode=True))
-    cg = CallgrindCollector()
-    start = time.perf_counter()
-    workload.run(ObserverPipe([sigil, cg]))
-    wall = time.perf_counter() - start
-    return ProfiledRun(workload, sigil.profile(), cg.profile, wall)
+    run = profile_workload(
+        name,
+        size,
+        config=SigilConfig(reuse_mode=True, event_mode=True),
+        telemetry=Telemetry(),
+    )
+    if run.manifest is not None:
+        append_manifest_line(run.manifest.to_dict())
+    return run
 
 
 _TIMING_REPEATS = 3
 
 
-def _best_of(run_once) -> float:
-    """Minimum of a few repetitions: the least-noise wall-clock estimate."""
-    return min(run_once() for _ in range(_TIMING_REPEATS))
+def _best_run(make_run) -> ProfiledRun:
+    """Of a few repetitions, the run with the least-noise execute phase."""
+    best = None
+    for _ in range(_TIMING_REPEATS):
+        run = make_run()
+        if best is None or run.execute_seconds < best.execute_seconds:
+            best = run
+    return best
 
 
 @functools.lru_cache(maxsize=None)
 def timed_native(name: str, size: str = "simsmall") -> float:
-    def once() -> float:
-        workload = get_workload(name, size)
-        start = time.perf_counter()
-        workload.run(NullObserver())
-        return time.perf_counter() - start
-
-    return _best_of(once)
+    """Execute-phase seconds of the uninstrumented run (best of a few)."""
+    run = _best_run(lambda: native_run(name, size))
+    append_manifest_line(_timing_record("native", name, size, run))
+    return run.execute_seconds
 
 
 @functools.lru_cache(maxsize=None)
 def timed_callgrind(name: str, size: str = "simsmall") -> float:
-    def once() -> float:
-        workload = get_workload(name, size)
-        start = time.perf_counter()
-        workload.run(CallgrindCollector())
-        return time.perf_counter() - start
-
-    return _best_of(once)
+    """Execute-phase seconds under the Callgrind equivalent alone."""
+    run = _best_run(
+        lambda: profile_workload(name, size, with_sigil=False)
+    )
+    append_manifest_line(_timing_record("callgrind", name, size, run))
+    return run.execute_seconds
 
 
 @functools.lru_cache(maxsize=None)
 def timed_sigil(
     name: str, size: str = "simsmall", reuse: bool = False
-) -> Tuple[float, SigilProfiler]:
-    best = None
-    best_profiler = None
-    for _ in range(_TIMING_REPEATS):
-        workload = get_workload(name, size)
-        profiler = SigilProfiler(SigilConfig(reuse_mode=reuse))
-        start = time.perf_counter()
-        workload.run(profiler)
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-            best_profiler = profiler
-    return best, best_profiler
+) -> Tuple[float, ProfiledRun]:
+    """Execute-phase seconds under Sigil alone, plus the fastest run.
+
+    Timing runs use null telemetry so the observer fan-out is exactly the
+    tool under measurement -- no event counter rides in the pipe.
+    """
+    run = _best_run(
+        lambda: profile_workload(
+            name, size,
+            config=SigilConfig(reuse_mode=reuse),
+            with_callgrind=False,
+        )
+    )
+    append_manifest_line(
+        _timing_record("sigil-reuse" if reuse else "sigil", name, size, run)
+    )
+    return run.execute_seconds, run
 
 
 @functools.lru_cache(maxsize=None)

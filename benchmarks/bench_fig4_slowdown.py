@@ -7,6 +7,10 @@ Xeon the averages were ~580x (Sigil) with Callgrind far cheaper; here
 "native" is the substrate with no observer, so the ratios are much smaller
 but the ordering (sigil >> callgrind >> native) and the cross-workload
 consistency are the reproduced shape.
+
+Timings are the harness's per-phase *execute* seconds (ProfiledRun's phase
+split): workload construction and profile aggregation are excluded, so the
+slowdown ratio isolates exactly the tool's event-path cost.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Paper: "we observe an average slowdown of 8-9x and remains fairly
 consistent given Sigil's ambitious goals.  dedup is an outlier which
 incurred more slowdown as we enabled the memory limiting command line
 option."
+
+Both numerator and denominator are per-phase *execute* seconds from the
+harness's ProfiledRun split, so the ratio compares pure tool event-path
+cost, untainted by workload setup or aggregation time.
 """
 
 from __future__ import annotations

@@ -16,8 +16,8 @@ from repro.workloads import get_workload
 
 
 def _shadow_kb(name: str, size: str) -> int:
-    _, profiler = timed_sigil(name, size)
-    return profiler.shadow.shadow_bytes // 1024
+    _, run = timed_sigil(name, size)
+    return run.sigil.shadow_stats.shadow_bytes // 1024
 
 
 def test_fig6_memory_usage(benchmark):

@@ -14,10 +14,17 @@ Quick start::
 
 from repro.core.config import SigilConfig
 from repro.core.profiler import SigilProfile, SigilProfiler
-from repro.harness import ProfiledRun, line_reuse_run, native_seconds, profile_workload
+from repro.harness import (
+    ProfiledRun,
+    line_reuse_run,
+    native_run,
+    native_seconds,
+    profile_workload,
+)
+from repro.telemetry import Manifest, NullTelemetry, Telemetry
 from repro.workloads import ALL_NAMES, PARSEC_NAMES, InputSize, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SigilConfig",
@@ -25,8 +32,12 @@ __all__ = [
     "SigilProfiler",
     "ProfiledRun",
     "line_reuse_run",
+    "native_run",
     "native_seconds",
     "profile_workload",
+    "Manifest",
+    "NullTelemetry",
+    "Telemetry",
     "ALL_NAMES",
     "PARSEC_NAMES",
     "InputSize",

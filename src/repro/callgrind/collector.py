@@ -214,3 +214,24 @@ class CallgrindCollector(BaseObserver):
     def on_run_end(self) -> None:
         if any(stack for stack in self._threads.values()):
             raise RuntimeError("unbalanced function enter/exit in trace")
+
+    def record_telemetry(self, telemetry) -> None:
+        """Publish the collector's whole-run totals into ``telemetry``.
+
+        One pass over the per-context self costs after the run: calls made,
+        instructions retired, cache-simulator and branch-predictor event
+        counts.  Nothing here runs on the per-event path.
+        """
+        total = CallgrindCosts()
+        for costs in self.profile.self_costs.values():
+            total.add(costs)
+        calls = sum(
+            node.calls for node in self.tree.nodes if node.parent is not None
+        )
+        telemetry.counter("callgrind.calls").inc(calls)
+        telemetry.counter("callgrind.instructions").inc(total.instructions)
+        telemetry.counter("callgrind.l1_misses").inc(total.l1_misses)
+        telemetry.counter("callgrind.ll_misses").inc(total.ll_misses)
+        telemetry.counter("callgrind.branches").inc(total.branches)
+        telemetry.counter("callgrind.branch_misses").inc(total.branch_misses)
+        telemetry.counter("callgrind.syscalls").inc(total.syscalls)

@@ -5,19 +5,26 @@ is that surface for the reproduction::
 
     repro list
     repro profile vips --reuse --events -o vips.profile --events-out vips.events
+    repro profile vips --telemetry --heartbeat 100000
     repro report vips.profile --top 10
     repro partition blackscholes --bandwidth 8
     repro reuse vips --function conv_gen
     repro critpath vips.events
     repro critpath streamcluster --cores 1,2,4,8
+    repro stats vips-simsmall.manifest.json
 
 Commands accepting a workload name run it live; ``report``/``critpath`` also
 accept files produced by ``profile``, supporting the paper's offline model.
+Workload-running commands take the shared telemetry/logging flags
+(``--telemetry``/``--no-telemetry``, ``--manifest-out``, ``--heartbeat``,
+``-v``/``-q``); telemetry-enabled runs write a JSON manifest that ``repro
+stats`` renders and compares.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 from pathlib import Path
@@ -50,13 +57,110 @@ from repro.io import (
     load_events,
     load_profile,
 )
+from repro.telemetry import Manifest, Telemetry, build_manifest
 from repro.workloads import ALL_NAMES, WORKLOADS, InputSize
 
 __all__ = ["main", "build_parser"]
 
+log = logging.getLogger("repro.cli")
+
 
 def _fmt_be(value: float) -> str:
     return f"{value:.3f}" if math.isfinite(value) else "inf"
+
+
+# ---------------------------------------------------------------------------
+# logging + telemetry plumbing
+# ---------------------------------------------------------------------------
+
+
+class _StderrHandler(logging.StreamHandler):
+    """Stream handler that re-resolves ``sys.stderr`` on every record.
+
+    Tests (and shells) swap ``sys.stderr``; binding the stream at handler
+    construction would silently write into the dead object.
+    """
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it
+        pass
+
+
+class _LevelFormatter(logging.Formatter):
+    """Formats ``error: message`` style lines (lowercase level names)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        prefix = record.levelname.lower()
+        return f"{prefix}: {record.getMessage()}"
+
+
+def _setup_logging(verbosity: int) -> None:
+    """Configure the ``repro.*`` logger namespace from ``-v``/``-q`` counts."""
+    root = logging.getLogger("repro")
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity == 0:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    root.setLevel(level)
+    if not any(isinstance(h, _StderrHandler) for h in root.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(_LevelFormatter())
+        root.addHandler(handler)
+    root.propagate = False
+
+
+def _telemetry_from(args) -> Optional[Telemetry]:
+    """Build this invocation's telemetry session (None when disabled).
+
+    Telemetry is on by default -- the run measures itself -- and disabled
+    with ``--no-telemetry``, which restores the seed observer fan-out with
+    zero additional Python-level calls per event.
+    """
+    if getattr(args, "no_telemetry", False):
+        return None
+    return Telemetry(
+        heartbeat_events=getattr(args, "heartbeat", None),
+        heartbeat_seconds=getattr(args, "heartbeat_secs", None),
+    )
+
+
+def _manifest_path(args, *, default_stem: str) -> Optional[Path]:
+    """Where this run's manifest belongs, or None to skip writing.
+
+    Priority: an explicit ``--manifest-out``; else next to ``-o`` output;
+    else (only with an explicit ``--telemetry``) ``<stem>.manifest.json`` in
+    the working directory.
+    """
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out:
+        return Path(manifest_out)
+    output = getattr(args, "output", None)
+    if output:
+        return Path(f"{output}.manifest.json")
+    if getattr(args, "telemetry", False):
+        return Path(f"{default_stem}.manifest.json")
+    return None
+
+
+def _emit_manifest(args, manifest: Optional[Manifest], *, default_stem: str) -> None:
+    """Write the run manifest when the flags ask for one."""
+    if manifest is None:
+        return
+    path = _manifest_path(args, default_stem=default_stem)
+    if path is None:
+        return
+    argv = getattr(args, "_argv", None)
+    manifest.command = " ".join(argv) if argv else args.command
+    manifest.write(path)
+    print(f"manifest written to {path}")
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +185,9 @@ def _run(args, *, reuse: bool = False, events: bool = False):
         line_size=getattr(args, "line_size", 1),
         max_shadow_pages=getattr(args, "max_shadow_pages", None),
     )
-    return profile_workload(args.workload, args.size, config=config)
+    return profile_workload(
+        args.workload, args.size, config=config, telemetry=_telemetry_from(args)
+    )
 
 
 def cmd_profile(args) -> int:
@@ -93,18 +199,29 @@ def cmd_profile(args) -> int:
         f"shadow {profile.shadow_stats.shadow_bytes // 1024} KB, "
         f"{run.wall_seconds:.2f}s wall"
     )
+    if run.manifest is not None:
+        print(
+            f"phases: setup {run.setup_seconds:.2f}s, "
+            f"execute {run.execute_seconds:.2f}s, "
+            f"aggregate {run.aggregate_seconds:.2f}s; "
+            f"{run.manifest.events_total:,} events "
+            f"({run.manifest.events_per_sec:,.0f} ev/s)"
+        )
     if args.output:
         dump_profile(profile, args.output)
         print(f"profile written to {args.output}")
     if args.events_out:
         if profile.events is None:
-            print("error: --events-out requires --events", file=sys.stderr)
+            log.error("--events-out requires --events")
             return 2
         dump_events(profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
     if args.callgrind_out:
         dump_callgrind(run.callgrind, args.callgrind_out)
         print(f"callgrind profile written to {args.callgrind_out}")
+    _emit_manifest(
+        args, run.manifest, default_stem=f"{run.name}-{run.size.value}"
+    )
     if not (args.output or args.events_out or args.callgrind_out):
         _print_summary(profile, args.top)
     return 0
@@ -226,7 +343,7 @@ def cmd_reuse(args) -> int:
             if node.name == args.function
         ]
         if not matches:
-            print(f"error: function {args.function!r} not found", file=sys.stderr)
+            log.error("function %r not found", args.function)
             return 2
         for node in matches:
             hist = lifetime_histogram(profile, node.id)
@@ -254,6 +371,9 @@ def cmd_reuse(args) -> int:
             rows,
             title="miss-ratio curve from LRU stack distances (64B lines)",
         ))
+    _emit_manifest(
+        args, run.manifest, default_stem=f"{run.name}-{run.size.value}-reuse"
+    )
     return 0
 
 
@@ -261,18 +381,41 @@ def cmd_run(args) -> int:
     """Assemble and profile a user program (see repro.vm.asm for syntax)."""
     from repro.callgrind import CallgrindCollector
     from repro.core import SigilProfiler
-    from repro.trace import ObserverPipe
+    from repro.harness import _assemble_observer
+    from repro.telemetry import NULL_TELEMETRY
     from repro.vm import Machine
     from repro.vm.asm import assemble
 
-    text = Path(args.program).read_text()
-    program = assemble(text, entry=args.entry)
-    sigil = SigilProfiler(SigilConfig(
-        reuse_mode=args.reuse, event_mode=args.events,
-    ))
-    callgrind = CallgrindCollector()
-    result = Machine().run(program, ObserverPipe([sigil, callgrind]))
-    profile = sigil.profile()
+    tel = _telemetry_from(args)
+    tel = tel if tel is not None else NULL_TELEMETRY
+    config = SigilConfig(reuse_mode=args.reuse, event_mode=args.events)
+    with tel.phase("setup"):
+        text = Path(args.program).read_text()
+        program = assemble(text, entry=args.entry)
+        sigil = SigilProfiler(config)
+        callgrind = CallgrindCollector()
+        observer, counter = _assemble_observer(
+            [sigil, callgrind], tel, Path(args.program).name
+        )
+    with tel.phase("execute"):
+        result = Machine(telemetry=tel).run(program, observer)
+    with tel.phase("aggregate"):
+        profile = sigil.profile()
+    manifest = None
+    if tel.enabled:
+        sigil.record_telemetry(tel)
+        callgrind.record_telemetry(tel)
+        counter.publish(tel)
+        tel.record_process_stats()
+        manifest = build_manifest(
+            workload=Path(args.program).name,
+            size="program",
+            config=config,
+            phases=tel.timers.snapshot(),
+            metrics=tel.metrics.snapshot(),
+            events_total=counter.total,
+            execute_seconds=tel.timers.seconds("execute"),
+        )
     print(
         f"{args.program}: returned {result.value!r}, "
         f"{result.instructions} instructions, "
@@ -283,10 +426,11 @@ def cmd_run(args) -> int:
         print(f"profile written to {args.output}")
     if args.events_out:
         if profile.events is None:
-            print("error: --events-out requires --events", file=sys.stderr)
+            log.error("--events-out requires --events")
             return 2
         dump_events(profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
+    _emit_manifest(args, manifest, default_stem=Path(args.program).stem)
     _print_summary(profile, args.top)
     trimmed = trim_calltree(profile, callgrind.profile)
     rows = [
@@ -309,10 +453,9 @@ def cmd_figures(args) -> int:
 
     bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
     if not bench_dir.exists():
-        print(
-            "error: benchmarks/ not found next to the package; run from a "
-            "source checkout",
-            file=sys.stderr,
+        log.error(
+            "benchmarks/ not found next to the package; run from a "
+            "source checkout"
         )
         return 2
     pytest_args = [str(bench_dir), "--benchmark-only", "-q"]
@@ -369,10 +512,8 @@ def cmd_critpath(args) -> int:
         name = Path(args.target).stem
     else:
         if args.target not in WORKLOADS:
-            print(
-                f"error: {args.target!r} is neither an event file nor a "
-                f"workload name",
-                file=sys.stderr,
+            log.error(
+                "%r is neither an event file nor a workload name", args.target
             )
             return 2
         args.workload = args.target
@@ -406,9 +547,129 @@ def cmd_critpath(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Render and compare run manifests written by telemetry-enabled runs."""
+    manifests = []
+    for path in args.manifests:
+        try:
+            manifests.append((Path(path), Manifest.load(path)))
+        except (OSError, ValueError, TypeError) as exc:
+            log.error("cannot read manifest %s: %s", path, exc)
+            return 2
+    rows = []
+    for path, m in manifests:
+        rows.append((
+            path.name,
+            m.workload,
+            m.size,
+            f"{m.phase_seconds('setup'):.3f}",
+            f"{m.phase_seconds('execute'):.3f}",
+            f"{m.phase_seconds('aggregate'):.3f}",
+            f"{m.events_total:,}",
+            f"{m.events_per_sec:,.0f}",
+            m.metric("sigil.shadow.peak_shadow_bytes") // 1024,
+            f"{m.metric('sigil.bytes.unique'):,}",
+            f"{m.metric('sigil.bytes.nonunique'):,}",
+        ))
+    print(render_table(
+        ["manifest", "workload", "size", "setup_s", "execute_s", "aggr_s",
+         "events", "ev/s", "peak_shadow_KB", "uniq_B", "nonuniq_B"],
+        rows,
+        title=f"{len(rows)} run manifest{'s' if len(rows) != 1 else ''}",
+    ))
+    if args.verbose_metrics:
+        for path, m in manifests:
+            print(f"\n{path.name} (git {m.git_rev or '?'}, "
+                  f"config {m.config_hash or '?'}):")
+            for name, value in sorted(m.metrics.items()):
+                print(f"  {name:40s} {value}")
+    if len(manifests) >= 2:
+        base_path, base = manifests[0]
+
+        def _ratio(new: float, old: float) -> str:
+            return f"{new / old:.2f}x" if old else "n/a"
+
+        rows = []
+        for path, m in manifests[1:]:
+            rows.append((
+                path.name,
+                _ratio(m.phase_seconds("execute"), base.phase_seconds("execute")),
+                _ratio(m.events_per_sec, base.events_per_sec),
+                _ratio(
+                    m.metric("sigil.shadow.peak_shadow_bytes"),
+                    base.metric("sigil.shadow.peak_shadow_bytes"),
+                ),
+                _ratio(
+                    m.metric("sigil.bytes.unique"),
+                    base.metric("sigil.bytes.unique"),
+                ),
+                "yes" if m.config_hash == base.config_hash else "NO",
+            ))
+        print()
+        print(render_table(
+            ["manifest", "execute", "ev/s", "peak_shadow", "uniq_B",
+             "same_config"],
+            rows,
+            title=f"relative to {base_path.name}",
+        ))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared telemetry/logging flags, attachable to any subcommand.
+
+    Defaults are ``SUPPRESS`` so a flag given before the subcommand (on the
+    main parser) is not clobbered by the subparser's defaults; readers use
+    ``getattr`` with fallbacks.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry / logging")
+    group.add_argument(
+        "--telemetry", action="store_true", default=argparse.SUPPRESS,
+        help="measure the run itself and always write a JSON run manifest")
+    group.add_argument(
+        "--no-telemetry", dest="no_telemetry", action="store_true",
+        default=argparse.SUPPRESS,
+        help="disable self-telemetry (zero extra calls on the event path)")
+    group.add_argument(
+        "--manifest-out", metavar="FILE", default=argparse.SUPPRESS,
+        help="write the run manifest to FILE")
+    group.add_argument(
+        "--heartbeat", type=_positive_int, metavar="N",
+        default=argparse.SUPPRESS,
+        help="print a stderr progress line every N dispatched events")
+    group.add_argument(
+        "--heartbeat-secs", type=_positive_float, metavar="T",
+        default=argparse.SUPPRESS,
+        help="print a stderr progress line at least every T seconds")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="more logging (-v info, -vv debug)")
+    group.add_argument(
+        "-q", "--quiet", action="count", default=argparse.SUPPRESS,
+        help="less logging (errors only)")
+    return parent
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -419,16 +680,19 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
+    common = _telemetry_parent()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sigil reproduction: function-level communication profiling",
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list", help="list available workloads")
     p.set_defaults(func=cmd_list)
 
-    p = sub.add_parser("profile", help="profile a workload with Sigil")
+    p = sub.add_parser("profile", help="profile a workload with Sigil",
+                       parents=[common])
     _add_workload_args(p)
     p.add_argument("--reuse", action="store_true", help="enable re-use mode")
     p.add_argument("--events", action="store_true", help="enable event mode")
@@ -452,7 +716,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export communication metrics in callgrind format")
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("partition", help="HW/SW partitioning study")
+    p = sub.add_parser("partition", help="HW/SW partitioning study",
+                       parents=[common])
     p.add_argument("workload", nargs="?", choices=ALL_NAMES)
     p.add_argument("--size", default="simsmall",
                    choices=[s.value for s in InputSize])
@@ -463,7 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_partition)
 
-    p = sub.add_parser("reuse", help="data re-use study")
+    p = sub.add_parser("reuse", help="data re-use study", parents=[common])
     _add_workload_args(p)
     p.add_argument("--function", help="print this function's lifetime histogram")
     p.add_argument("--mrc", action="store_true",
@@ -481,7 +746,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=15)
     p.set_defaults(func=cmd_diff)
 
-    p = sub.add_parser("run", help="assemble and profile a .s program")
+    p = sub.add_parser("run", help="assemble and profile a .s program",
+                       parents=[common])
     p.add_argument("program", help="assembly file (see repro.vm.asm)")
     p.add_argument("--entry", default="main")
     p.add_argument("--reuse", action="store_true")
@@ -491,13 +757,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("critpath", help="critical-path / scheduling study")
+    p = sub.add_parser("critpath", help="critical-path / scheduling study",
+                       parents=[common])
     p.add_argument("target", help="event file or workload name")
     p.add_argument("--size", default="simsmall",
                    choices=[s.value for s in InputSize])
     p.add_argument("--cores", help="comma-separated core counts to schedule")
     p.add_argument("--dot", help="write the dependency-chain graph here")
     p.set_defaults(func=cmd_critpath)
+
+    p = sub.add_parser("stats", help="print / compare run manifests")
+    p.add_argument("manifests", nargs="+",
+                   help="manifest JSON files written by telemetry runs")
+    p.add_argument("--metrics", dest="verbose_metrics", action="store_true",
+                   help="also dump every raw metric per manifest")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
@@ -506,6 +780,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
+    _setup_logging(
+        getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    )
     if args.command == "partition" and not args.workload and not (
         args.profile and args.callgrind
     ):

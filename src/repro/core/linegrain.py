@@ -107,3 +107,9 @@ class LineReuseProfiler(BaseObserver):
     @property
     def n_lines(self) -> int:
         return len(self._lines)
+
+    def record_telemetry(self, telemetry) -> None:
+        """Publish this mode's footprint (lines shadowed, clock) once."""
+        telemetry.gauge("linegrain.lines").set(len(self._lines))
+        telemetry.gauge("linegrain.line_size").set(self.line_size)
+        telemetry.counter("linegrain.time").inc(self.time)

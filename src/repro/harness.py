@@ -3,35 +3,66 @@
 Mirrors how the paper collects data: a *native* run (no tool), a *Callgrind*
 run (calltree costs + cache/branch simulation), and a *Sigil* run (shadow
 memory, optionally alongside Callgrind so partitioning studies can join
-communication with timing).  Wall-clock seconds are measured around the
-substrate so the Figure 4-6 overhead characterisation can be regenerated.
+communication with timing).  Wall-clock is measured per pipeline phase --
+workload *setup*, substrate *execute*, profile *aggregate* -- so the Figure
+4-6 overhead characterisation charges only tool time to the tool, and every
+telemetry-enabled run yields a structured :class:`~repro.telemetry.Manifest`
+describing its own cost (per-phase seconds, events/sec, shadow footprint).
 """
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.callgrind.collector import CallgrindCollector, CallgrindProfile
 from repro.core.config import SigilConfig
 from repro.core.linegrain import LineReuseProfiler
 from repro.core.profiler import SigilProfile, SigilProfiler
-from repro.trace.observer import NullObserver, ObserverPipe
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    EventCounter,
+    Manifest,
+    Telemetry,
+    build_manifest,
+)
+from repro.trace.observer import NullObserver, ObserverPipe, TraceObserver
 from repro.workloads.base import InputSize, Workload
 from repro.workloads.registry import get_workload
 
-__all__ = ["ProfiledRun", "profile_workload", "native_seconds", "line_reuse_run"]
+__all__ = [
+    "ProfiledRun",
+    "profile_workload",
+    "native_run",
+    "native_seconds",
+    "line_reuse_run",
+]
+
+log = logging.getLogger("repro.harness")
 
 
 @dataclass
 class ProfiledRun:
-    """Results of one instrumented workload execution."""
+    """Results of one instrumented workload execution.
+
+    Wall time is split by pipeline phase; the historical ``wall_seconds``
+    total survives as a property so existing callers keep working.
+    """
 
     workload: Workload
     sigil: Optional[SigilProfile]
     callgrind: Optional[CallgrindProfile]
-    wall_seconds: float
+    setup_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    manifest: Optional[Manifest] = field(default=None, repr=False)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time across all phases (the pre-split single number)."""
+        return self.setup_seconds + self.execute_seconds + self.aggregate_seconds
 
     @property
     def name(self) -> str:
@@ -42,6 +73,35 @@ class ProfiledRun:
         return self.workload.size
 
 
+def _assemble_observer(
+    tools: List[TraceObserver],
+    telemetry: Telemetry,
+    label: str,
+) -> tuple:
+    """Build the observer fan-out for a run.
+
+    Returns ``(observer, counter)``.  With null telemetry the composition is
+    byte-for-byte what the seed code built -- a lone tool is attached
+    directly, several share one pipe -- so a telemetry-less run dispatches
+    zero additional Python-level calls per event.  With telemetry enabled,
+    an :class:`EventCounter` (and, if configured, a heartbeat) joins the
+    pipe.
+    """
+    counter = None
+    observers: List[TraceObserver] = list(tools)
+    if telemetry.enabled:
+        counter = EventCounter()
+        observers.append(counter)
+        heartbeat = telemetry.make_heartbeat(label)
+        if heartbeat is not None:
+            observers.append(heartbeat)
+    if not observers:
+        return NullObserver(), counter
+    if len(observers) == 1:
+        return observers[0], counter
+    return ObserverPipe(observers), counter
+
+
 def profile_workload(
     name: str,
     size: InputSize | str = InputSize.SIMSMALL,
@@ -49,37 +109,89 @@ def profile_workload(
     config: Optional[SigilConfig] = None,
     with_sigil: bool = True,
     with_callgrind: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> ProfiledRun:
-    """Run workload ``name`` at ``size`` under the requested observers."""
+    """Run workload ``name`` at ``size`` under the requested observers.
+
+    Pass a :class:`~repro.telemetry.Telemetry` to measure the run itself:
+    phase timings, dispatch counts and profiler footprints are collected and
+    distilled into ``ProfiledRun.manifest``.  The default null telemetry
+    reproduces the uninstrumented pipeline exactly.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    t0 = time.perf_counter()
     workload = get_workload(name, size)
     sigil = SigilProfiler(config) if with_sigil else None
     callgrind = CallgrindCollector() if with_callgrind else None
-    observers = [obs for obs in (sigil, callgrind) if obs is not None]
-    if not observers:
-        observer = NullObserver()
-    elif len(observers) == 1:
-        observer = observers[0]
-    else:
-        observer = ObserverPipe(observers)
+    tools = [obs for obs in (sigil, callgrind) if obs is not None]
+    observer, counter = _assemble_observer(
+        tools, tel, f"{workload.name}/{workload.size.value}"
+    )
+    t1 = time.perf_counter()
 
-    start = time.perf_counter()
     workload.run(observer)
-    wall = time.perf_counter() - start
+    t2 = time.perf_counter()
 
-    return ProfiledRun(
+    sigil_profile = sigil.profile() if sigil is not None else None
+    callgrind_profile = callgrind.profile if callgrind is not None else None
+    t3 = time.perf_counter()
+
+    run = ProfiledRun(
         workload=workload,
-        sigil=sigil.profile() if sigil is not None else None,
-        callgrind=callgrind.profile if callgrind is not None else None,
-        wall_seconds=wall,
+        sigil=sigil_profile,
+        callgrind=callgrind_profile,
+        setup_seconds=t1 - t0,
+        execute_seconds=t2 - t1,
+        aggregate_seconds=t3 - t2,
+    )
+    if tel.enabled:
+        tel.timers.record("setup", run.setup_seconds)
+        tel.timers.record("execute", run.execute_seconds)
+        tel.timers.record("aggregate", run.aggregate_seconds)
+        if sigil is not None:
+            sigil.record_telemetry(tel)
+        if callgrind is not None:
+            callgrind.record_telemetry(tel)
+        if counter is not None:
+            counter.publish(tel)
+        tel.record_process_stats()
+        run.manifest = build_manifest(
+            workload=workload.name,
+            size=workload.size.value,
+            config=config if config is not None else SigilConfig(),
+            phases=tel.timers.snapshot(),
+            metrics=tel.metrics.snapshot(),
+            events_total=counter.total if counter is not None else 0,
+            execute_seconds=run.execute_seconds,
+        )
+        log.info(
+            "%s/%s: setup %.3fs, execute %.3fs, aggregate %.3fs, %s events",
+            workload.name,
+            workload.size.value,
+            run.setup_seconds,
+            run.execute_seconds,
+            run.aggregate_seconds,
+            f"{counter.total:,}" if counter is not None else "?",
+        )
+    return run
+
+
+def native_run(
+    name: str,
+    size: InputSize | str = InputSize.SIMSMALL,
+    *,
+    telemetry: Optional[Telemetry] = None,
+) -> ProfiledRun:
+    """An uninstrumented run with per-phase timing (the Figure 4 baseline)."""
+    return profile_workload(
+        name, size, with_sigil=False, with_callgrind=False, telemetry=telemetry
     )
 
 
 def native_seconds(name: str, size: InputSize | str = InputSize.SIMSMALL) -> float:
-    """Wall-clock of an uninstrumented run (the Figure 4 baseline)."""
-    workload = get_workload(name, size)
-    start = time.perf_counter()
-    workload.run(NullObserver())
-    return time.perf_counter() - start
+    """Execute-phase wall-clock of an uninstrumented run."""
+    return native_run(name, size).execute_seconds
 
 
 def line_reuse_run(
@@ -87,8 +199,16 @@ def line_reuse_run(
     size: InputSize | str = InputSize.SIMSMALL,
     *,
     line_size: int = 64,
+    telemetry: Optional[Telemetry] = None,
 ) -> LineReuseProfiler:
     """Run a workload under the line-granularity re-use mode (Figure 12)."""
-    profiler = LineReuseProfiler(line_size)
-    get_workload(name, size).run(profiler)
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.phase("setup"):
+        workload = get_workload(name, size)
+        profiler = LineReuseProfiler(line_size)
+    with tel.phase("execute"):
+        workload.run(profiler)
+    if tel.enabled:
+        profiler.record_telemetry(tel)
+        tel.record_process_stats()
     return profiler

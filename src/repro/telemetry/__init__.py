@@ -1,0 +1,50 @@
+"""Self-telemetry for the Sigil pipeline: the profiler measuring itself.
+
+The paper's evaluation (Figures 4-6) is an overhead/throughput study of the
+tool, not of the workloads; this package gives the reproduction the same
+self-awareness.  It provides metric primitives (counters, gauges,
+histograms), nested phase timers, an opt-in stderr progress heartbeat, a
+per-kind event-dispatch counter, and structured JSON run manifests -- all
+behind a :class:`~repro.telemetry.session.Telemetry` facade whose
+:data:`~repro.telemetry.session.NULL_TELEMETRY` default is a true no-op on
+the observer hot path.
+
+Quick start::
+
+    from repro import Telemetry, profile_workload
+    tel = Telemetry(heartbeat_events=1_000_000)
+    run = profile_workload("vips", "simsmall", telemetry=tel)
+    run.manifest.write("vips.manifest.json")
+"""
+
+from repro.telemetry.counting import EventCounter
+from repro.telemetry.heartbeat import CLOCK_CHECK_INTERVAL, HeartbeatObserver
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    Manifest,
+    build_manifest,
+    config_hash,
+    git_rev,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.session import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.telemetry.timers import PhaseTimer
+
+__all__ = [
+    "EventCounter",
+    "CLOCK_CHECK_INTERVAL",
+    "HeartbeatObserver",
+    "MANIFEST_SCHEMA",
+    "Manifest",
+    "build_manifest",
+    "config_hash",
+    "git_rev",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "PhaseTimer",
+]

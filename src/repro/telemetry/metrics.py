@@ -1,0 +1,152 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The reproduction's self-telemetry follows the convention of tools like
+Scaler and the Valgrind working-set profiler: a profiler is only credible at
+scale when its own cost (events/sec, shadow footprint, per-phase time) is
+measured with the same rigour as its results.  These primitives are the
+vocabulary for that self-observation.  They are deliberately *pull-based*:
+instrumented components expose their internal counts once (at phase
+boundaries or run end) instead of paying a metric update per traced event,
+so the observer hot path stays exactly as fast as before telemetry existed.
+
+All metrics are named with dotted lowercase paths (``sigil.bytes.unique``,
+``vm.instructions_retired``); :meth:`MetricRegistry.snapshot` flattens them
+into a JSON-ready mapping for the run manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+#: Default histogram bucket upper bounds (powers of four: wide dynamic range
+#: with few buckets, suiting byte counts and event counts alike).
+_DEFAULT_BOUNDS = tuple(4 ** k for k in range(1, 13))
+
+
+class Counter:
+    """A monotonically increasing count (events seen, bytes classified)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time measurement (live shadow pages, peak RSS)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value, replacing any previous one."""
+        self.value = value
+
+    def set_max(self, value: Union[int, float]) -> None:
+        """Record ``value`` only if it exceeds the current reading."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A distribution summary: count, sum, min/max, and bucketed counts.
+
+    Buckets are cumulative-free (each observation lands in exactly one
+    bucket whose upper bound is the first ``>= value``); the final implicit
+    bucket is unbounded.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds: List[Union[int, float]] = sorted(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: Union[int, float] = 0
+        self.min: Optional[Union[int, float]] = None
+        self.max: Optional[Union[int, float]] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Add one observation to the distribution."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Union[int, float, None]]:
+        """JSON-ready summary of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricRegistry:
+    """Get-or-create home for every metric a run produces."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flatten every metric into a JSON-serialisable name -> value map."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            out[name] = hist.summary()
+        return dict(sorted(out.items()))

@@ -1,0 +1,59 @@
+"""Phase timers: nested wall-clock accounting for pipeline stages.
+
+``profile_workload`` runs in three phases (workload *setup*, substrate
+*execute*, profile *aggregate*); the Figure 4-6 overhead studies need those
+separated because workload construction is not tool overhead.  A
+:class:`PhaseTimer` records each phase by its nesting path
+(``"execute/replay"`` for a phase opened inside ``"execute"``), so nested
+timings stay attributable and re-entered phases accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall seconds per (possibly nested) named phase."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._stack: List[str] = []
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (joined to open phases)."""
+        if "/" in name:
+            raise ValueError(f"phase name may not contain '/': {name!r}")
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        # Register at entry so snapshot order follows entry order, outer first.
+        self._seconds.setdefault(path, 0.0)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self._seconds[path] += self._clock() - start
+            self._stack.pop()
+
+    def record(self, name: str, seconds: float) -> None:
+        """Account ``seconds`` to ``name`` directly (pre-measured phases)."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def seconds(self, path: str) -> float:
+        """Accumulated wall seconds of the phase at ``path`` (0.0 if unseen)."""
+        return self._seconds.get(path, 0.0)
+
+    @property
+    def depth(self) -> int:
+        """How many phases are currently open."""
+        return len(self._stack)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Phase path -> accumulated seconds, in entry order."""
+        return dict(self._seconds)

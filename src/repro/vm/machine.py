@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from repro.telemetry.session import NULL_TELEMETRY
 from repro.trace.events import OpKind
 from repro.trace.observer import NullObserver, TraceObserver
 from repro.vm.errors import ExecutionLimitExceeded, VMError
@@ -153,9 +154,11 @@ class Machine:
         memory: Optional[FlatMemory] = None,
         *,
         max_instructions: int = 500_000_000,
+        telemetry=None,
     ):
         self.memory = memory if memory is not None else FlatMemory()
         self.max_instructions = max_instructions
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def run(
         self,
@@ -261,4 +264,8 @@ class Machine:
                 raise VMError(f"unknown instruction {ins!r}")
 
         obs.on_run_end()
+        # Whole-run accounting: one call regardless of run length, so the
+        # interpreter loop itself stays telemetry-free.
+        self.telemetry.counter("vm.instructions_retired").inc(retired)
+        self.telemetry.counter("vm.runs").inc(1)
         return MachineResult(result, retired)

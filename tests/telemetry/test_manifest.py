@@ -1,0 +1,93 @@
+"""Run manifests: serialisation, hashing, and the stats CLI round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SigilConfig
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    Manifest,
+    build_manifest,
+    config_hash,
+    git_rev,
+)
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_distinguishes_configs(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_accepts_dataclass_and_none(self):
+        assert config_hash(SigilConfig()) == config_hash(SigilConfig())
+        assert config_hash(SigilConfig()) != config_hash(
+            SigilConfig(reuse_mode=True)
+        )
+        assert len(config_hash(None)) == 12
+
+
+class TestGitRev:
+    def test_returns_short_rev_or_none(self):
+        rev = git_rev()
+        assert rev is None or (4 <= len(rev) <= 40 and rev.isalnum())
+
+    def test_unavailable_outside_a_repo(self, tmp_path):
+        assert git_rev(tmp_path) is None
+
+
+class TestManifestRoundTrip:
+    def _sample(self) -> Manifest:
+        return build_manifest(
+            workload="vips",
+            size="simsmall",
+            command="repro profile vips --telemetry",
+            config=SigilConfig(reuse_mode=True),
+            phases={"setup": 0.01, "execute": 0.5, "aggregate": 0.02},
+            metrics={"events.total": 1000, "sigil.bytes.unique": 42},
+            events_total=1000,
+            execute_seconds=0.5,
+        )
+
+    def test_json_round_trip_preserves_everything(self):
+        m = self._sample()
+        again = Manifest.from_json(m.to_json())
+        assert again == m
+
+    def test_write_and_load(self, tmp_path):
+        m = self._sample()
+        path = m.write(tmp_path / "run.manifest.json")
+        assert Manifest.load(path) == m
+        # File is well-formed, schema-tagged JSON.
+        data = json.loads(path.read_text())
+        assert data["schema"] == MANIFEST_SCHEMA
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = self._sample().to_dict()
+        data["future_field"] = "surprise"
+        m = Manifest.from_dict(data)
+        assert m.workload == "vips"
+        assert not hasattr(m, "future_field")
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            Manifest.from_json("[1, 2]")
+
+    def test_derived_fields(self):
+        m = self._sample()
+        assert m.events_per_sec == pytest.approx(2000.0)
+        assert m.config_hash == config_hash(SigilConfig(reuse_mode=True))
+        assert m.config["reuse_mode"] is True
+        assert m.created_unix > 0
+
+    def test_lookup_helpers(self):
+        m = self._sample()
+        assert m.metric("sigil.bytes.unique") == 42
+        assert m.metric("absent.metric") == 0
+        assert m.metric("absent.metric", default=None) is None
+        assert m.phase_seconds("execute") == pytest.approx(0.5)
+        assert m.phase_seconds("never") == 0.0

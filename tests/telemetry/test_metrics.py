@@ -1,0 +1,126 @@
+"""Metric primitives and phase timers: the telemetry vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry, PhaseTimer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events.total")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        c = Counter("events.total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        g = Gauge("shadow.live_pages")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_set_max_keeps_peak(self):
+        g = Gauge("process.peak_rss_bytes")
+        g.set_max(100)
+        g.set_max(50)
+        g.set_max(200)
+        assert g.value == 200
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram("access.size")
+        assert h.mean == 0.0
+        assert h.summary() == {
+            "count": 0, "sum": 0, "min": None, "max": None, "mean": 0.0,
+        }
+
+    def test_observations_land_in_one_bucket_each(self):
+        h = Histogram("access.size", bounds=[4, 16, 64])
+        for v in (1, 4, 5, 16, 17, 65, 10**9):
+            h.observe(v)
+        assert sum(h.bucket_counts) == h.count == 7
+        assert h.bucket_counts == [2, 2, 1, 2]  # <=4, <=16, <=64, overflow
+
+    def test_summary_statistics(self):
+        h = Histogram("x")
+        for v in (2, 4, 6):
+            h.observe(v)
+        assert h.summary() == {
+            "count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4.0,
+        }
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_is_flat_sorted_and_json_ready(self):
+        reg = MetricRegistry()
+        reg.counter("z.count").inc(5)
+        reg.gauge("a.gauge").set(7)
+        reg.histogram("m.hist").observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["z.count"] == 5
+        assert snap["a.gauge"] == 7
+        assert snap["m.hist"]["count"] == 1
+
+
+class TestPhaseTimer:
+    def test_nested_phases_record_slash_joined_paths(self):
+        ticks = iter(range(100))
+        timer = PhaseTimer(clock=lambda: next(ticks))
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                pass
+        snap = timer.snapshot()
+        assert set(snap) == {"outer", "outer/inner"}
+        assert snap["outer"] >= snap["outer/inner"]
+
+    def test_reentered_phase_accumulates(self):
+        timer = PhaseTimer(clock=iter([0, 1, 10, 12]).__next__)
+        with timer.phase("execute"):
+            pass
+        with timer.phase("execute"):
+            pass
+        assert timer.seconds("execute") == 3
+
+    def test_snapshot_order_follows_entry_order(self):
+        timer = PhaseTimer()
+        with timer.phase("setup"):
+            pass
+        with timer.phase("execute"):
+            with timer.phase("replay"):
+                pass
+        assert list(timer.snapshot()) == ["setup", "execute", "execute/replay"]
+
+    def test_depth_and_slash_rejection(self):
+        timer = PhaseTimer()
+        assert timer.depth == 0
+        with timer.phase("a"):
+            assert timer.depth == 1
+            with pytest.raises(ValueError):
+                with timer.phase("b/c"):
+                    pass
+        assert timer.depth == 0
+
+    def test_record_adds_premeasured_seconds(self):
+        timer = PhaseTimer()
+        timer.record("execute", 1.5)
+        timer.record("execute", 0.5)
+        assert timer.seconds("execute") == 2.0
+        assert timer.seconds("never-ran") == 0.0

@@ -78,3 +78,31 @@ class TestDocsReferenceRealFiles:
         text = (REPO / "DESIGN.md").read_text()
         for name in re.findall(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", text):
             assert (REPO / "benchmarks" / name).exists(), name
+
+
+class TestRepoHygiene:
+    def test_gitignore_covers_build_artifacts(self):
+        """Packaging and cache litter must never reach the index."""
+        patterns = (REPO / ".gitignore").read_text().splitlines()
+        for required in ("*.egg-info/", "__pycache__/", ".pytest_cache/"):
+            assert required in patterns, f".gitignore misses {required}"
+
+    def test_no_build_artifacts_tracked(self):
+        """Nothing matching the ignore patterns is committed."""
+        import subprocess
+
+        tracked = subprocess.run(
+            ["git", "ls-files"], cwd=REPO, capture_output=True, text=True,
+        )
+        if tracked.returncode != 0:  # not a git checkout (e.g. sdist)
+            pytest.skip("not a git checkout")
+        litter = [
+            line for line in tracked.stdout.splitlines()
+            if ".egg-info/" in line or "__pycache__/" in line
+        ]
+        assert not litter, f"build artifacts tracked: {litter}"
+
+    def test_makefile_wires_telemetry_smoke_into_test(self):
+        text = (REPO / "Makefile").read_text()
+        assert "telemetry-smoke:" in text
+        assert re.search(r"^test:.*\btelemetry-smoke\b", text, re.MULTILINE)
