@@ -9,12 +9,15 @@ test: telemetry-smoke
 	pytest tests/
 
 # Prove the self-telemetry loop end to end: profile a small workload with a
-# manifest, then render it back through `repro stats`.
+# manifest, then render it back through `repro stats` (reading from stdin,
+# the CI-log piping path).  The trap removes the scratch manifest whether
+# the steps pass or fail.
 telemetry-smoke:
+	@set -e; \
+	trap 'rm -f .telemetry-smoke.manifest.json' EXIT; \
 	PYTHONPATH=src python -m repro profile blackscholes --size simsmall \
-		--manifest-out .telemetry-smoke.manifest.json >/dev/null
-	PYTHONPATH=src python -m repro stats .telemetry-smoke.manifest.json
-	rm -f .telemetry-smoke.manifest.json
+		--manifest-out .telemetry-smoke.manifest.json >/dev/null; \
+	PYTHONPATH=src python -m repro stats - < .telemetry-smoke.manifest.json
 
 property:
 	pytest tests/property/ -q
@@ -34,5 +37,5 @@ examples:
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks
-	rm -f .telemetry-smoke.manifest.json
+	rm -f .telemetry-smoke.manifest.json *.trace.json *.collapsed
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -11,6 +11,8 @@ is that surface for the reproduction::
     repro reuse vips --function conv_gen
     repro critpath vips.events
     repro critpath streamcluster --cores 1,2,4,8
+    repro trace vips.events --format chrome -o vips.trace.json
+    repro trace vips.profile --format collapsed --weight unique_in
     repro stats vips-simsmall.manifest.json
 
 Commands accepting a workload name run it live; ``report``/``critpath`` also
@@ -57,6 +59,7 @@ from repro.io import (
     load_events,
     load_profile,
 )
+from repro.io.tracefmt import COLLAPSED_WEIGHTS as _COLLAPSED_WEIGHTS
 from repro.telemetry import Manifest, Telemetry, build_manifest
 from repro.workloads import ALL_NAMES, WORKLOADS, InputSize
 
@@ -179,6 +182,10 @@ def cmd_list(args) -> int:
 
 
 def _run(args, *, reuse: bool = False, events: bool = False):
+    # Asking for an event-file or trace output implies collecting events.
+    events = events or bool(
+        getattr(args, "events_out", None) or getattr(args, "trace_out", None)
+    )
     config = SigilConfig(
         reuse_mode=reuse or getattr(args, "reuse", False),
         event_mode=events or getattr(args, "events", False),
@@ -211,18 +218,20 @@ def cmd_profile(args) -> int:
         dump_profile(profile, args.output)
         print(f"profile written to {args.output}")
     if args.events_out:
-        if profile.events is None:
-            log.error("--events-out requires --events")
-            return 2
         dump_events(profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
     if args.callgrind_out:
         dump_callgrind(run.callgrind, args.callgrind_out)
         print(f"callgrind profile written to {args.callgrind_out}")
+    if args.trace_out:
+        run.write_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              "(open in ui.perfetto.dev)")
     _emit_manifest(
         args, run.manifest, default_stem=f"{run.name}-{run.size.value}"
     )
-    if not (args.output or args.events_out or args.callgrind_out):
+    if not (args.output or args.events_out or args.callgrind_out
+            or args.trace_out):
         _print_summary(profile, args.top)
     return 0
 
@@ -388,7 +397,10 @@ def cmd_run(args) -> int:
 
     tel = _telemetry_from(args)
     tel = tel if tel is not None else NULL_TELEMETRY
-    config = SigilConfig(reuse_mode=args.reuse, event_mode=args.events)
+    config = SigilConfig(
+        reuse_mode=args.reuse,
+        event_mode=args.events or bool(args.events_out),
+    )
     with tel.phase("setup"):
         text = Path(args.program).read_text()
         program = assemble(text, entry=args.entry)
@@ -412,6 +424,7 @@ def cmd_run(args) -> int:
             size="program",
             config=config,
             phases=tel.timers.snapshot(),
+            spans=tel.timers.spans(),
             metrics=tel.metrics.snapshot(),
             events_total=counter.total,
             execute_seconds=tel.timers.seconds("execute"),
@@ -425,9 +438,6 @@ def cmd_run(args) -> int:
         dump_profile(profile, args.output)
         print(f"profile written to {args.output}")
     if args.events_out:
-        if profile.events is None:
-            log.error("--events-out requires --events")
-            return 2
         dump_events(profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
     _emit_manifest(args, manifest, default_stem=Path(args.program).stem)
@@ -552,7 +562,12 @@ def cmd_stats(args) -> int:
     manifests = []
     for path in args.manifests:
         try:
-            manifests.append((Path(path), Manifest.load(path)))
+            if path == "-":  # piped straight out of a CI log
+                manifests.append(
+                    (Path("<stdin>"), Manifest.from_json(sys.stdin.read()))
+                )
+            else:
+                manifests.append((Path(path), Manifest.load(path)))
         except (OSError, ValueError, TypeError) as exc:
             log.error("cannot read manifest %s: %s", path, exc)
             return 2
@@ -612,6 +627,89 @@ def cmd_stats(args) -> int:
             rows,
             title=f"relative to {base_path.name}",
         ))
+    return 0
+
+
+_EVENTS_MAGIC = "# sigil-events"
+_PROFILE_MAGIC = "# sigil-profile"
+
+
+def _sniff_trace_input(text: str) -> str:
+    """Classify a `repro trace` input: 'events', 'profile' or 'manifest'."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return "manifest"
+    first = stripped.splitlines()[0] if stripped else ""
+    if first.startswith(_EVENTS_MAGIC):
+        return "events"
+    if first.startswith(_PROFILE_MAGIC):
+        return "profile"
+    raise ValueError(
+        "unrecognised input: expected a sigil event file, a sigil profile, "
+        "or a run-manifest JSON"
+    )
+
+
+def cmd_trace(args) -> int:
+    """Export visual trace formats: Perfetto timelines and flamegraphs."""
+    from repro.io import (
+        dumps_chrome,
+        events_to_chrome,
+        manifest_to_chrome,
+        profile_to_collapsed,
+    )
+    from repro.io.eventfile import loads_events
+    from repro.io.profilefile import loads_profile
+
+    source = Path(args.input)
+    try:
+        text = source.read_text()
+        kind = _sniff_trace_input(text)
+    except (OSError, ValueError) as exc:
+        log.error("cannot read %s: %s", args.input, exc)
+        return 2
+
+    if args.format == "chrome":
+        if kind == "events":
+            events = loads_events(text)
+            trace = events_to_chrome(events)
+            n_data = sum(1 for e in events.edges() if e.kind == "data")
+            summary = (f"{events.n_segments} segments, {n_data} data flows")
+        elif kind == "manifest":
+            manifest = Manifest.from_json(text)
+            trace = manifest_to_chrome(manifest)
+            summary = (f"{manifest.workload}/{manifest.size}, "
+                       f"{len(manifest.phases)} pipeline phases")
+        else:
+            log.error(
+                "aggregate profiles carry no timeline; use --format "
+                "collapsed for a flamegraph, or trace an --events-out file"
+            )
+            return 2
+        rendered = dumps_chrome(trace)
+        suffix = ".trace.json"
+    else:  # collapsed
+        if kind != "profile":
+            log.error(
+                "collapsed stacks need the calling-context tree of an "
+                "aggregate profile (`repro profile -o`); %s is a %s file",
+                args.input, kind,
+            )
+            return 2
+        rendered = profile_to_collapsed(loads_profile(text), weight=args.weight)
+        summary = f"weight {args.weight}, {len(rendered.splitlines())} stacks"
+        suffix = ".collapsed"
+
+    if args.output == "-":
+        sys.stdout.write(rendered)
+        return 0
+    out = Path(args.output) if args.output else source.with_name(
+        source.stem + suffix
+    )
+    out.write_text(rendered)
+    what = "chrome trace" if args.format == "chrome" else "collapsed stacks"
+    hint = "ui.perfetto.dev" if args.format == "chrome" else "speedscope.app"
+    print(f"{what} written to {out} ({summary}; open in {hint})")
     return 0
 
 
@@ -703,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the aggregate profile here")
     p.add_argument("--events-out", help="write the event file here")
     p.add_argument("--callgrind-out", help="write the callgrind profile here")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome/Perfetto trace of the run here "
+                        "(implies --events)")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_profile)
 
@@ -766,9 +867,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", help="write the dependency-chain graph here")
     p.set_defaults(func=cmd_critpath)
 
+    p = sub.add_parser("trace",
+                       help="export Perfetto timelines / flamegraphs")
+    p.add_argument("input",
+                   help="event file, aggregate profile, or run manifest")
+    p.add_argument("--format", choices=["chrome", "collapsed"],
+                   default="chrome",
+                   help="chrome: Perfetto/chrome://tracing JSON (event file "
+                        "or manifest); collapsed: speedscope/FlameGraph "
+                        "stacks (aggregate profile)")
+    p.add_argument("--weight", choices=sorted(_COLLAPSED_WEIGHTS),
+                   default="ops",
+                   help="flamegraph weight axis (collapsed format only)")
+    p.add_argument("-o", "--output",
+                   help="output file (default: derived from input; "
+                        "'-' for stdout)")
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("stats", help="print / compare run manifests")
     p.add_argument("manifests", nargs="+",
-                   help="manifest JSON files written by telemetry runs")
+                   help="manifest JSON files written by telemetry runs "
+                        "('-' reads one manifest from stdin)")
     p.add_argument("--metrics", dest="verbose_metrics", action="store_true",
                    help="also dump every raw metric per manifest")
     p.set_defaults(func=cmd_stats)

@@ -15,7 +15,8 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.callgrind.collector import CallgrindCollector, CallgrindProfile
 from repro.core.config import SigilConfig
@@ -71,6 +72,49 @@ class ProfiledRun:
     @property
     def size(self) -> InputSize:
         return self.workload.size
+
+    # -- trace export -----------------------------------------------------
+
+    def chrome_trace(self) -> list:
+        """This run as Chrome trace events: workload timeline + pipeline.
+
+        The workload's segments/data-flows appear when the run collected an
+        event log; the pipeline's setup/execute/aggregate spans come from
+        the manifest when telemetry ran, else from the measured phase
+        seconds laid out back to back.  One Perfetto view then shows the
+        reproduction's own phases alongside the profiled execution.
+        """
+        from repro.io.tracefmt import (
+            events_to_chrome,
+            manifest_to_chrome,
+            spans_to_chrome,
+        )
+
+        trace: list = []
+        if self.sigil is not None and self.sigil.events is not None:
+            trace.extend(events_to_chrome(self.sigil.events, self.sigil.tree))
+        if self.manifest is not None:
+            trace.extend(manifest_to_chrome(self.manifest))
+        else:
+            cursor = 0.0
+            spans = []
+            for phase, seconds in (
+                ("setup", self.setup_seconds),
+                ("execute", self.execute_seconds),
+                ("aggregate", self.aggregate_seconds),
+            ):
+                spans.append((phase, cursor, cursor + seconds))
+                cursor += seconds
+            label = f"repro pipeline ({self.name}/{self.size.value})"
+            trace.extend(spans_to_chrome(spans, process_name=label))
+        return trace
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`chrome_trace` as JSON; returns the path written."""
+        from repro.io.tracefmt import dump_chrome
+
+        dump_chrome(self.chrome_trace(), path)
+        return Path(path)
 
 
 def _assemble_observer(
@@ -161,6 +205,7 @@ def profile_workload(
             size=workload.size.value,
             config=config if config is not None else SigilConfig(),
             phases=tel.timers.snapshot(),
+            spans=tel.timers.spans(),
             metrics=tel.metrics.snapshot(),
             events_total=counter.total if counter is not None else 0,
             execute_seconds=run.execute_seconds,

@@ -14,6 +14,16 @@ from repro.io.profilefile import (
     load_profile,
     loads_profile,
 )
+from repro.io.tracefmt import (
+    dump_chrome,
+    dump_collapsed,
+    dumps_chrome,
+    dumps_collapsed,
+    events_to_chrome,
+    manifest_to_chrome,
+    profile_to_collapsed,
+    spans_to_chrome,
+)
 
 __all__ = [
     "dump_callgrind",
@@ -30,4 +40,12 @@ __all__ = [
     "dumps_profile",
     "load_profile",
     "loads_profile",
+    "dump_chrome",
+    "dump_collapsed",
+    "dumps_chrome",
+    "dumps_collapsed",
+    "events_to_chrome",
+    "manifest_to_chrome",
+    "profile_to_collapsed",
+    "spans_to_chrome",
 ]

@@ -54,22 +54,37 @@ def dump_events(events: EventLog, path: Union[str, Path]) -> None:
 
 
 def loads_events(text: str) -> EventLog:
-    """Parse an event log from sigil-events text (validates ordering)."""
+    """Parse an event log from sigil-events text (validates ordering).
+
+    Validation errors carry the offending line number and text, so a bad
+    record deep inside a multi-megabyte event file is findable.
+    """
     lines = text.splitlines()
     if not lines or lines[0] != _MAGIC:
         raise ValueError("not a sigil event file (bad magic)")
     events = EventLog()
-    for line in lines[1:]:
+    for lineno, line in enumerate(lines[1:], start=2):
         if not line or line.startswith("#"):
             continue
+
+        def fail(message: str) -> ValueError:
+            return ValueError(f"{message} (line {lineno}: {line!r})")
+
         kind, _, rest = line.partition(" ")
         if kind == "seg":
-            parts = [int(x) for x in rest.split()]
+            try:
+                parts = [int(x) for x in rest.split()]
+            except ValueError:
+                raise fail("malformed segment record") from None
             if len(parts) == 5:  # pre-thread files
                 parts.append(0)
+            if len(parts) != 6:
+                raise fail(
+                    f"segment records take 5 or 6 fields, got {len(parts)}"
+                )
             seg_id, ctx_id, call_id, start, ops, thread = parts
             if seg_id != events.n_segments:
-                raise ValueError(
+                raise fail(
                     f"segment ids must be dense and ordered; got {seg_id}, "
                     f"expected {events.n_segments}"
                 )
@@ -77,18 +92,29 @@ def loads_events(text: str) -> EventLog:
             seg.ops = ops
         elif kind == "edge":
             fields = rest.split()
+            if not fields:
+                raise fail("empty edge record")
             edge_kind = fields[0]
             if edge_kind not in _KINDS:
-                raise ValueError(f"unknown edge kind {edge_kind!r}")
-            src, dst = int(fields[1]), int(fields[2])
-            if edge_kind == EDGE_DATA:
-                events.add_data_bytes(src, dst, int(fields[3]))
-            elif edge_kind == EDGE_CALL:
-                events.add_call_edge(src, dst)
-            else:
-                events.add_order_edge(src, dst)
+                raise fail(f"unknown edge kind {edge_kind!r}")
+            n_expected = 4 if edge_kind == EDGE_DATA else 3
+            if len(fields) != n_expected:
+                raise fail(
+                    f"{edge_kind} edges take {n_expected - 1} operands, "
+                    f"got {len(fields) - 1}"
+                )
+            try:
+                src, dst = int(fields[1]), int(fields[2])
+                if edge_kind == EDGE_DATA:
+                    events.add_data_bytes(src, dst, int(fields[3]))
+                elif edge_kind == EDGE_CALL:
+                    events.add_call_edge(src, dst)
+                else:
+                    events.add_order_edge(src, dst)
+            except ValueError:
+                raise fail("malformed edge record") from None
         else:
-            raise ValueError(f"unknown event line kind: {kind!r}")
+            raise fail(f"unknown event line kind: {kind!r}")
     return events
 
 

@@ -1,0 +1,216 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+One JSON array of ``ph``-keyed event dicts, per the trace-event format
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+
+* every compute :class:`~repro.core.segments.Segment` becomes a complete
+  duration event (``ph: "X"``) on a per-context track (``tid`` = context id)
+  inside a per-virtual-thread process (``pid`` = thread + ``pid_base``);
+* every ``data`` edge becomes a flow-event pair (``ph: "s"`` at the
+  producing segment's end, ``ph: "f"`` at the consuming segment's start)
+  whose ``args.bytes`` carries the unique byte count;
+* counter tracks (``ph: "C"``) chart cumulative transferred unique bytes
+  and cumulative retired operations over segment time;
+* :mod:`repro.telemetry` phase timers become duration events in a separate
+  ``pid`` (:data:`PIPELINE_PID`), so one Perfetto view shows the
+  reproduction's own setup/execute/aggregate phases alongside the profiled
+  workload's segments.
+
+Timestamps are microseconds by convention; workload tracks use the paper's
+retired-instruction clock one-for-one ("an architecture-independent proxy
+for execution time", section IV-B), pipeline tracks use wall seconds scaled
+to microseconds.  A segment's duration is the operations attributed to the
+fragment, so preempted fragments draw their attributed cost, not their wall
+extent.  Non-unique traffic never appears: re-reads create no new
+dependency, so the event log records only unique transfers (section II-B).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.common.cct import ContextTree
+from repro.core.segments import EDGE_DATA, EventLog
+
+__all__ = [
+    "PIPELINE_PID",
+    "events_to_chrome",
+    "spans_to_chrome",
+    "synthesize_spans",
+    "manifest_to_chrome",
+    "dumps_chrome",
+    "dump_chrome",
+]
+
+#: Process id of the pipeline-phase tracks (workload threads start at 1).
+PIPELINE_PID = 0
+
+Span = Tuple[str, float, float]
+
+
+def _ctx_label(tree: Optional[ContextTree], ctx_id: int) -> str:
+    if tree is not None and 0 <= ctx_id < len(tree.nodes):
+        node = tree.node(ctx_id)
+        return node.name if node.parent is not None else "<root>"
+    return f"ctx{ctx_id}"
+
+
+def events_to_chrome(
+    events: EventLog,
+    tree: Optional[ContextTree] = None,
+    *,
+    pid_base: int = 1,
+) -> List[Dict[str, Any]]:
+    """Render an event log as a list of Chrome trace events.
+
+    Pass the run's :class:`~repro.common.cct.ContextTree` to label tracks
+    with function names; without it tracks are named by context id (event
+    files do not store names).
+    """
+    out: List[Dict[str, Any]] = []
+    threads = sorted({seg.thread for seg in events.segments})
+    seen_tracks = set()
+    for thread in threads:
+        out.append({
+            "ph": "M", "name": "process_name", "pid": pid_base + thread,
+            "tid": 0, "args": {"name": f"workload thread {thread}"},
+        })
+    for seg in events.segments:
+        track = (seg.thread, seg.ctx_id)
+        if track not in seen_tracks:
+            seen_tracks.add(track)
+            out.append({
+                "ph": "M", "name": "thread_name",
+                "pid": pid_base + seg.thread, "tid": seg.ctx_id,
+                "args": {"name": _ctx_label(tree, seg.ctx_id)},
+            })
+    for seg in events.segments:
+        out.append({
+            "ph": "X", "name": _ctx_label(tree, seg.ctx_id), "cat": "segment",
+            "ts": seg.start_time, "dur": seg.ops,
+            "pid": pid_base + seg.thread, "tid": seg.ctx_id,
+            "args": {"seg": seg.seg_id, "call": seg.call_id, "ops": seg.ops},
+        })
+    data_edges = [e for e in events.edges() if e.kind == EDGE_DATA]
+    # Flow arrows: producer's end -> consumer's start, one id per edge.
+    for flow_id, edge in enumerate(data_edges, start=1):
+        src = events.segments[edge.src]
+        dst = events.segments[edge.dst]
+        common = {"name": "data", "cat": "dataflow", "id": flow_id,
+                  "args": {"bytes": edge.bytes, "src": edge.src, "dst": edge.dst}}
+        out.append({
+            "ph": "s", "ts": src.start_time + src.ops,
+            "pid": pid_base + src.thread, "tid": src.ctx_id, **common,
+        })
+        out.append({
+            "ph": "f", "bp": "e", "ts": dst.start_time,
+            "pid": pid_base + dst.thread, "tid": dst.ctx_id, **common,
+        })
+    out.extend(_counter_events(events, data_edges, pid_base=pid_base))
+    return out
+
+
+def _counter_events(
+    events: EventLog, data_edges: Sequence, *, pid_base: int
+) -> List[Dict[str, Any]]:
+    """Cumulative unique-byte and ops counter tracks over segment time."""
+    out: List[Dict[str, Any]] = []
+
+    def sample(name: str, ts: int, value: int) -> Dict[str, Any]:
+        return {"ph": "C", "name": name, "pid": pid_base, "tid": 0,
+                "ts": ts, "args": {name: value}}
+
+    total = 0
+    out.append(sample("unique bytes (cum)", 0, 0))
+    for edge in sorted(data_edges, key=lambda e: events.segments[e.dst].start_time):
+        total += edge.bytes
+        out.append(sample(
+            "unique bytes (cum)", events.segments[edge.dst].start_time, total
+        ))
+    ops = 0
+    out.append(sample("ops (cum)", 0, 0))
+    for seg in sorted(events.segments, key=lambda s: s.start_time + s.ops):
+        if seg.ops:
+            ops += seg.ops
+            out.append(sample("ops (cum)", seg.start_time + seg.ops, ops))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pipeline phase spans
+# ---------------------------------------------------------------------------
+
+
+def synthesize_spans(phases: Mapping[str, float]) -> List[Span]:
+    """Lay out a phase-seconds snapshot as ``(path, start, end)`` spans.
+
+    Old manifests carry only accumulated seconds per phase path; this packs
+    them into a plausible timeline: top-level phases run back to back in
+    entry order, nested phases (``execute/replay``) are placed inside their
+    parent, siblings back to back from the parent's start.
+    """
+    spans: List[Span] = []
+    starts: Dict[str, float] = {"": 0.0}
+    cursors: Dict[str, float] = {"": 0.0}
+    for path, seconds in phases.items():
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        start = cursors.get(parent, starts.get(parent, 0.0))
+        end = start + float(seconds)
+        cursors[parent] = end
+        starts[path] = start
+        cursors.setdefault(path, start)
+        spans.append((path, start, end))
+    return spans
+
+
+def spans_to_chrome(
+    spans: Iterable[Span],
+    *,
+    pid: int = PIPELINE_PID,
+    process_name: str = "repro pipeline",
+) -> List[Dict[str, Any]]:
+    """Render pipeline phase spans (wall seconds) as Chrome trace events."""
+    out: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": process_name}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+         "args": {"name": "phases"}},
+    ]
+    for path, start, end in spans:
+        out.append({
+            "ph": "X", "name": path.rsplit("/", 1)[-1], "cat": "phase",
+            "ts": round(start * 1e6, 3), "dur": round((end - start) * 1e6, 3),
+            "pid": pid, "tid": 0, "args": {"path": path},
+        })
+    return out
+
+
+def manifest_to_chrome(manifest) -> List[Dict[str, Any]]:
+    """Pipeline trace of one :class:`~repro.telemetry.Manifest`.
+
+    Uses the manifest's recorded spans when present (schema >= this PR),
+    falling back to a synthesized layout of the phase-seconds dict for
+    older files.
+    """
+    spans = manifest.phase_spans() or synthesize_spans(manifest.phases)
+    label = f"repro pipeline ({manifest.workload}/{manifest.size})"
+    return spans_to_chrome(spans, process_name=label)
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+
+def dumps_chrome(trace_events: List[Dict[str, Any]]) -> str:
+    """Serialise trace events as the JSON array form of the format."""
+    return json.dumps(trace_events, separators=(",", ":")) + "\n"
+
+
+def dump_chrome(
+    trace_events: List[Dict[str, Any]], path: Union[str, Path]
+) -> None:
+    """Write trace events to ``path`` (open the file in ui.perfetto.dev)."""
+    Path(path).write_text(dumps_chrome(trace_events))

@@ -74,6 +74,9 @@ class Manifest:
     config_hash: str = ""
     git_rev: Optional[str] = None
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Completed phase spans ``[path, start, end]`` (second offsets from the
+    #: first timer reading); empty in pre-span manifests.
+    spans: list = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     events_total: int = 0
     events_per_sec: float = 0.0
@@ -127,6 +130,13 @@ class Manifest:
         """Wall seconds of one phase (0.0 when the phase never ran)."""
         return float(self.phases.get(name, 0.0))
 
+    def phase_spans(self) -> list:
+        """Recorded spans as ``(path, start, end)`` tuples (may be empty)."""
+        return [
+            (str(path), float(start), float(end))
+            for path, start, end in self.spans
+        ]
+
 
 def build_manifest(
     *,
@@ -135,6 +145,7 @@ def build_manifest(
     command: str = "",
     config: Union[Mapping[str, Any], Any, None] = None,
     phases: Optional[Mapping[str, float]] = None,
+    spans: Optional[list] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     events_total: int = 0,
     execute_seconds: float = 0.0,
@@ -158,6 +169,7 @@ def build_manifest(
         config_hash=config_hash(cfg_dict),
         git_rev=git_rev(),
         phases=dict(phases or {}),
+        spans=[list(span) for span in (spans or [])],
         metrics=dict(metrics or {}),
         events_total=events_total,
         events_per_sec=events_total / execute_seconds if execute_seconds > 0 else 0.0,

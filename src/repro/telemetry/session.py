@@ -63,6 +63,10 @@ class Telemetry:
         """Context manager timing a named (nestable) pipeline phase."""
         return self.timers.phase(name)
 
+    def spans(self):
+        """Completed phase spans ``(path, start, end)`` for trace export."""
+        return self.timers.spans()
+
     # -- heartbeat ---------------------------------------------------------
 
     def make_heartbeat(self, label: str) -> Optional[HeartbeatObserver]:
@@ -181,6 +185,10 @@ class NullTelemetry:
     def phase(self, name: str) -> _NullPhase:
         """The shared no-op phase context manager."""
         return _NULL_PHASE
+
+    def spans(self) -> list:
+        """No spans: a disabled run keeps no timeline."""
+        return []
 
     def make_heartbeat(self, label: str) -> None:
         """Never a heartbeat: a disabled run stays silent and unobserved."""

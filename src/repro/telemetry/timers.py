@@ -12,18 +12,28 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Tuple
 
 __all__ = ["PhaseTimer"]
 
 
 class PhaseTimer:
-    """Accumulates wall seconds per (possibly nested) named phase."""
+    """Accumulates wall seconds per (possibly nested) named phase.
+
+    Besides per-path totals, every completed phase leaves a *span* --
+    ``(path, start, end)`` offsets in seconds from the timer's first
+    reading -- so trace exporters can lay the pipeline out on a real
+    timeline instead of reconstructing one from totals.
+    """
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self._stack: List[str] = []
         self._seconds: Dict[str, float] = {}
+        self._spans: List[Tuple[str, float, float]] = []
+        # Origin of the span timeline; set at the first clock reading so
+        # constructing a timer consumes no clock tick.
+        self._origin: float = -1.0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -35,15 +45,26 @@ class PhaseTimer:
         # Register at entry so snapshot order follows entry order, outer first.
         self._seconds.setdefault(path, 0.0)
         start = self._clock()
+        if self._origin < 0:
+            self._origin = start
         try:
             yield
         finally:
-            self._seconds[path] += self._clock() - start
+            end = self._clock()
+            self._seconds[path] += end - start
+            self._spans.append((path, start - self._origin, end - self._origin))
             self._stack.pop()
 
     def record(self, name: str, seconds: float) -> None:
-        """Account ``seconds`` to ``name`` directly (pre-measured phases)."""
+        """Account ``seconds`` to ``name`` directly (pre-measured phases).
+
+        The span lands at the current end of the timeline: pre-measured
+        phases (the harness times its pipeline with raw ``perf_counter``
+        reads) are assumed to have run back to back.
+        """
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        start = max((end for _, _, end in self._spans), default=0.0)
+        self._spans.append((name, start, start + seconds))
 
     def seconds(self, path: str) -> float:
         """Accumulated wall seconds of the phase at ``path`` (0.0 if unseen)."""
@@ -57,3 +78,11 @@ class PhaseTimer:
     def snapshot(self) -> Dict[str, float]:
         """Phase path -> accumulated seconds, in entry order."""
         return dict(self._seconds)
+
+    def spans(self) -> List[Tuple[str, float, float]]:
+        """Completed phase spans as ``(path, start, end)`` second offsets.
+
+        Spans are appended at phase *exit*, so nested phases precede their
+        parents; consumers that need entry order should sort by start.
+        """
+        return list(self._spans)

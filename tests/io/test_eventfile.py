@@ -66,3 +66,35 @@ class TestValidation:
     def test_unknown_edge_kind(self):
         with pytest.raises(ValueError):
             loads_events("# sigil-events 1\nseg 0 0 0 0 0\nedge warp 0 0\n")
+
+    def test_errors_carry_line_number_and_text(self):
+        with pytest.raises(ValueError) as exc:
+            loads_events("# sigil-events 1\nseg 0 0 0 0 0\nseg x y z 0 0\n")
+        assert "line 3" in str(exc.value)
+        assert "seg x y z 0 0" in str(exc.value)
+
+    def test_out_of_order_error_names_the_line(self):
+        with pytest.raises(ValueError, match=r"line 2"):
+            loads_events("# sigil-events 1\nseg 5 0 0 0 0\n")
+
+    def test_wrong_field_count_reported(self):
+        with pytest.raises(ValueError, match=r"5 or 6 fields.*line 2"):
+            loads_events("# sigil-events 1\nseg 0 0\n")
+
+    def test_data_edge_operand_count(self):
+        with pytest.raises(ValueError, match=r"data edges take 3 operands"):
+            loads_events("# sigil-events 1\nseg 0 0 0 0 0\nedge data 0 0\n")
+
+    def test_malformed_edge_bytes(self):
+        with pytest.raises(ValueError) as exc:
+            loads_events(
+                "# sigil-events 1\nseg 0 0 0 0 0\nedge data 0 0 lots\n"
+            )
+        assert "malformed edge record" in str(exc.value)
+        assert "line 3" in str(exc.value)
+
+    def test_blank_and_comment_lines_skipped(self):
+        loaded = loads_events(
+            "# sigil-events 1\n\n# a comment\nseg 0 0 0 0 0\n"
+        )
+        assert loaded.n_segments == 1

@@ -6,7 +6,9 @@ import re
 
 import pytest
 
+from repro.core import SigilConfig, SigilProfiler
 from repro.io import export_callgrind, export_sigil
+from repro.runtime import TracedRuntime
 
 
 def parse_callgrind(text):
@@ -93,3 +95,57 @@ class TestSigilExport:
             sigil.fn_comm(n.id).ops for n in bs_thread.walk()
         )
         assert bs_call[2][0] == subtree_ops
+
+
+class TestSigilExportRecursion:
+    DEPTH = 6  # fib(DEPTH) -> DEPTH + 1 nested fib contexts
+
+    @pytest.fixture()
+    def recursive_profile(self):
+        profiler = SigilProfiler(SigilConfig())
+        rt = TracedRuntime(profiler)
+        with rt.run("main"):
+            scratch = rt.arena.alloc_i64("scratch", self.DEPTH + 1)
+
+            def fib(n):
+                with rt.frame("fib"):
+                    rt.iops(3)
+                    scratch.write(n, n)
+                    scratch.read(n)
+                    if n:
+                        fib(n - 1)
+
+            fib(self.DEPTH)
+        return profiler.profile()
+
+    def test_one_section_per_recursion_level(self, recursive_profile, tmp_path):
+        out = tmp_path / "fib.sigil.callgrind"
+        export_sigil(recursive_profile, out)  # must terminate
+        sections = re.findall(r"^fn=fib$", out.read_text(), re.MULTILINE)
+        assert len(sections) == self.DEPTH + 1
+
+    def test_inclusive_chain_has_no_double_count(
+        self, recursive_profile, tmp_path
+    ):
+        sigil = recursive_profile
+        out = tmp_path / "fib.sigil.callgrind"
+        export_sigil(sigil, out)
+        _, functions = parse_callgrind(out.read_text())
+        fib_call = next(
+            c for c in functions["main"]["calls"] if c[0] == "fib"
+        )
+        chain = list(sigil.tree.find(("main", "fib")).walk())
+        assert len(chain) == self.DEPTH + 1
+        # Inclusive Ops/UniqIn of main -> fib equal the exact chain sums:
+        # each recursion level counted once, none twice.
+        assert fib_call[2][0] == sum(sigil.fn_comm(n.id).ops for n in chain)
+        assert fib_call[2][1] == sum(
+            sigil.unique_input_bytes(n.id) for n in chain
+        )
+
+    def test_every_level_gets_a_call_record(self, recursive_profile, tmp_path):
+        out = tmp_path / "fib.sigil.callgrind"
+        export_sigil(recursive_profile, out)
+        _, functions = parse_callgrind(out.read_text())
+        # DEPTH of the DEPTH + 1 fib contexts call a deeper fib.
+        assert len(functions["fib"]["calls"]) == self.DEPTH

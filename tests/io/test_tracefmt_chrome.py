@@ -1,0 +1,168 @@
+"""Chrome trace-event export: schema validity, round-trip totals, pipeline."""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.core.segments import EDGE_DATA, EventLog
+from repro.io import (
+    dumps_chrome,
+    dumps_events,
+    events_to_chrome,
+    loads_events,
+    manifest_to_chrome,
+    spans_to_chrome,
+)
+from repro.io.tracefmt import PIPELINE_PID, synthesize_spans
+from repro.telemetry import Manifest
+
+VALID_PHASES = {"X", "M", "s", "f", "C", "B", "E", "b", "e", "i"}
+
+
+def slices(trace):
+    return [e for e in trace if e["ph"] == "X"]
+
+
+def flows(trace):
+    return [e for e in trace if e["ph"] in ("s", "f")]
+
+
+class TestEventTimeline:
+    def test_serialises_to_a_list_of_ph_keyed_dicts(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        parsed = json.loads(dumps_chrome(events_to_chrome(sigil.events)))
+        assert isinstance(parsed, list) and parsed
+        for event in parsed:
+            assert isinstance(event, dict)
+            assert event["ph"] in VALID_PHASES
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], (int, float))
+            assert "pid" in event and "tid" in event
+
+    def test_one_duration_event_per_segment(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        trace = events_to_chrome(sigil.events)
+        assert len(slices(trace)) == sigil.events.n_segments
+
+    def test_per_track_ordering_is_monotone(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        by_track = defaultdict(list)
+        for event in slices(events_to_chrome(sigil.events)):
+            by_track[(event["pid"], event["tid"])].append(event["ts"])
+        assert by_track
+        for track_ts in by_track.values():
+            assert track_ts == sorted(track_ts)
+
+    def test_flow_bytes_total_matches_event_log(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        expected = sum(
+            e.bytes for e in sigil.events.edges() if e.kind == EDGE_DATA
+        )
+        starts = [e for e in flows(events_to_chrome(sigil.events))
+                  if e["ph"] == "s"]
+        assert sum(e["args"]["bytes"] for e in starts) == expected > 0
+
+    def test_flow_ids_resolve_in_pairs(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        seen = defaultdict(lambda: {"s": 0, "f": 0})
+        for event in flows(events_to_chrome(sigil.events)):
+            seen[event["id"]][event["ph"]] += 1
+            if event["ph"] == "f":
+                assert event["bp"] == "e"  # bind to the enclosing slice
+        assert seen
+        for counts in seen.values():
+            assert counts == {"s": 1, "f": 1}
+
+    def test_flows_point_forward_in_time(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        trace = events_to_chrome(sigil.events)
+        start_ts = {e["id"]: e["ts"] for e in trace if e["ph"] == "s"}
+        for event in trace:
+            if event["ph"] == "f":
+                assert event["ts"] >= start_ts[event["id"]] - 0
+
+    def test_counter_tracks_are_cumulative(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        trace = events_to_chrome(sigil.events)
+        for name, total in (
+            ("unique bytes (cum)",
+             sum(e.bytes for e in sigil.events.edges() if e.kind == EDGE_DATA)),
+            ("ops (cum)", sigil.events.total_ops()),
+        ):
+            samples = [e for e in trace if e["ph"] == "C" and e["name"] == name]
+            values = [e["args"][name] for e in samples]
+            assert values == sorted(values)
+            assert values[-1] == total
+
+    def test_tree_labels_name_the_tracks(self, toy_profiles):
+        sigil, _ = toy_profiles
+        trace = events_to_chrome(sigil.events, sigil.tree)
+        names = {e["name"] for e in slices(trace)}
+        assert {"main", "A", "C", "D"} <= names
+        thread_names = {
+            e["args"]["name"] for e in trace
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "A" in thread_names
+
+    def test_without_tree_tracks_use_ctx_ids(self, toy_profiles):
+        sigil, _ = toy_profiles
+        reloaded = loads_events(dumps_events(sigil.events))
+        names = {e["name"] for e in slices(events_to_chrome(reloaded))}
+        assert all(name.startswith("ctx") for name in names)
+
+    def test_threads_map_to_processes(self):
+        log = EventLog()
+        log.new_segment(1, 1, 0, thread=0).ops = 4
+        log.new_segment(2, 2, 4, thread=3).ops = 2
+        trace = events_to_chrome(log)
+        pids = {e["pid"] for e in slices(trace)}
+        assert pids == {1, 4}  # pid_base + thread
+
+
+class TestPipelineSpans:
+    def test_spans_render_as_phase_slices(self):
+        spans = [("setup", 0.0, 0.5), ("execute", 0.5, 2.0)]
+        trace = spans_to_chrome(spans)
+        phases = slices(trace)
+        assert [e["name"] for e in phases] == ["setup", "execute"]
+        assert phases[0]["pid"] == PIPELINE_PID
+        assert phases[1]["ts"] == pytest.approx(0.5e6)
+        assert phases[1]["dur"] == pytest.approx(1.5e6)
+
+    def test_synthesize_spans_nests_children_in_parents(self):
+        spans = {p: (s, e) for p, s, e in synthesize_spans(
+            {"setup": 1.0, "execute": 4.0, "execute/replay": 3.0,
+             "aggregate": 0.5}
+        )}
+        assert spans["setup"] == (0.0, 1.0)
+        assert spans["execute"] == (1.0, 5.0)
+        assert spans["execute/replay"] == (1.0, 4.0)  # inside the parent
+        assert spans["aggregate"] == (5.0, 5.5)
+
+    def test_manifest_prefers_recorded_spans(self):
+        manifest = Manifest(
+            workload="w", size="s",
+            phases={"setup": 1.0, "execute": 2.0},
+            spans=[["setup", 0.25, 1.25], ["execute", 1.25, 3.25]],
+        )
+        phases = slices(manifest_to_chrome(manifest))
+        assert phases[0]["ts"] == pytest.approx(0.25e6)
+
+    def test_pre_span_manifest_falls_back_to_synthesis(self):
+        manifest = Manifest(
+            workload="w", size="s", phases={"setup": 1.0, "execute": 2.0}
+        )
+        phases = slices(manifest_to_chrome(manifest))
+        assert [e["name"] for e in phases] == ["setup", "execute"]
+        assert phases[1]["ts"] == pytest.approx(1e6)
+
+    def test_process_named_after_workload(self):
+        manifest = Manifest(workload="vips", size="simsmall",
+                            phases={"execute": 1.0})
+        meta = [e for e in manifest_to_chrome(manifest)
+                if e["ph"] == "M" and e["name"] == "process_name"]
+        assert "vips/simsmall" in meta[0]["args"]["name"]

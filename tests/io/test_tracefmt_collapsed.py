@@ -1,0 +1,88 @@
+"""Collapsed-stack flamegraph export: exact weight sums, stack paths."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.io import profile_to_collapsed
+from repro.io.tracefmt import COLLAPSED_WEIGHTS, dumps_collapsed
+
+LINE_RE = re.compile(r"^(?P<stack>.+) (?P<weight>\d+)$")
+
+
+def parse_collapsed(text):
+    """stack tuple -> weight, parsed the way flamegraph.pl splits lines."""
+    out = {}
+    for line in text.splitlines():
+        match = LINE_RE.match(line)
+        assert match, f"malformed collapsed line: {line!r}"
+        out[tuple(match.group("stack").split(";"))] = int(match.group("weight"))
+    return out
+
+
+class TestWeights:
+    def test_unique_in_sums_to_total_unique_input_bytes(
+        self, blackscholes_profiles
+    ):
+        sigil, _ = blackscholes_profiles
+        stacks = parse_collapsed(profile_to_collapsed(sigil, "unique_in"))
+        expected = sum(
+            sigil.unique_input_bytes(n.id) for n in sigil.contexts()
+        )
+        assert sum(stacks.values()) == expected > 0
+
+    def test_ops_sums_to_total_context_ops(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        stacks = parse_collapsed(profile_to_collapsed(sigil, "ops"))
+        expected = sum(sigil.fn_comm(n.id).ops for n in sigil.contexts())
+        assert sum(stacks.values()) == expected > 0
+
+    def test_comm_is_in_plus_out(self, blackscholes_profiles):
+        sigil, _ = blackscholes_profiles
+        comm = parse_collapsed(profile_to_collapsed(sigil, "comm"))
+        total_in = sum(sigil.unique_input_bytes(n.id) for n in sigil.contexts())
+        total_out = sum(
+            sigil.unique_output_bytes(n.id) for n in sigil.contexts()
+        )
+        assert sum(comm.values()) == total_in + total_out
+
+    def test_every_weight_axis_renders(self, toy_profiles):
+        sigil, _ = toy_profiles
+        for weight in COLLAPSED_WEIGHTS:
+            parse_collapsed(profile_to_collapsed(sigil, weight))
+
+    def test_unknown_weight_rejected(self, toy_profiles):
+        sigil, _ = toy_profiles
+        with pytest.raises(ValueError, match="unknown weight"):
+            profile_to_collapsed(sigil, "cycles")
+
+
+class TestStacks:
+    def test_stacks_are_context_paths(self, toy_profiles):
+        sigil, _ = toy_profiles
+        stacks = parse_collapsed(profile_to_collapsed(sigil, "ops"))
+        assert ("main",) in stacks
+        assert ("main", "A", "D") in stacks  # context-sensitive D1
+        assert ("main", "C", "D") in stacks  # vs D2 (Figure 2)
+
+    def test_context_sensitive_weights_stay_separate(self, toy_profiles):
+        sigil, _ = toy_profiles
+        stacks = parse_collapsed(profile_to_collapsed(sigil, "unique_in"))
+        d1 = sigil.tree.find(("main", "A", "D"))
+        assert stacks.get(("main", "A", "D"), 0) == sigil.unique_input_bytes(
+            d1.id
+        )
+
+    def test_zero_weight_contexts_omitted(self, toy_profiles):
+        sigil, _ = toy_profiles
+        stacks = parse_collapsed(profile_to_collapsed(sigil, "local"))
+        for weight in stacks.values():
+            assert weight > 0
+
+    def test_dumps_alias_matches(self, toy_profiles):
+        sigil, _ = toy_profiles
+        assert dumps_collapsed(sigil, "ops") == profile_to_collapsed(
+            sigil, "ops"
+        )

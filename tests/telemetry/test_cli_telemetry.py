@@ -164,3 +164,24 @@ class TestStats:
         bad.write_text(json.dumps([1, 2, 3]))
         code, _, err = run_cli(capsys, "stats", str(bad))
         assert code == 2
+
+    def test_dash_reads_manifest_from_stdin(self, capsys, tmp_path, monkeypatch):
+        import io
+        import sys
+
+        path = tmp_path / "vips.json"
+        self._write_manifest(capsys, path)
+        monkeypatch.setattr(sys, "stdin", io.StringIO(path.read_text()))
+        code, out, _ = run_cli(capsys, "stats", "-")
+        assert code == 0
+        assert "<stdin>" in out
+        assert "vips" in out
+
+    def test_dash_with_garbage_stdin_fails_cleanly(self, capsys, monkeypatch):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("{broken"))
+        code, _, err = run_cli(capsys, "stats", "-")
+        assert code == 2
+        assert "cannot read manifest" in err

@@ -91,3 +91,27 @@ class TestManifestRoundTrip:
         assert m.metric("absent.metric", default=None) is None
         assert m.phase_seconds("execute") == pytest.approx(0.5)
         assert m.phase_seconds("never") == 0.0
+
+    def test_spans_round_trip_and_normalise(self):
+        m = build_manifest(
+            workload="vips",
+            size="simsmall",
+            command="repro",
+            config=None,
+            phases={"setup": 0.1, "execute": 0.4},
+            metrics={},
+            spans=[("setup", 0.0, 0.1), ("execute", 0.1, 0.5)],
+        )
+        again = Manifest.from_json(m.to_json())
+        assert again.phase_spans() == [
+            ("setup", 0.0, 0.1),
+            ("execute", 0.1, 0.5),
+        ]
+
+    def test_manifest_without_spans_stays_loadable(self):
+        # Manifests written before the spans field existed parse cleanly.
+        data = self._sample().to_dict()
+        data.pop("spans", None)
+        m = Manifest.from_dict(data)
+        assert m.spans == []
+        assert m.phase_spans() == []

@@ -124,3 +124,38 @@ class TestPhaseTimer:
         timer.record("execute", 0.5)
         assert timer.seconds("execute") == 2.0
         assert timer.seconds("never-ran") == 0.0
+
+    def test_spans_are_offsets_from_first_reading(self):
+        # Clock starts at 100: spans must still begin at offset 0.
+        timer = PhaseTimer(clock=iter([100, 101, 103, 106]).__next__)
+        with timer.phase("setup"):
+            pass
+        with timer.phase("execute"):
+            pass
+        assert timer.spans() == [("setup", 0, 1), ("execute", 3, 6)]
+
+    def test_nested_spans_nest_inside_the_parent(self):
+        timer = PhaseTimer(clock=iter([0, 1, 4, 5]).__next__)
+        with timer.phase("execute"):
+            with timer.phase("replay"):
+                pass
+        spans = dict(
+            (path, (start, end)) for path, start, end in timer.spans()
+        )
+        assert spans["execute/replay"] == (1, 4)
+        assert spans["execute"] == (0, 5)
+
+    def test_recorded_spans_land_back_to_back(self):
+        timer = PhaseTimer()
+        timer.record("setup", 1.0)
+        timer.record("execute", 2.5)
+        assert timer.spans() == [
+            ("setup", 0.0, 1.0),
+            ("execute", 1.0, 3.5),
+        ]
+
+    def test_spans_returns_a_copy(self):
+        timer = PhaseTimer()
+        timer.record("setup", 1.0)
+        timer.spans().clear()
+        assert timer.spans() == [("setup", 0.0, 1.0)]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,13 +46,27 @@ class TestProfile:
         assert events.read_text().startswith("# sigil-events 1")
         assert cg.read_text().startswith("# callgrind-equiv 1")
 
-    def test_events_out_requires_events(self, capsys, tmp_path):
-        code, _, err = run_cli(
-            capsys, "profile", "freqmine",
-            "--events-out", str(tmp_path / "x.events"),
+    def test_events_out_implies_events(self, capsys, tmp_path):
+        events = tmp_path / "x.events"
+        code, _, _ = run_cli(
+            capsys, "profile", "freqmine", "--events-out", str(events),
         )
-        assert code == 2
-        assert "--events" in err
+        assert code == 0
+        assert events.read_text().startswith("# sigil-events 1")
+
+    def test_trace_out_writes_combined_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        code, out, _ = run_cli(
+            capsys, "profile", "blackscholes", "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert "perfetto" in out
+        events = json.loads(trace.read_text())
+        assert isinstance(events, list)
+        pids = {e["pid"] for e in events}
+        assert 0 in pids and 1 in pids  # pipeline track + workload thread
+        phase_names = {e["name"] for e in events if e.get("cat") == "phase"}
+        assert {"setup", "execute", "aggregate"} <= phase_names
 
     def test_memory_limit_flag(self, capsys):
         code, out, _ = run_cli(
@@ -154,6 +170,122 @@ class TestCritpath:
 
     def test_bogus_target(self, capsys):
         code, _, err = run_cli(capsys, "critpath", "no-such-thing")
+        assert code == 2
+
+
+class TestTrace:
+    @pytest.fixture()
+    def bs_files(self, capsys, tmp_path):
+        """One blackscholes run's event file, profile and manifest."""
+        events = tmp_path / "e.txt"
+        prof = tmp_path / "p.profile"
+        manifest = tmp_path / "m.manifest.json"
+        code, _, _ = run_cli(
+            capsys, "profile", "blackscholes", "--size", "simsmall",
+            "--events-out", str(events), "-o", str(prof),
+            "--manifest-out", str(manifest),
+        )
+        assert code == 0
+        return events, prof, manifest
+
+    def test_chrome_round_trip_matches_event_log(self, capsys, bs_files):
+        from collections import defaultdict
+
+        from repro.io import load_events
+
+        events_path, _, _ = bs_files
+        target = events_path.with_name("t.json")
+        code, _, _ = run_cli(
+            capsys, "trace", str(events_path), "--format", "chrome",
+            "-o", str(target),
+        )
+        assert code == 0
+        log = load_events(events_path)
+        trace = json.loads(target.read_text())
+        # Chrome trace-event schema: a list of ph-keyed dicts.
+        assert isinstance(trace, list)
+        assert all(isinstance(e, dict) and "ph" in e for e in trace)
+        # Segment count round-trips.
+        slices = [e for e in trace if e["ph"] == "X"]
+        assert len(slices) == log.n_segments
+        # Per-track ordering is monotone in ts.
+        by_track = defaultdict(list)
+        for e in slices:
+            by_track[(e["pid"], e["tid"])].append(e["ts"])
+        for ts in by_track.values():
+            assert ts == sorted(ts)
+        # Flow ids resolve: one start + one finish each; bytes total matches.
+        pairs = defaultdict(set)
+        for e in trace:
+            if e["ph"] in ("s", "f"):
+                pairs[e["id"]].add(e["ph"])
+        assert all(kinds == {"s", "f"} for kinds in pairs.values())
+        total = sum(
+            e["args"]["bytes"] for e in trace if e["ph"] == "s"
+        )
+        assert total == sum(
+            edge.bytes for edge in log.edges() if edge.kind == "data"
+        ) > 0
+
+    def test_collapsed_export_with_weight(self, capsys, bs_files):
+        _, prof, _ = bs_files
+        target = prof.with_name("f.collapsed")
+        code, out, _ = run_cli(
+            capsys, "trace", str(prof), "--format", "collapsed",
+            "--weight", "unique_in", "-o", str(target),
+        )
+        assert code == 0
+        assert "speedscope" in out
+        lines = target.read_text().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_manifest_renders_pipeline_phases(self, capsys, bs_files):
+        _, _, manifest = bs_files
+        target = manifest.with_name("pipe.trace.json")
+        code, out, _ = run_cli(capsys, "trace", str(manifest), "-o", str(target))
+        assert code == 0
+        names = {e["name"] for e in json.loads(target.read_text())
+                 if e["ph"] == "X"}
+        assert {"setup", "execute", "aggregate"} <= names
+
+    def test_stdout_output(self, capsys, bs_files):
+        _, prof, _ = bs_files
+        code, out, _ = run_cli(
+            capsys, "trace", str(prof), "--format", "collapsed", "-o", "-",
+        )
+        assert code == 0
+        assert "main" in out
+
+    def test_default_output_lands_next_to_input(self, capsys, bs_files):
+        events_path, _, _ = bs_files
+        code, _, _ = run_cli(capsys, "trace", str(events_path))
+        assert code == 0
+        assert events_path.with_name("e.trace.json").exists()
+
+    def test_profile_rejected_for_chrome(self, capsys, bs_files):
+        _, prof, _ = bs_files
+        code, _, err = run_cli(capsys, "trace", str(prof), "--format", "chrome")
+        assert code == 2
+        assert "collapsed" in err
+
+    def test_events_rejected_for_collapsed(self, capsys, bs_files):
+        events_path, _, _ = bs_files
+        code, _, err = run_cli(
+            capsys, "trace", str(events_path), "--format", "collapsed",
+        )
+        assert code == 2
+        assert "profile" in err
+
+    def test_unrecognised_input(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.txt"
+        bogus.write_text("hello\n")
+        code, _, err = run_cli(capsys, "trace", str(bogus))
+        assert code == 2
+        assert "unrecognised" in err
+
+    def test_missing_file(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "trace", str(tmp_path / "nope.txt"))
         assert code == 2
 
 
