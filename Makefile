@@ -1,11 +1,11 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: telemetry-smoke
+test: telemetry-smoke campaign-smoke
 	pytest tests/
 
 # Prove the self-telemetry loop end to end: profile a small workload with a
@@ -18,6 +18,23 @@ telemetry-smoke:
 	PYTHONPATH=src python -m repro profile blackscholes --size simsmall \
 		--manifest-out .telemetry-smoke.manifest.json >/dev/null; \
 	PYTHONPATH=src python -m repro stats - < .telemetry-smoke.manifest.json
+
+# Prove the campaign engine end to end: a 2-worker mini-campaign over two
+# small workloads, then the same campaign again -- the warm run must report
+# every job as a cache hit (zero re-executions).  The trap drops the scratch
+# store whether the steps pass or fail.
+campaign-smoke:
+	@set -e; \
+	trap 'rm -rf .campaign-smoke' EXIT; \
+	PYTHONPATH=src python -m repro campaign run --name smoke \
+		--workloads blackscholes,streamcluster --sizes simsmall \
+		--tools sigil -j 2 --store .campaign-smoke \
+		| grep -q "2 done (0 cached, 2 executed, 0 failed, 0 timeout)"; \
+	PYTHONPATH=src python -m repro campaign run --name smoke \
+		--workloads blackscholes,streamcluster --sizes simsmall \
+		--tools sigil -j 2 --store .campaign-smoke \
+		| grep -q "2 done (2 cached, 0 executed, 0 failed, 0 timeout)"; \
+	echo "campaign-smoke: warm re-run was 100% cache hits"
 
 property:
 	pytest tests/property/ -q
@@ -37,5 +54,6 @@ examples:
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks
+	rm -rf .campaign-smoke .repro-campaigns
 	rm -f .telemetry-smoke.manifest.json *.trace.json *.collapsed
 	find . -name __pycache__ -type d -exec rm -rf {} +

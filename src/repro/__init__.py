@@ -24,7 +24,7 @@ from repro.harness import (
 from repro.telemetry import Manifest, NullTelemetry, Telemetry
 from repro.workloads import ALL_NAMES, PARSEC_NAMES, InputSize, get_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SigilConfig",

@@ -1,0 +1,137 @@
+"""Journaled campaign state: every job transition is one appended JSON line.
+
+A campaign's ground truth lives in ``<store>/campaigns/<name>/``:
+
+* ``spec.json``    -- the spec as submitted (so ``resume`` needs no flags)
+* ``journal.jsonl``-- append-only job lifecycle events
+
+Journal records carry ``event`` (``planned`` / ``started`` / ``done`` /
+``failed`` / ``timeout`` / ``interrupted``), the job ``key`` and ``label``,
+an ``attempt`` ordinal, and event-specific detail (``cached`` on done,
+``error`` on failed).  Replaying the journal -- last event per key wins --
+reconstructs exactly where an interrupted campaign stood, which is all
+``repro campaign resume`` needs: jobs whose final state is ``done`` are
+skipped, everything else is re-planned.
+
+Appends go through :func:`repro.telemetry.append_jsonl`, whose exclusive
+file lock keeps lines whole when several workers' completions are recorded
+concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.spec import CampaignSpec, Job
+from repro.telemetry import append_jsonl, read_jsonl
+
+__all__ = ["CampaignState", "JobRecord", "TERMINAL_STATES"]
+
+#: Job states that need no further work on resume.
+TERMINAL_STATES = frozenset({"done"})
+
+
+@dataclass
+class JobRecord:
+    """The replayed view of one job: its latest state plus counters."""
+
+    key: str
+    label: str = ""
+    state: str = "planned"
+    attempts: int = 0
+    cached: bool = False
+    seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def is_done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class CampaignState:
+    """One campaign's on-disk journal and spec, under a store directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.journal_path = self.directory / "journal.jsonl"
+        self.spec_path = self.directory / "spec.json"
+
+    @property
+    def name(self) -> str:
+        return self.directory.name
+
+    def exists(self) -> bool:
+        return self.spec_path.exists() or self.journal_path.exists()
+
+    # -- spec -------------------------------------------------------------
+
+    def save_spec(self, spec: CampaignSpec) -> None:
+        spec.save(self.spec_path)
+
+    def load_spec(self) -> CampaignSpec:
+        if not self.spec_path.exists():
+            raise FileNotFoundError(
+                f"no campaign named {self.name!r} here "
+                f"(missing {self.spec_path})"
+            )
+        return CampaignSpec.load(self.spec_path)
+
+    # -- journal ----------------------------------------------------------
+
+    def append(self, event: str, job: Optional[Job] = None, **detail: Any) -> None:
+        """Record one lifecycle event (lock-guarded, crash-safe)."""
+        record: Dict[str, Any] = {"event": event, "t": time.time()}
+        if job is not None:
+            record["key"] = job.key
+            record["label"] = job.label
+        record.update(detail)
+        append_jsonl(self.journal_path, record)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Every journal record, in append order."""
+        return read_jsonl(self.journal_path)
+
+    def replay(self) -> Dict[str, JobRecord]:
+        """Fold the journal into per-job records (last event wins)."""
+        records: Dict[str, JobRecord] = {}
+        for event in self.events():
+            key = event.get("key")
+            if not key:
+                continue  # campaign-level marker (e.g. interrupted)
+            rec = records.setdefault(
+                key, JobRecord(key=key, label=str(event.get("label", "")))
+            )
+            kind = event.get("event", "")
+            if kind == "planned":
+                # A re-plan of an unfinished job resets nothing; the record
+                # already reflects history.
+                rec.state = rec.state if rec.is_done else "planned"
+            elif kind == "started":
+                rec.state = "running"
+                rec.attempts = max(rec.attempts, int(event.get("attempt", 1)))
+            elif kind in ("done", "failed", "timeout"):
+                rec.state = kind
+                rec.cached = bool(event.get("cached", False))
+                rec.seconds = float(event.get("seconds", 0.0))
+                rec.error = str(event.get("error", ""))
+        return records
+
+    def completed_keys(self) -> frozenset:
+        """Keys whose final journal state needs no further work."""
+        return frozenset(
+            key for key, rec in self.replay().items() if rec.is_done
+        )
+
+    # -- maintenance ------------------------------------------------------
+
+    def remove(self) -> bool:
+        """Delete this campaign's directory; True when something was removed."""
+        import shutil
+
+        if not self.directory.exists():
+            return False
+        shutil.rmtree(self.directory)
+        return True

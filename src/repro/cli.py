@@ -4,6 +4,7 @@ The released Sigil ships as a tool plus post-processing scripts; this module
 is that surface for the reproduction::
 
     repro list
+    repro list --json
     repro profile vips --reuse --events -o vips.profile --events-out vips.events
     repro profile vips --telemetry --heartbeat 100000
     repro report vips.profile --top 10
@@ -14,6 +15,15 @@ is that surface for the reproduction::
     repro trace vips.events --format chrome -o vips.trace.json
     repro trace vips.profile --format collapsed --weight unique_in
     repro stats vips-simsmall.manifest.json
+    repro campaign run --workloads vips,dedup --sizes simsmall,simmedium -j 4
+    repro campaign status sweep
+    repro campaign resume sweep -j 4
+
+The ``campaign`` family executes whole sweep matrices in parallel worker
+processes against a shared on-disk result store (see
+:mod:`repro.campaign`); re-running a campaign recomputes nothing that the
+store already holds, and an interrupted campaign picks up where it stopped
+with ``resume``.
 
 Commands accepting a workload name run it live; ``report``/``critpath`` also
 accept files produced by ``profile``, supporting the paper's offline model.
@@ -26,6 +36,7 @@ stats`` renders and compares.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import math
 import sys
@@ -172,6 +183,26 @@ def _emit_manifest(args, manifest: Optional[Manifest], *, default_stem: str) -> 
 
 
 def cmd_list(args) -> int:
+    if getattr(args, "json", False):
+        from repro.harness import TOOL_STACKS
+
+        payload = {
+            "workloads": [
+                {
+                    "name": name,
+                    "suite": WORKLOADS[name].suite,
+                    "description": WORKLOADS[name].description,
+                    "sizes": sorted(
+                        s.value for s in WORKLOADS[name].PARAMS
+                    ),
+                }
+                for name in ALL_NAMES
+            ],
+            "sizes": [s.value for s in InputSize],
+            "tools": list(TOOL_STACKS),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = [
         (name, WORKLOADS[name].suite, WORKLOADS[name].description)
         for name in ALL_NAMES
@@ -714,6 +745,159 @@ def cmd_trace(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+
+
+def _campaign_store(args):
+    from repro.campaign import ResultStore
+
+    return ResultStore(getattr(args, "store", None))
+
+
+def _campaign_spec_from(args):
+    """Build the campaign spec from ``--spec`` or the matrix flags."""
+    from repro.campaign import CampaignSpec
+    from repro.workloads import ALL_NAMES as _ALL
+
+    if getattr(args, "spec", None):
+        spec = CampaignSpec.load(args.spec)
+        if getattr(args, "name", None):
+            spec.name = args.name
+            spec.validate()
+        return spec
+    if not getattr(args, "workloads", None):
+        raise ValueError("campaign run needs --spec FILE or --workloads LIST")
+    workloads = (
+        list(_ALL) if args.workloads == "all" else args.workloads.split(",")
+    )
+    configs = [json.loads(c) for c in (args.config or [])]
+    return CampaignSpec.from_lists(
+        name=getattr(args, "name", None) or "campaign",
+        workloads=workloads,
+        sizes=args.sizes.split(",") if args.sizes else None,
+        tools=args.tools.split(",") if args.tools else None,
+        configs=configs or None,
+    )
+
+
+def _campaign_execute(args, spec, store, state, *, skip_keys=frozenset()) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``."""
+    from repro.campaign import run_campaign, write_campaign_manifest
+
+    jobs = spec.jobs()
+    if args.dry_run:
+        result = run_campaign(jobs, store, None, dry_run=True,
+                              skip_keys=skip_keys)
+        for job in jobs:
+            rec = result.records[job.key]
+            verb = "cached" if rec.cached else "run"
+            print(f"{verb:7s} {job.key[:12]}  {job.label}")
+        print(result.summary(spec.name))
+        return 0
+    result = run_campaign(
+        jobs,
+        store,
+        state,
+        workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        heartbeat_seconds=getattr(args, "heartbeat_secs", None),
+        progress=lambda line: log.info("%s", line),
+        skip_keys=skip_keys,
+    )
+    manifest_path = write_campaign_manifest(
+        state, jobs, result.records, store,
+        wall_seconds=result.wall_seconds,
+    )
+    print(result.summary(spec.name))
+    print(f"campaign manifest written to {manifest_path}")
+    if not result.ok:
+        for rec in result.records.values():
+            if rec.state != "done":
+                log.error("%s: %s%s", rec.label, rec.state,
+                          f" ({rec.error})" if rec.error else "")
+        return 1
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import CampaignState
+
+    store = _campaign_store(args)
+    spec = _campaign_spec_from(args)
+    state = CampaignState(store.campaign_dir(spec.name))
+    if not args.dry_run:
+        state.save_spec(spec)
+    return _campaign_execute(args, spec, store, state)
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.campaign import CampaignState
+
+    store = _campaign_store(args)
+    state = CampaignState(store.campaign_dir(args.name))
+    spec = state.load_spec()
+    completed = state.completed_keys()
+    log.info("resume: %d of %d jobs already complete",
+             len(completed), len(spec))
+    return _campaign_execute(args, spec, store, state,
+                             skip_keys=completed)
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import (
+        CampaignState,
+        build_campaign_manifest,
+        render_status,
+    )
+
+    store = _campaign_store(args)
+    state = CampaignState(store.campaign_dir(args.name))
+    spec = state.load_spec()
+    jobs = spec.jobs()
+    records = state.replay()
+    if getattr(args, "json", False):
+        print(json.dumps(
+            build_campaign_manifest(spec.name, jobs, records, store),
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(render_status(spec.name, jobs, records, store))
+    return 0
+
+
+def cmd_campaign_clean(args) -> int:
+    import shutil
+
+    from repro.campaign import CampaignState
+
+    store = _campaign_store(args)
+    if getattr(args, "all", False):
+        if store.root.exists():
+            shutil.rmtree(store.root)
+            print(f"removed store {store.root}")
+        else:
+            print(f"nothing to remove at {store.root}")
+        return 0
+    if not getattr(args, "name", None):
+        log.error("campaign clean needs a campaign name or --all")
+        return 2
+    state = CampaignState(store.campaign_dir(args.name))
+    removed_jobs = 0
+    if getattr(args, "objects", False) and state.exists():
+        spec = state.load_spec()
+        removed_jobs = sum(store.drop(job.key) for job in spec.jobs())
+    if state.remove():
+        suffix = f" and {removed_jobs} stored results" if removed_jobs else ""
+        print(f"removed campaign '{args.name}'{suffix}")
+        return 0
+    log.error("no campaign named %r under %s", args.name, store.root)
+    return 2
+
+
+# ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
 
@@ -771,7 +955,11 @@ def _telemetry_parent() -> argparse.ArgumentParser:
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("workload", choices=ALL_NAMES, help="benchmark to run")
+    # Not argparse `choices`: unknown workloads are reported by the registry
+    # with a one-line error (see `main`), not a usage dump -- campaign
+    # workers and scripts parse that stderr line.
+    p.add_argument("workload", metavar="WORKLOAD",
+                   help="benchmark to run (see `repro list`)")
     p.add_argument("--size", default="simsmall",
                    choices=[s.value for s in InputSize])
 
@@ -787,6 +975,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list", help="list available workloads")
+    p.add_argument("--json", action="store_true",
+                   help="emit the workload registry as machine-readable "
+                        "JSON (for scripting campaign specs)")
     p.set_defaults(func=cmd_list)
 
     p = sub.add_parser("profile", help="profile a workload with Sigil",
@@ -819,7 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("partition", help="HW/SW partitioning study",
                        parents=[common])
-    p.add_argument("workload", nargs="?", choices=ALL_NAMES)
+    p.add_argument("workload", nargs="?", metavar="WORKLOAD")
     p.add_argument("--size", default="simsmall",
                    choices=[s.value for s in InputSize])
     p.add_argument("--profile", help="saved Sigil profile (offline mode)")
@@ -892,6 +1083,78 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also dump every raw metric per manifest")
     p.set_defaults(func=cmd_stats)
 
+    p = sub.add_parser(
+        "campaign",
+        help="batch profiling campaigns: parallel, cached, resumable",
+    )
+    csub = p.add_subparsers(dest="campaign_cmd", required=True)
+
+    def _store_arg(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="result store root (default: $REPRO_CAMPAIGN_STORE "
+                 "or ./.repro-campaigns)")
+
+    def _exec_args(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                        metavar="N", help="worker processes (default 1)")
+        cp.add_argument("--timeout", type=_positive_float, metavar="S",
+                        default=None,
+                        help="kill any job running longer than S seconds")
+        cp.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="re-attempts per failed/timed-out job "
+                             "(default 1)")
+        cp.add_argument("--backoff", type=_positive_float, default=0.5,
+                        metavar="S",
+                        help="base retry backoff; doubles per attempt "
+                             "(default 0.5s)")
+        cp.add_argument("--dry-run", action="store_true",
+                        help="plan and classify jobs without running any")
+
+    cp = csub.add_parser("run", help="plan and execute a campaign",
+                         parents=[common])
+    cp.add_argument("--spec", metavar="FILE",
+                    help="campaign spec JSON (see docs/campaigns.md)")
+    cp.add_argument("--name", help="campaign name (default: from spec "
+                                   "or 'campaign')")
+    cp.add_argument("--workloads", metavar="LIST",
+                    help="comma-separated workloads, or 'all'")
+    cp.add_argument("--sizes", metavar="LIST",
+                    help="comma-separated input sizes (default simsmall)")
+    cp.add_argument("--tools", metavar="LIST",
+                    help="comma-separated tool stacks "
+                         "(default sigil+callgrind)")
+    cp.add_argument("--config", action="append", metavar="JSON",
+                    help="SigilConfig variant as JSON; repeatable, each "
+                         "adds one matrix axis entry")
+    _store_arg(cp)
+    _exec_args(cp)
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = csub.add_parser("resume", help="finish an interrupted campaign",
+                         parents=[common])
+    cp.add_argument("name", help="campaign name (as given to run)")
+    _store_arg(cp)
+    _exec_args(cp)
+    cp.set_defaults(func=cmd_campaign_resume)
+
+    cp = csub.add_parser("status", help="show a campaign's job states")
+    cp.add_argument("name", help="campaign name (as given to run)")
+    cp.add_argument("--json", action="store_true",
+                    help="emit the campaign manifest JSON instead of "
+                         "the table")
+    _store_arg(cp)
+    cp.set_defaults(func=cmd_campaign_status)
+
+    cp = csub.add_parser("clean", help="drop campaign state / results")
+    cp.add_argument("name", nargs="?", help="campaign to remove")
+    cp.add_argument("--objects", action="store_true",
+                    help="also drop the named campaign's stored results")
+    cp.add_argument("--all", action="store_true",
+                    help="remove the entire store root")
+    _store_arg(cp)
+    cp.set_defaults(func=cmd_campaign_clean)
+
     return parser
 
 
@@ -911,6 +1174,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # output piped into head/less and closed early
         return 0
+    except KeyboardInterrupt:
+        # A killed campaign (or any long run) exits cleanly; journaled
+        # state makes `repro campaign resume` pick up from here.
+        log.error("interrupted")
+        return 130
+    except Exception as exc:
+        # One line on stderr, never a traceback: campaign workers and
+        # scripts drive this CLI and parse its stderr.  -vv keeps the
+        # traceback for debugging.
+        if log.isEnabledFor(logging.DEBUG):
+            log.exception("command failed")
+        else:
+            message = (
+                exc.args[0]
+                if isinstance(exc, KeyError) and exc.args
+                else exc
+            )
+            log.error("%s", message)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -35,7 +35,9 @@ from repro.workloads.registry import get_workload
 
 __all__ = [
     "ProfiledRun",
+    "TOOL_STACKS",
     "profile_workload",
+    "run_tool",
     "native_run",
     "native_seconds",
     "line_reuse_run",
@@ -220,6 +222,41 @@ def profile_workload(
             f"{counter.total:,}" if counter is not None else "?",
         )
     return run
+
+
+#: Named tool stacks, mirroring how the paper labels its runs: the
+#: uninstrumented baseline, the Callgrind substrate alone, Sigil alone, and
+#: the paired run used for the partitioning studies.  Campaign specs and the
+#: figure benches key their jobs on these names.
+TOOL_STACKS = ("native", "callgrind", "sigil", "sigil+callgrind")
+
+
+def run_tool(
+    name: str,
+    size: InputSize | str = InputSize.SIMSMALL,
+    tool: str = "sigil+callgrind",
+    *,
+    config: Optional[SigilConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> ProfiledRun:
+    """Run ``name`` under the named tool stack (see :data:`TOOL_STACKS`).
+
+    This is the single dispatch point between declarative job descriptions
+    (campaign specs, bench tables) and the observer combinations
+    :func:`profile_workload` assembles.
+    """
+    if tool not in TOOL_STACKS:
+        raise ValueError(
+            f"unknown tool stack {tool!r}; available: {', '.join(TOOL_STACKS)}"
+        )
+    return profile_workload(
+        name,
+        size,
+        config=config,
+        with_sigil="sigil" in tool,
+        with_callgrind="callgrind" in tool,
+        telemetry=telemetry,
+    )
 
 
 def native_run(

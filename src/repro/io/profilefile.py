@@ -36,9 +36,28 @@ from repro.core.config import SigilConfig
 from repro.core.profiler import ShadowStats, SigilProfile
 from repro.core.reuse import ReuseStats
 
-__all__ = ["dump_profile", "load_profile", "dumps_profile", "loads_profile"]
+__all__ = [
+    "dump_profile",
+    "load_profile",
+    "dumps_profile",
+    "loads_profile",
+    "profile_digest",
+]
 
 _MAGIC = "# sigil-profile 1"
+
+
+def profile_digest(profile: SigilProfile) -> str:
+    """SHA-256 of the canonical serialised form of ``profile``.
+
+    :func:`dumps_profile` emits context, function, and edge lines in sorted
+    deterministic order, so equal profiles serialise to equal bytes; the
+    campaign result store records this digest so cache hits can be verified
+    byte-for-byte against what was originally computed.
+    """
+    import hashlib
+
+    return hashlib.sha256(dumps_profile(profile).encode()).hexdigest()
 
 
 def dumps_profile(profile: SigilProfile) -> str:

@@ -19,6 +19,7 @@ Quick start::
 
 from repro.telemetry.counting import EventCounter
 from repro.telemetry.heartbeat import CLOCK_CHECK_INTERVAL, HeartbeatObserver
+from repro.telemetry.jsonl import append_jsonl, read_jsonl
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
     Manifest,
@@ -32,6 +33,8 @@ from repro.telemetry.timers import PhaseTimer
 
 __all__ = [
     "EventCounter",
+    "append_jsonl",
+    "read_jsonl",
     "CLOCK_CHECK_INTERVAL",
     "HeartbeatObserver",
     "MANIFEST_SCHEMA",

@@ -1,0 +1,71 @@
+"""Lock-guarded JSONL appends: the one write path for shared log files.
+
+Several writers share append-only JSONL files: the benchmark harness logs
+every timing to ``benchmarks/results/manifests.jsonl``, and parallel
+campaign workers journal job lifecycle events (see
+:mod:`repro.campaign.state`).  A bare ``open(path, "a").write(...)`` from
+concurrent processes can interleave partial lines on some filesystems and
+buffers; this module funnels every append through one helper that takes an
+exclusive ``flock`` for the duration of a single full-line write, so a
+reader never sees a torn record.
+
+``fcntl`` is POSIX-only; on platforms without it the helper degrades to an
+unlocked append (single-writer behaviour is unchanged either way).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX host
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["append_jsonl", "read_jsonl"]
+
+
+def append_jsonl(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append ``record`` as one JSON line to ``path``, atomically.
+
+    The record is serialised first (so an unserialisable record cannot leave
+    a half-written line), then written as a single ``write`` call under an
+    exclusive file lock.
+    """
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as fh:
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            fh.write(line)
+            fh.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL file into a list of records (missing file -> empty).
+
+    Raises ``ValueError`` naming the offending line when a record does not
+    parse -- torn lines are exactly what :func:`append_jsonl` exists to
+    prevent, so a parse failure should be loud.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(target.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{target}:{lineno}: corrupt JSONL line: {line[:80]!r}"
+            ) from exc
+    return records

@@ -1,0 +1,249 @@
+"""Executor edge cases: parallelism, caching, timeouts, retries, crashes.
+
+Custom runners are registered in the parent and inherited by workers via
+the fork start method, so these tests can simulate slow, flaky and
+crashing jobs without any real profiling cost.  Cross-process attempt
+counting goes through the lock-guarded JSONL helper.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignState,
+    Job,
+    ResultStore,
+    register_runner,
+    run_campaign,
+)
+from repro.campaign.executor import RUNNERS
+from repro.harness import ProfiledRun
+from repro.telemetry import append_jsonl, read_jsonl
+from repro.workloads import get_workload
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not _FORK, reason="runner registration reaches workers via fork"
+)
+
+
+@pytest.fixture()
+def runners():
+    """Register throwaway runners; deregister them after the test."""
+    added = []
+
+    def _register(tool, fn):
+        register_runner(tool, fn)
+        added.append(tool)
+
+    yield _register
+    for tool in added:
+        RUNNERS.pop(tool, None)
+
+
+def _cheap_run(job):
+    """A ProfiledRun that cost (almost) nothing: meta-only store entry."""
+    return ProfiledRun(
+        workload=get_workload(job.workload, job.size),
+        sigil=None,
+        callgrind=None,
+        execute_seconds=0.001,
+    )
+
+
+def _jobs(tool, workloads=("vips", "dedup", "canneal", "ferret")):
+    return [Job(workload=w, tool=tool) for w in workloads]
+
+
+class TestExecution:
+    def test_real_jobs_run_in_parallel_and_land_in_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        state = CampaignState(store.campaign_dir("t"))
+        jobs = [Job(workload=w, tool="native")
+                for w in ("blackscholes", "streamcluster")]
+        result = run_campaign(jobs, store, state, workers=2)
+        assert result.ok and result.executed == 2 and result.cached == 0
+        assert all(store.has(j.key) for j in jobs)
+        replayed = state.replay()
+        assert all(replayed[j.key].is_done for j in jobs)
+
+    def test_warm_rerun_recomputes_nothing(self, tmp_path, runners):
+        counts = tmp_path / "attempts.jsonl"
+
+        def counting(job, telemetry):
+            append_jsonl(counts, {"label": job.label})
+            return _cheap_run(job)
+
+        runners("counted", counting)
+        store = ResultStore(tmp_path / "store")
+        jobs = _jobs("counted")
+
+        cold = run_campaign(jobs, store, workers=2)
+        assert cold.executed == 4 and cold.cached == 0
+        assert len(read_jsonl(counts)) == 4
+
+        warm = run_campaign(jobs, store, workers=2)
+        assert warm.done == 4 and warm.cached == 4 and warm.executed == 0
+        assert len(read_jsonl(counts)) == 4  # zero re-executions
+
+    def test_parallel_beats_serial_wall_clock(self, tmp_path, runners):
+        naptime = 0.3
+
+        def sleepy(job, telemetry):
+            time.sleep(naptime)
+            return _cheap_run(job)
+
+        runners("sleepy", sleepy)
+        jobs = _jobs("sleepy")
+
+        t0 = time.monotonic()
+        serial = run_campaign(jobs, ResultStore(tmp_path / "s1"), workers=1)
+        serial_wall = time.monotonic() - t0
+        t0 = time.monotonic()
+        parallel = run_campaign(jobs, ResultStore(tmp_path / "s4"), workers=4)
+        parallel_wall = time.monotonic() - t0
+
+        assert serial.ok and parallel.ok
+        assert serial_wall >= 4 * naptime
+        assert parallel_wall < serial_wall
+
+    def test_duplicate_jobs_collapse(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = Job(workload="blackscholes", tool="native")
+        result = run_campaign([job, job, job], store, workers=2)
+        assert result.total == 1 and result.ok
+
+
+class TestFailureModes:
+    def test_timeout_kills_worker_and_records_timeout(self, tmp_path, runners):
+        def stuck(job, telemetry):
+            time.sleep(60)
+            return _cheap_run(job)
+
+        runners("stuck", stuck)
+        store = ResultStore(tmp_path)
+        state = CampaignState(store.campaign_dir("t"))
+        job = Job(workload="vips", tool="stuck")
+
+        t0 = time.monotonic()
+        result = run_campaign([job], store, state, workers=1,
+                              timeout=0.3, retries=0)
+        wall = time.monotonic() - t0
+
+        assert wall < 10  # the worker was killed, not waited out
+        assert result.timed_out == 1 and result.done == 0
+        assert not store.has(job.key)
+        assert state.replay()[job.key].state == "timeout"
+
+    def test_flaky_job_succeeds_on_retry_two(self, tmp_path, runners):
+        counts = tmp_path / "attempts.jsonl"
+
+        def flaky(job, telemetry):
+            append_jsonl(counts, {"label": job.label})
+            if len(read_jsonl(counts)) <= 2:
+                raise RuntimeError("transient flake")
+            return _cheap_run(job)
+
+        runners("flaky", flaky)
+        store = ResultStore(tmp_path / "store")
+        state = CampaignState(store.campaign_dir("t"))
+        job = Job(workload="vips", tool="flaky")
+
+        result = run_campaign([job], store, state, workers=1,
+                              retries=2, backoff=0.01)
+        assert result.ok
+        rec = result.records[job.key]
+        assert rec.attempts == 3  # two flakes + the success
+        assert len(read_jsonl(counts)) == 3
+        assert store.has(job.key)
+
+    def test_retries_are_bounded(self, tmp_path, runners):
+        counts = tmp_path / "attempts.jsonl"
+
+        def hopeless(job, telemetry):
+            append_jsonl(counts, {"label": job.label})
+            raise RuntimeError("always broken")
+
+        runners("hopeless", hopeless)
+        store = ResultStore(tmp_path / "store")
+        job = Job(workload="vips", tool="hopeless")
+        result = run_campaign([job], store, workers=1,
+                              retries=2, backoff=0.01)
+        assert result.failed == 1
+        assert len(read_jsonl(counts)) == 3  # initial + 2 retries, then stop
+        assert "always broken" in result.records[job.key].error
+
+    def test_worker_crash_marks_one_job_not_the_campaign(
+        self, tmp_path, runners
+    ):
+        def crashing(job, telemetry):
+            if job.workload == "dedup":
+                os._exit(21)  # simulated segfault/OOM: no Python unwinding
+            return _cheap_run(job)
+
+        runners("crashy", crashing)
+        store = ResultStore(tmp_path)
+        jobs = [Job(workload="vips", tool="crashy"),
+                Job(workload="dedup", tool="crashy")]
+        result = run_campaign(jobs, store, workers=2, retries=0)
+
+        assert result.done == 1 and result.failed == 1
+        assert store.has(jobs[0].key) and not store.has(jobs[1].key)
+        assert "exited with code 21" in result.records[jobs[1].key].error
+
+    def test_unknown_tool_fails_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = Job(workload="vips", tool="no-such-tool")
+        result = run_campaign([job], store, workers=1, retries=0)
+        assert result.failed == 1
+        assert "no runner registered" in result.records[job.key].error
+
+
+class TestResume:
+    def test_resume_skips_jobs_the_journal_completed(self, tmp_path, runners):
+        counts = tmp_path / "attempts.jsonl"
+
+        def counting(job, telemetry):
+            append_jsonl(counts, {"label": job.label})
+            return _cheap_run(job)
+
+        runners("counted", counting)
+        store = ResultStore(tmp_path / "store")
+        state = CampaignState(store.campaign_dir("t"))
+        jobs = _jobs("counted")
+
+        # Simulated interrupt: the journal says two jobs finished before the
+        # campaign died (their results never even reached the store).
+        for job in jobs[:2]:
+            state.append("planned", job)
+            state.append("started", job, attempt=1)
+            state.append("done", job, cached=False, seconds=0.1)
+
+        result = run_campaign(jobs, store, state, workers=2,
+                              skip_keys=state.completed_keys())
+        assert result.done == 4
+        assert result.cached == 2 and result.executed == 2
+        ran = sorted(r["label"] for r in read_jsonl(counts))
+        assert ran == sorted(j.label for j in jobs[2:])
+
+    def test_dry_run_executes_nothing(self, tmp_path, runners):
+        counts = tmp_path / "attempts.jsonl"
+
+        def counting(job, telemetry):
+            append_jsonl(counts, {"label": job.label})
+            return _cheap_run(job)
+
+        runners("counted", counting)
+        store = ResultStore(tmp_path / "store")
+        jobs = _jobs("counted")
+        run_campaign(jobs[:1], store, workers=1)  # warm one cell
+        result = run_campaign(jobs, store, dry_run=True)
+        assert result.cached == 1
+        assert sum(1 for r in result.records.values()
+                   if r.state == "planned") == 3
+        assert len(read_jsonl(counts)) == 1  # only the warm-up ran

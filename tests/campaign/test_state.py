@@ -1,0 +1,117 @@
+"""Journal replay semantics and the lock-guarded JSONL append path."""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.campaign import CampaignSpec, CampaignState, Job
+from repro.telemetry import append_jsonl, read_jsonl
+
+
+class TestJournalReplay:
+    def test_lifecycle_last_event_wins(self, tmp_path):
+        state = CampaignState(tmp_path / "c")
+        job = Job(workload="vips")
+        state.append("planned", job)
+        state.append("started", job, attempt=1)
+        state.append("failed", job, attempt=1, error="boom")
+        state.append("started", job, attempt=2)
+        state.append("done", job, attempt=2, seconds=1.5)
+
+        records = state.replay()
+        rec = records[job.key]
+        assert rec.state == "done"
+        assert rec.attempts == 2
+        assert rec.seconds == 1.5
+        assert rec.is_done
+        assert state.completed_keys() == {job.key}
+
+    def test_interrupted_campaign_reports_incomplete_jobs(self, tmp_path):
+        state = CampaignState(tmp_path / "c")
+        done_job = Job(workload="vips")
+        dead_job = Job(workload="dedup")
+        state.append("planned", done_job)
+        state.append("planned", dead_job)
+        state.append("done", done_job, cached=False, seconds=1.0)
+        state.append("started", dead_job, attempt=1)
+        state.append("interrupted", pending=1)  # no key: campaign marker
+
+        records = state.replay()
+        assert records[done_job.key].is_done
+        assert records[dead_job.key].state == "running"
+        assert state.completed_keys() == {done_job.key}
+
+    def test_replan_does_not_unfinish_done_jobs(self, tmp_path):
+        state = CampaignState(tmp_path / "c")
+        job = Job(workload="vips")
+        state.append("planned", job)
+        state.append("done", job, cached=True)
+        state.append("planned", job)  # a resume re-plans everything
+        assert state.replay()[job.key].is_done
+
+    def test_spec_round_trip(self, tmp_path):
+        state = CampaignState(tmp_path / "c")
+        spec = CampaignSpec(name="c", workloads=["vips"])
+        state.save_spec(spec)
+        assert state.load_spec().to_dict() == spec.to_dict()
+        assert state.exists()
+        assert state.remove()
+        assert not state.exists()
+
+    def test_empty_journal(self, tmp_path):
+        state = CampaignState(tmp_path / "nothing")
+        assert state.replay() == {}
+        assert state.completed_keys() == frozenset()
+
+
+def _hammer(path, writer_id, n):
+    for i in range(n):
+        append_jsonl(path, {"writer": writer_id, "i": i,
+                            "pad": "x" * 200})
+
+
+class TestLockedAppend:
+    def test_concurrent_process_appends_never_tear_lines(self, tmp_path):
+        """Parallel campaign workers share manifests.jsonl; whole lines only."""
+        path = tmp_path / "log.jsonl"
+        procs = [
+            multiprocessing.Process(target=_hammer, args=(path, w, 50))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        records = read_jsonl(path)
+        assert len(records) == 200
+        per_writer = {w: sorted(r["i"] for r in records if r["writer"] == w)
+                      for w in range(4)}
+        assert all(seq == list(range(50)) for seq in per_writer.values())
+
+    def test_concurrent_thread_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        threads = [
+            threading.Thread(target=_hammer, args=(path, w, 50))
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(read_jsonl(path)) == 400
+
+    def test_read_missing_file(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_is_loud(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_jsonl(path, {"ok": 1})
+        with path.open("a") as fh:
+            fh.write('{"torn": ')
+        try:
+            read_jsonl(path)
+        except ValueError as exc:
+            assert "corrupt JSONL line" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("corrupt line went unnoticed")

@@ -75,8 +75,12 @@ class TestProfile:
         assert code == 0
 
     def test_unknown_workload_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            run_cli(capsys, "profile", "doom")
+        code, _, err = run_cli(capsys, "profile", "doom")
+        assert code == 1
+        # One line on stderr, no traceback: campaign workers parse this.
+        assert "unknown workload" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestReport:

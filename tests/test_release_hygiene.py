@@ -106,3 +106,15 @@ class TestRepoHygiene:
         text = (REPO / "Makefile").read_text()
         assert "telemetry-smoke:" in text
         assert re.search(r"^test:.*\btelemetry-smoke\b", text, re.MULTILINE)
+
+    def test_makefile_wires_campaign_smoke_into_test(self):
+        text = (REPO / "Makefile").read_text()
+        assert "campaign-smoke:" in text
+        assert re.search(r"^test:.*\bcampaign-smoke\b", text, re.MULTILINE)
+
+    def test_gitignore_covers_campaign_stores(self):
+        """Result stores are caches; they must never reach the index."""
+        patterns = (REPO / ".gitignore").read_text().splitlines()
+        for required in (".repro-campaigns/", ".campaign-smoke/",
+                         "benchmarks/results/store/"):
+            assert required in patterns, f".gitignore misses {required}"
