@@ -1,6 +1,6 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke bench-throughput regen-golden clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -38,6 +38,20 @@ campaign-smoke:
 
 property:
 	pytest tests/property/ -q
+
+# Publish observer throughput (scalar vs batched trace transport) into
+# BENCH_throughput.json at the repo root, and fail if the batched transport
+# has regressed below the scalar path on the core Sigil configuration.
+bench-throughput:
+	PYTHONPATH=src python benchmarks/bench_tool_throughput.py \
+		--check sigil-baseline
+
+# Rewrite the golden-profile fixtures in tests/golden/.  Run this ONLY when
+# a change to the profiler's observable output is intentional, and commit
+# the fixture diff with the change that caused it.  The golden tests print
+# a unified diff and point here when pinned output diverges.
+regen-golden:
+	PYTHONPATH=src python -m tests.golden.regen
 
 benches figures:
 	pytest benchmarks/ --benchmark-only

@@ -1,64 +1,195 @@
 """Tooling throughput: primitive events per second, per configuration.
 
 Not a paper artifact -- a performance baseline for the reproduction itself,
-so regressions in the hot paths (shadow classification, cache simulation)
-show up in ``--benchmark-compare`` runs.  The workload is a fixed synthetic
-event stream (mixed scalar and block accesses across several functions),
-replayed into each observer.
+so regressions in the hot paths (shadow classification, cache simulation,
+trace transport) show up in ``--benchmark-compare`` runs.  The workload is a
+deterministic streaming stream: each round a producer writes a contiguous
+block element by element and a consumer reads it back, which is the shape
+the batched transport exists for (long access runs between function
+boundaries).
+
+Run directly to publish machine-readable numbers::
+
+    PYTHONPATH=src python benchmarks/bench_tool_throughput.py
+
+writes ``BENCH_throughput.json`` at the repo root with per-configuration
+events/sec for the scalar and batched transports.  ``--check CONFIG`` exits
+non-zero if the batched transport is slower than scalar for that
+configuration (the CI perf smoke).
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.callgrind import CallgrindCollector
 from repro.core import LineReuseProfiler, SigilConfig, SigilProfiler
+from repro.trace.batch import DEFAULT_BATCH_SIZE, BatchingTransport
 from repro.trace.events import OpKind
 
-N_ROUNDS = 400
+N_ROUNDS = 40
+BLOCK = 256  # accesses per produced/consumed block
 
 
 def drive(observer) -> int:
-    """A deterministic mixed stream; returns the number of primitives."""
+    """A deterministic streaming trace; returns the number of primitives.
+
+    Each round: ``producer`` writes a ``BLOCK``-element block one 8-byte
+    store at a time, ``consumer`` streams it back.  Function boundaries
+    (and one branch per round) are the only transport flush points, so the
+    batched path sees realistic long access runs rather than degenerate
+    two-access batches.
+    """
     observer.on_run_begin()
     observer.on_fn_enter("main")
     events = 2
     for i in range(N_ROUNDS):
+        base = 0x1000 + (i % 8) * BLOCK * 8
         observer.on_fn_enter("producer")
         observer.on_op(OpKind.INT, 20)
-        observer.on_mem_write(0x1000 + (i % 64) * 8, 8)
-        observer.on_mem_write(0x8000 + (i % 16) * 512, 512)
+        for j in range(BLOCK):
+            observer.on_mem_write(base + j * 8, 8)
         observer.on_fn_exit("producer")
         observer.on_fn_enter("consumer")
-        observer.on_mem_read(0x1000 + (i % 64) * 8, 8)
-        observer.on_mem_read(0x8000 + (i % 16) * 512, 512)
+        for j in range(BLOCK):
+            observer.on_mem_read(base + j * 8, 8)
         observer.on_op(OpKind.FLOAT, 30)
         observer.on_branch(i % 7, i % 3 == 0)
         observer.on_fn_exit("consumer")
-        events += 11
+        events += 2 * BLOCK + 7
     observer.on_fn_exit("main")
     observer.on_run_end()
     return events
 
 
+CONFIGS = {
+    "sigil-baseline": lambda: SigilProfiler(SigilConfig()),
+    "sigil-reuse": lambda: SigilProfiler(SigilConfig(reuse_mode=True)),
+    "sigil-events": lambda: SigilProfiler(SigilConfig(event_mode=True)),
+    "callgrind": lambda: CallgrindCollector(),
+    "line-reuse": lambda: LineReuseProfiler(64),
+}
+
+
+def _observer(config: str, batch_size: int):
+    tool = CONFIGS[config]()
+    if batch_size:
+        return BatchingTransport(tool, batch_size)
+    return tool
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
 @pytest.mark.parametrize(
-    "make_observer",
-    [
-        pytest.param(lambda: SigilProfiler(SigilConfig()), id="sigil-baseline"),
-        pytest.param(
-            lambda: SigilProfiler(SigilConfig(reuse_mode=True)), id="sigil-reuse"
-        ),
-        pytest.param(
-            lambda: SigilProfiler(SigilConfig(event_mode=True)), id="sigil-events"
-        ),
-        pytest.param(lambda: CallgrindCollector(), id="callgrind"),
-        pytest.param(lambda: LineReuseProfiler(64), id="line-reuse"),
-    ],
+    "batch_size", [0, DEFAULT_BATCH_SIZE], ids=["scalar", "batched"]
 )
-def test_observer_throughput(benchmark, make_observer):
+def test_observer_throughput(benchmark, config, batch_size):
     def once():
-        return drive(make_observer())
+        return drive(_observer(config, batch_size))
 
     events = benchmark.pedantic(once, rounds=5, iterations=1)
     assert events > 4000
     benchmark.extra_info["primitives"] = events
+    benchmark.extra_info["batch_size"] = batch_size
+
+
+# -- standalone publisher ----------------------------------------------------
+
+
+def _events_per_sec(config: str, batch_size: int, repeats: int) -> float:
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        observer = _observer(config, batch_size)
+        t0 = time.perf_counter()
+        events = drive(observer)
+        best = min(best, time.perf_counter() - t0)
+    return events / best
+
+
+def measure(repeats: int = 5, batch_size: int = DEFAULT_BATCH_SIZE) -> dict:
+    """Best-of-``repeats`` events/sec for every config, both transports."""
+    results = {}
+    for config in sorted(CONFIGS):
+        scalar = _events_per_sec(config, 0, repeats)
+        batched = _events_per_sec(config, batch_size, repeats)
+        results[config] = {
+            "scalar_events_per_sec": round(scalar),
+            "batched_events_per_sec": round(batched),
+            "speedup": round(batched / scalar, 2),
+        }
+    return {
+        "generated_by": "benchmarks/bench_tool_throughput.py",
+        "workload": {
+            "rounds": N_ROUNDS,
+            "block": BLOCK,
+            "events_per_run": drive(_observer("callgrind", 0)),
+        },
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "configs": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="publish observer throughput (scalar vs batched transport)"
+    )
+    parser.add_argument(
+        "-o", "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"),
+        help="output JSON path (default: BENCH_throughput.json at repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per configuration (best-of)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="transport ring size for the batched runs",
+    )
+    parser.add_argument(
+        "--check", metavar="CONFIG", action="append", default=[],
+        help="exit non-zero unless the batched transport is at least as "
+             "fast as scalar for CONFIG (repeatable; the CI perf smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats, batch_size=args.batch_size)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(c) for c in report["configs"])
+    for config, row in report["configs"].items():
+        print(
+            f"{config:<{width}}  scalar {row['scalar_events_per_sec']:>10,}/s"
+            f"  batched {row['batched_events_per_sec']:>10,}/s"
+            f"  x{row['speedup']}"
+        )
+    print(f"wrote {args.out}")
+
+    failed = False
+    for config in args.check:
+        if config not in report["configs"]:
+            print(f"--check: unknown config {config!r}", file=sys.stderr)
+            failed = True
+            continue
+        speedup = report["configs"][config]["speedup"]
+        if speedup < 1.0:
+            print(
+                f"--check: batched transport is SLOWER than scalar for "
+                f"{config} (x{speedup}); the batch path has regressed",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"--check: {config} batched >= scalar (x{speedup}) OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

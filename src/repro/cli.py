@@ -212,6 +212,13 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _batch_size_from(args) -> int:
+    """Resolve the transport mode flags: --no-batch wins, then --batch-size."""
+    if getattr(args, "no_batch", False):
+        return 0
+    return getattr(args, "batch_size", None) or SigilConfig().batch_size
+
+
 def _run(args, *, reuse: bool = False, events: bool = False):
     # Asking for an event-file or trace output implies collecting events.
     events = events or bool(
@@ -222,6 +229,7 @@ def _run(args, *, reuse: bool = False, events: bool = False):
         event_mode=events or getattr(args, "events", False),
         line_size=getattr(args, "line_size", 1),
         max_shadow_pages=getattr(args, "max_shadow_pages", None),
+        batch_size=_batch_size_from(args),
     )
     return profile_workload(
         args.workload, args.size, config=config, telemetry=_telemetry_from(args)
@@ -431,6 +439,7 @@ def cmd_run(args) -> int:
     config = SigilConfig(
         reuse_mode=args.reuse,
         event_mode=args.events or bool(args.events_out),
+        batch_size=_batch_size_from(args),
     )
     with tel.phase("setup"):
         text = Path(args.program).read_text()
@@ -441,7 +450,9 @@ def cmd_run(args) -> int:
             [sigil, callgrind], tel, Path(args.program).name
         )
     with tel.phase("execute"):
-        result = Machine(telemetry=tel).run(program, observer)
+        result = Machine(telemetry=tel).run(
+            program, observer, batch_size=config.batch_size
+        )
     with tel.phase("aggregate"):
         profile = sigil.profile()
     manifest = None
@@ -954,6 +965,18 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _add_transport_args(p: argparse.ArgumentParser) -> None:
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="trace-transport ring-buffer capacity in accesses "
+             f"(default {SigilConfig().batch_size})")
+    group.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the batched trace transport: one observer call per "
+             "memory access (the legacy path; profiles are identical)")
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     # Not argparse `choices`: unknown workloads are reported by the registry
     # with a one-line error (see `main`), not a usage dump -- campaign
@@ -989,6 +1012,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shadow granularity in bytes (power of two)")
     p.add_argument("--max-shadow-pages", type=int, default=None,
                    help="FIFO shadow-memory limit (pages)")
+    _add_transport_args(p)
     p.add_argument("-o", "--output", help="write the aggregate profile here")
     p.add_argument("--events-out", help="write the event file here")
     p.add_argument("--callgrind-out", help="write the callgrind profile here")
@@ -1026,6 +1050,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mrc", action="store_true",
                    help="also print the stack-distance miss-ratio curve")
     p.add_argument("--top", type=int, default=8)
+    _add_transport_args(p)
     p.set_defaults(func=cmd_reuse)
 
     p = sub.add_parser("figures", help="regenerate the paper's tables/figures")
@@ -1047,6 +1072,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the aggregate profile here")
     p.add_argument("--events-out", help="write the event file here")
     p.add_argument("--top", type=int, default=10)
+    _add_transport_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("critpath", help="critical-path / scheduling study",

@@ -32,6 +32,14 @@ class SigilConfig:
         Granularity of shadowing in bytes.  1 is the paper's byte-level
         default; setting the cache line size (e.g. 64) gives the
         line-granularity mode of section IV-B3 / Figure 12.
+    batch_size:
+        Capacity of the batched trace transport's ring buffer.  When
+        positive (the default), substrates accumulate memory accesses into
+        preallocated NumPy buffers and deliver them to the tools in batches
+        (:meth:`repro.trace.observer.TraceObserver.on_mem_batch`), which the
+        profilers process with grouped array kernels.  ``0`` selects the
+        legacy scalar path (one observer call per access).  Profiles are
+        byte-identical either way; only throughput changes.
     track_unread_writes:
         Whether bytes written but never read still contribute to the
         producer's write totals (they always do) -- kept for documentation
@@ -42,6 +50,7 @@ class SigilConfig:
     event_mode: bool = False
     max_shadow_pages: Optional[int] = None
     line_size: int = 1
+    batch_size: int = 4096
     track_unread_writes: bool = True
 
     def __post_init__(self) -> None:
@@ -49,3 +58,5 @@ class SigilConfig:
             raise ValueError("line_size must be a positive power of two")
         if self.max_shadow_pages is not None and self.max_shadow_pages <= 0:
             raise ValueError("max_shadow_pages must be positive or None")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0 (0 = scalar path)")

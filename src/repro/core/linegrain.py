@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.reuse import REUSE_BUCKET_LABELS, bucketise_counts
 from repro.trace.events import OpKind
-from repro.trace.observer import BaseObserver
+from repro.trace.observer import BaseObserver, _expand_batch
 
 __all__ = ["LineRecord", "LineReuseProfiler"]
 
@@ -67,9 +67,14 @@ class LineReuseProfiler(BaseObserver):
 
     def _touch(self, addr: int, size: int) -> None:
         self.time += 1
+        if size <= 0:
+            # Zero-byte accesses retire an instruction but touch no line;
+            # fabricating a touch here would invent re-use that the
+            # byte-granular modes (correctly) never see.
+            return
         now = self.time
         first_line = addr >> self._shift
-        last_line = (addr + max(size, 1) - 1) >> self._shift
+        last_line = (addr + size - 1) >> self._shift
         lines = self._lines
         for line_no in range(first_line, last_line + 1):
             rec = lines.get(line_no)
@@ -84,6 +89,79 @@ class LineReuseProfiler(BaseObserver):
 
     def on_mem_write(self, addr: int, size: int) -> None:
         self._touch(addr, size)
+
+    #: Touch timestamps are per-access clock readings: the batching
+    #: transport must keep ops from overtaking buffered accesses.
+    batch_time_strict = True
+
+    def on_mem_batch(self, addrs, sizes, kinds) -> None:
+        """Touch a batch of accesses in one grouped pass.
+
+        The transport flushes before every time-advancing event for strict
+        observers, so access ``i`` of the batch ran at clock ``T + i + 1``
+        -- reconstructing the exact scalar timestamps without per-access
+        dispatch.  Lines are expanded, grouped, and merged with per-group
+        counts and min/max touch times.
+        """
+        n = len(addrs)
+        if n == 0:
+            return
+        addrs = np.asarray(addrs, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if int(sizes.sum()) >> self._shift > 32 * n:
+            # Bulk transfers: the scalar per-access path is cheaper once
+            # each access spans many lines (see SigilProfiler.on_mem_batch).
+            _expand_batch(self, addrs, sizes, kinds)
+            return
+        times = self.time + 1 + np.arange(n, dtype=np.int64)
+        self.time += n
+        valid = sizes > 0
+        if not valid.all():
+            addrs = addrs[valid]
+            sizes = sizes[valid]
+            times = times[valid]
+            if addrs.size == 0:
+                return
+        shift = self._shift
+        lo = addrs >> shift
+        hi = (addrs + sizes - 1) >> shift
+        if (hi == lo).all():
+            # Common case: no access straddles a line; skip the ragged
+            # expansion entirely.
+            line, t = lo, times
+            total = len(line)
+        else:
+            n_lines = hi - lo + 1
+            total = int(n_lines.sum())
+            start = np.cumsum(n_lines) - n_lines
+            idx = np.arange(total, dtype=np.int64)
+            line = np.repeat(lo, n_lines) + (idx - np.repeat(start, n_lines))
+            t = np.repeat(times, n_lines)
+
+        order = np.argsort(line, kind="stable")
+        sl = line[order]
+        st = t[order]  # non-decreasing within each line group
+        new_grp = np.empty(total, dtype=bool)
+        new_grp[0] = True
+        np.not_equal(sl[1:], sl[:-1], out=new_grp[1:])
+        g_start = np.flatnonzero(new_grp)
+        g_end = np.empty(len(g_start), dtype=np.int64)
+        g_end[:-1] = g_start[1:]
+        g_end[-1] = total
+        counts = g_end - g_start
+        lines = self._lines
+        for line_no, cnt, first, last in zip(
+            sl[g_start].tolist(),
+            counts.tolist(),
+            st[g_start].tolist(),
+            st[g_end - 1].tolist(),
+        ):
+            rec = lines.get(line_no)
+            if rec is None:
+                lines[line_no] = [cnt, first, last]
+            else:
+                rec[0] += cnt
+                rec[2] = last
 
     # -- results -------------------------------------------------------------
 

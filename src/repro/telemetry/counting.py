@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.trace.events import OpKind
-from repro.trace.observer import BaseObserver
+from repro.trace.observer import MEM_READ, BaseObserver
 
 __all__ = ["EventCounter"]
 
@@ -55,6 +57,13 @@ class EventCounter(BaseObserver):
 
     def on_mem_write(self, addr: int, size: int) -> None:
         self.mem_writes += 1
+
+    def on_mem_batch(self, addrs, sizes, kinds) -> None:
+        # Batches count as their scalar equivalent, so events_total (and
+        # events/sec) stay comparable between transport modes.
+        reads = int(np.count_nonzero(np.asarray(kinds) == MEM_READ))
+        self.mem_reads += reads
+        self.mem_writes += len(kinds) - reads
 
     def on_op(self, kind: OpKind, count: int) -> None:
         self.ops += 1

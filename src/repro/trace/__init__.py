@@ -13,7 +13,10 @@ from repro.trace.events import (
     ThreadSwitch,
     TraceEvent,
 )
+from repro.trace.batch import DEFAULT_BATCH_SIZE, BatchingTransport
 from repro.trace.observer import (
+    MEM_READ,
+    MEM_WRITE,
     BaseObserver,
     NullObserver,
     ObserverPipe,
@@ -23,6 +26,10 @@ from repro.trace.observer import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchingTransport",
+    "MEM_READ",
+    "MEM_WRITE",
     "Branch",
     "FnEnter",
     "FnExit",

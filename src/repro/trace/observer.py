@@ -26,6 +26,8 @@ from repro.trace.events import (
 )
 
 __all__ = [
+    "MEM_READ",
+    "MEM_WRITE",
     "TraceObserver",
     "BaseObserver",
     "NullObserver",
@@ -33,6 +35,24 @@ __all__ = [
     "RecordingObserver",
     "replay",
 ]
+
+#: Kind codes used in the ``kinds`` array of a memory-access batch.
+MEM_READ = 0
+MEM_WRITE = 1
+
+
+def _expand_batch(observer, addrs, sizes, kinds) -> None:
+    """Replay a memory-access batch into scalar observer calls, in order."""
+    addrs = addrs.tolist() if hasattr(addrs, "tolist") else addrs
+    sizes = sizes.tolist() if hasattr(sizes, "tolist") else sizes
+    kinds = kinds.tolist() if hasattr(kinds, "tolist") else kinds
+    read = observer.on_mem_read
+    write = observer.on_mem_write
+    for addr, size, kind in zip(addrs, sizes, kinds):
+        if kind == MEM_READ:
+            read(addr, size)
+        else:
+            write(addr, size)
 
 
 @runtime_checkable
@@ -52,6 +72,8 @@ class TraceObserver(Protocol):
 
     def on_mem_write(self, addr: int, size: int) -> None: ...
 
+    def on_mem_batch(self, addrs, sizes, kinds) -> None: ...
+
     def on_op(self, kind: OpKind, count: int) -> None: ...
 
     def on_branch(self, site: int, taken: bool) -> None: ...
@@ -70,6 +92,23 @@ class TraceObserver(Protocol):
 class BaseObserver:
     """No-op implementation of :class:`TraceObserver`; subclass and override."""
 
+    #: Declares whether this observer's *output* depends on how memory
+    #: accesses interleave with op/branch events on the instruction-count
+    #: clock (e.g. re-use lifetime timestamps).  The batched transport
+    #: (:class:`repro.trace.batch.BatchingTransport`) flushes its buffer
+    #: before every op when this is true, so per-access timestamps stay
+    #: byte-identical to the scalar path.  Order *among* memory accesses is
+    #: always preserved regardless of this flag.
+    batch_time_strict: bool = False
+
+    #: Whether batch delivery actually speeds this observer up.  Observers
+    #: whose per-access work is inherently sequential (e.g. a cache
+    #: simulator) process batches by scalar expansion anyway, so buffering
+    #: for them alone is pure overhead; the harness skips the transport
+    #: when nothing downstream benefits.  Output is byte-identical either
+    #: way -- this is purely a performance hint.
+    batch_beneficial: bool = True
+
     def on_fn_enter(self, name: str) -> None:
         pass
 
@@ -81,6 +120,19 @@ class BaseObserver:
 
     def on_mem_write(self, addr: int, size: int) -> None:
         pass
+
+    def on_mem_batch(self, addrs, sizes, kinds) -> None:
+        """A batch of memory accesses, in program order.
+
+        ``addrs``/``sizes``/``kinds`` are parallel sequences (typically
+        NumPy array views into the transport's ring buffer -- do not retain
+        them past the call).  ``kinds[i]`` is :data:`MEM_READ` or
+        :data:`MEM_WRITE`.  The default implementation expands the batch
+        back into scalar ``on_mem_read``/``on_mem_write`` calls in order,
+        so observers that never heard of batching keep working unchanged;
+        batch-aware observers override this with a vectorised kernel.
+        """
+        _expand_batch(self, addrs, sizes, kinds)
 
     def on_op(self, kind: OpKind, count: int) -> None:
         pass
@@ -122,6 +174,30 @@ class ObserverPipe(BaseObserver):
 
     def __init__(self, observers: Iterable[TraceObserver]):
         self.observers: List[TraceObserver] = list(observers)
+
+    @property
+    def batch_time_strict(self) -> bool:  # type: ignore[override]
+        """Strict if any fan-out target needs scalar-exact clock ordering."""
+        return any(
+            getattr(obs, "batch_time_strict", False) for obs in self.observers
+        )
+
+    @property
+    def batch_beneficial(self) -> bool:  # type: ignore[override]
+        """Batching pays off if it pays off for any fan-out target."""
+        return any(
+            getattr(obs, "batch_beneficial", True) for obs in self.observers
+        )
+
+    def on_mem_batch(self, addrs, sizes, kinds) -> None:
+        # Each observer receives the whole batch in order; observers without
+        # a batch kernel fall back to scalar expansion via BaseObserver.
+        for obs in self.observers:
+            hook = getattr(obs, "on_mem_batch", None)
+            if hook is not None:
+                hook(addrs, sizes, kinds)
+            else:  # bare TraceObserver without the batching mixin
+                _expand_batch(obs, addrs, sizes, kinds)
 
     def on_fn_enter(self, name: str) -> None:
         for obs in self.observers:
@@ -169,7 +245,17 @@ class ObserverPipe(BaseObserver):
 
 
 class RecordingObserver(BaseObserver):
-    """Materialise the trace as a list of event objects (tests, replays)."""
+    """Materialise the trace as a list of event objects (tests, replays).
+
+    A recorded trace preserves the exact scalar event order, so the recorder
+    is *time strict*: a batching transport must not let op/branch events
+    overtake buffered memory accesses on their way here.  Batches themselves
+    are expanded back to one :class:`MemRead`/:class:`MemWrite` per access
+    (the inherited scalar expansion), keeping recorded traces
+    representation-independent.
+    """
+
+    batch_time_strict = True
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
@@ -202,14 +288,29 @@ class RecordingObserver(BaseObserver):
         self.events.append(ThreadSwitch(tid))
 
 
-def replay(events: Iterable[TraceEvent], observer: TraceObserver) -> None:
+def replay(
+    events: Iterable[TraceEvent],
+    observer: TraceObserver,
+    *,
+    batch_size: int = 0,
+) -> None:
     """Replay a materialised trace into an observer.
 
     The paper promises to "release the profile data for many commonly used
     benchmarks ... researchers can use the data without running Sigil";
     ``replay`` is the mechanism that makes a stored trace equivalent to a
     live run.
+
+    With ``batch_size > 0`` the replay goes through a
+    :class:`repro.trace.batch.BatchingTransport`, so stored traces exercise
+    exactly the batched transport live substrates use (memory accesses are
+    accumulated and delivered via ``on_mem_batch`` at flush boundaries).
+    The observed profile is identical either way.
     """
+    if batch_size:
+        from repro.trace.batch import BatchingTransport
+
+        observer = BatchingTransport(observer, batch_size)
     observer.on_run_begin()
     for ev in events:
         if isinstance(ev, MemRead):

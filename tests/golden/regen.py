@@ -1,0 +1,31 @@
+"""Regenerate the golden-profile fixtures: ``make regen-golden``.
+
+Run this ONLY when a change to the profiler's observable output is
+intentional; review the fixture diff like any other code change.
+
+    PYTHONPATH=src python -m tests.golden.regen [key ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from tests.golden.lib import SPECS, regenerate
+
+
+def main(argv) -> int:
+    keys = argv or sorted(SPECS)
+    unknown = [k for k in keys if k not in SPECS]
+    if unknown:
+        print(
+            f"unknown fixture(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    regenerate(keys)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
