@@ -1,6 +1,6 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke bench-throughput regen-golden clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke bench-throughput bench-event-io regen-golden clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,12 @@ property:
 bench-throughput:
 	PYTHONPATH=src python benchmarks/bench_tool_throughput.py \
 		--check sigil-baseline
+
+# Publish event-log I/O throughput (text v1 vs binary v2 on a 1M-segment
+# log) into the event_io section of BENCH_throughput.json, and fail if the
+# binary load+critical-path path has regressed below the text path.
+bench-event-io:
+	PYTHONPATH=src python benchmarks/bench_event_io.py --check
 
 # Rewrite the golden-profile fixtures in tests/golden/.  Run this ONLY when
 # a change to the profiler's observable output is intentional, and commit

@@ -21,12 +21,25 @@ __all__ = ["render_calltree"]
 
 def _inclusive_ops(profile: SigilProfile, cache: Dict[int, int], node: ContextNode) -> int:
     cached = cache.get(node.id)
-    if cached is None:
-        cached = profile.fn_comm(node.id).ops + sum(
-            _inclusive_ops(profile, cache, child) for child in node.children.values()
+    if cached is not None:
+        return cached
+    # Post-order over an explicit stack: deep call chains exceed Python's
+    # recursion limit long before they stress anything else here.
+    stack = [(node, False)]
+    while stack:
+        current, children_done = stack.pop()
+        if current.id in cache:
+            continue
+        if not children_done:
+            stack.append((current, True))
+            stack.extend(
+                (child, False) for child in current.children.values()
+            )
+            continue
+        cache[current.id] = profile.fn_comm(current.id).ops + sum(
+            cache[child.id] for child in current.children.values()
         )
-        cache[node.id] = cached
-    return cached
+    return cache[node.id]
 
 
 def render_calltree(

@@ -106,6 +106,8 @@ class CDFG:
 
     def to_dot(self, *, max_nodes: Optional[int] = None) -> str:
         """Graphviz rendering: bold call edges, dashed weighted data edges."""
+        from repro.analysis.critical_path import _dot_escape
+
         nodes = self.nodes()
         if max_nodes is not None:
             nodes = sorted(
@@ -117,8 +119,9 @@ class CDFG:
         lines = ["digraph cdfg {", "  node [shape=ellipse];"]
         for node in nodes:
             ops = self.profile.fn_comm(node.id).ops
+            label = _dot_escape(self.label(node.id))
             lines.append(
-                f'  n{node.id} [label="{self.label(node.id)}\\nops={ops}"];'
+                f'  n{node.id} [label="{label}\\nops={ops}"];'
             )
         for edge in self.call_edges():
             if edge.caller in keep and edge.callee in keep:

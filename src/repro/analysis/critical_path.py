@@ -13,31 +13,81 @@ between fragments of the same call.
 
 "The maximum theoretical function-level parallelism is the ratio of overall
 serial length of the program to the critical path length." (Figure 13)
+
+Both event-log forms are accepted: the object :class:`EventLog` and the
+columnar :class:`EventArrays` that binary v2 files load into.  The
+longest-path DP runs over edge arrays grouped by destination (one stable
+sort, no per-edge Python objects, no predecessor lists of lists), so
+million-segment logs analyse in one tight pass; results are identical on
+both forms, including tie-breaking on the reported path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Union
+
+import numpy as np
 
 from repro.common.cct import ContextTree
-from repro.core.segments import EventLog, Segment
+from repro.core.segments import (
+    EventArrays,
+    EventLog,
+    Segment,
+    as_event_arrays,
+)
 
 __all__ = ["CriticalPathResult", "analyze_critical_path", "events_to_dot"]
 
 
-@dataclass
 class CriticalPathResult:
-    """Outcome of dependency-chain construction."""
+    """Outcome of dependency-chain construction.
 
-    #: Sum of all segment self-costs: the program's serial length.
-    serial_length: int
-    #: Longest dependent chain, in operations.
-    critical_length: int
-    #: Segments on the critical path, in execution order.
-    path: List[Segment]
-    #: Per-segment inclusive cost (longest chain from the start to it).
-    inclusive: List[int]
+    ``serial_length`` is the sum of all segment self-costs (the program's
+    serial length), ``critical_length`` the longest dependent chain in
+    operations, ``inclusive`` the per-segment inclusive cost (longest chain
+    from the start to it), and ``path`` the segments on the critical path
+    in execution order.  ``path`` is materialised lazily: on a
+    million-segment log whose critical path covers most of the program,
+    building one ``Segment`` object per path node costs more than the
+    longest-path DP itself, and callers that only want the lengths (the
+    parallelism limit, benchmark comparisons) never pay it.
+    """
+
+    def __init__(
+        self,
+        serial_length: int,
+        critical_length: int,
+        path: Optional[List[Segment]],
+        inclusive: List[int],
+    ):
+        self.serial_length = serial_length
+        self.critical_length = critical_length
+        self.inclusive = inclusive
+        self._path = path
+        self._source: Union[EventLog, EventArrays, None] = None
+        self._path_ids: Optional[List[int]] = None
+
+    @classmethod
+    def _deferred(
+        cls,
+        serial_length: int,
+        critical_length: int,
+        inclusive: List[int],
+        source: Union[EventLog, EventArrays],
+        path_ids: List[int],
+    ) -> "CriticalPathResult":
+        result = cls(serial_length, critical_length, None, inclusive)
+        result._source = source
+        result._path_ids = path_ids
+        return result
+
+    @property
+    def path(self) -> List[Segment]:
+        """Segments on the critical path, in execution order."""
+        if self._path is None:
+            assert self._source is not None and self._path_ids is not None
+            self._path = _materialise_path(self._source, self._path_ids)
+        return self._path
 
     @property
     def max_parallelism(self) -> float:
@@ -59,8 +109,18 @@ class CriticalPathResult:
         return names
 
 
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT label.
+
+    Function names are arbitrary (demangled C++ carries ``<``, ``"`` and
+    ``\\``; ``sys:`` pseudo-nodes carry whatever the syscall was called) --
+    unescaped quotes or backslashes produce invalid Graphviz.
+    """
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
 def events_to_dot(
-    events: EventLog,
+    events: Union[EventLog, EventArrays],
     tree: Optional[ContextTree] = None,
     result: Optional[CriticalPathResult] = None,
     *,
@@ -74,6 +134,8 @@ def events_to_dot(
     matching the paper's presentation.  Large logs are truncated to the
     ``max_segments`` highest-cost segments plus everything on the path.
     """
+    if isinstance(events, EventArrays):
+        events = events.to_eventlog()
     result = result if result is not None else analyze_critical_path(events)
     on_path = {seg.seg_id for seg in result.path}
     keep = set(on_path)
@@ -85,7 +147,7 @@ def events_to_dot(
 
     def label(seg: Segment) -> str:
         name = tree.node(seg.ctx_id).name if tree is not None else f"ctx{seg.ctx_id}"
-        text = f"{name}\\nself: {seg.ops}"
+        text = f"{_dot_escape(name)}\\nself: {seg.ops}"
         if result.inclusive:
             text += f"\\ncost = {result.inclusive[seg.seg_id]}"
         return text
@@ -112,51 +174,104 @@ def events_to_dot(
     return "\n".join(lines)
 
 
-def analyze_critical_path(events: EventLog) -> CriticalPathResult:
+def analyze_critical_path(
+    events: Union[EventLog, EventArrays],
+) -> CriticalPathResult:
     """Longest-path DP over the segment DAG.
 
     All edges point from an earlier segment to a later one (producers write
     before consumers read; calls and order edges follow time), so segments
-    in id order are already topologically sorted.
+    in id order are already topologically sorted.  The DP consumes the
+    columnar edge tables directly: edges are stable-sorted by destination
+    once, then a single forward pass finalises each segment's inclusive
+    cost from the already-final costs of its predecessors.
     """
-    n = events.n_segments
+    source = events
+    arrays = as_event_arrays(events)
+    n = arrays.n_segments
     if n == 0:
         return CriticalPathResult(0, 0, [], [])
 
-    preds: List[List[int]] = [[] for _ in range(n)]
-    for edge in events.edges():
-        if edge.src >= edge.dst:
-            raise ValueError(
-                f"event log is not topologically ordered: {edge.src} -> {edge.dst}"
-            )
-        preds[edge.dst].append(edge.src)
+    # Concatenation order (order/call edges, then data edges) matches
+    # EventLog.edges(), so tie-breaking below reproduces the object path.
+    src = np.concatenate((arrays.ordercall["src"], arrays.data["src"]))
+    dst = np.concatenate((arrays.ordercall["dst"], arrays.data["dst"]))
+    forward = src < dst
+    if not bool(forward.all()):
+        bad = int(np.argmax(~forward))
+        raise ValueError(
+            f"event log is not topologically ordered: "
+            f"{int(src[bad])} -> {int(dst[bad])}"
+        )
+    by_dst = np.argsort(dst, kind="stable")
+    src_sorted = src[by_dst].tolist()
+    # Group size per destination; the sorted edge list is consumed as one
+    # contiguous slice per node, so the pass never re-tests destinations.
+    pred_counts = np.bincount(dst, minlength=n).tolist()
+    ops = arrays.segs["ops"].tolist()
 
     inclusive = [0] * n
     best_pred = [-1] * n
-    for seg in events.segments:
-        i = seg.seg_id
-        best = 0
-        chosen = -1
-        for p in preds[i]:
-            # ">=" so zero-cost prefix fragments (e.g. main before its
-            # first op) stay on the reported path.
-            if inclusive[p] >= best:
-                best = inclusive[p]
-                chosen = p
-        inclusive[i] = best + seg.ops
+    ei = 0
+    for i, op in enumerate(ops):
+        c = pred_counts[i]
+        if c == 1:  # the overwhelmingly common case: one order/call pred
+            chosen = src_sorted[ei]
+            best = inclusive[chosen]
+            ei += 1
+        elif c:
+            best = 0
+            chosen = -1
+            for p in src_sorted[ei:ei + c]:
+                v = inclusive[p]
+                # ">=" so zero-cost prefix fragments (e.g. main before
+                # its first op) stay on the reported path.
+                if v >= best:
+                    best = v
+                    chosen = p
+            ei += c
+        else:
+            best = 0
+            chosen = -1
+        inclusive[i] = best + op
         best_pred[i] = chosen
 
     end = max(range(n), key=inclusive.__getitem__)
-    path: List[Segment] = []
+    path_ids: List[int] = []
     cursor = end
     while cursor != -1:
-        path.append(events.segments[cursor])
+        path_ids.append(cursor)
         cursor = best_pred[cursor]
-    path.reverse()
+    path_ids.reverse()
 
-    return CriticalPathResult(
-        serial_length=events.total_ops(),
+    return CriticalPathResult._deferred(
+        serial_length=arrays.total_ops(),
         critical_length=inclusive[end],
-        path=path,
         inclusive=inclusive,
+        source=source,
+        path_ids=path_ids,
+    )
+
+
+def _materialise_path(
+    source: Union[EventLog, EventArrays], path_ids: List[int]
+) -> List[Segment]:
+    if isinstance(source, EventLog):
+        # Share the caller's Segment objects rather than copying them.
+        return [source.segments[i] for i in path_ids]
+    # Only path nodes are ever built as objects, gathered column-wise in
+    # bulk (per-column tolist is much cheaper than converting structured
+    # rows one tuple at a time).
+    sel = np.asarray(path_ids, dtype=np.int64)
+    segs = source.segs
+    return list(
+        map(
+            Segment,
+            path_ids,
+            segs["ctx"][sel].tolist(),
+            segs["call"][sel].tolist(),
+            segs["start"][sel].tolist(),
+            segs["ops"][sel].tolist(),
+            segs["thread"][sel].tolist(),
+        )
     )

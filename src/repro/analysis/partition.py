@@ -36,11 +36,7 @@ from repro.callgrind.collector import CallgrindProfile
 from repro.callgrind.cycles import CycleModel
 from repro.common.cct import ContextNode
 from repro.core.profiler import SigilProfile
-from repro.analysis.merge import (
-    InclusiveCosts,
-    compute_inclusive,
-    subtree_has_syscall,
-)
+from repro.analysis.merge import InclusiveCosts, compute_inclusive
 
 __all__ = [
     "BusModel",
@@ -174,35 +170,67 @@ def trim_calltree(
     policy = policy if policy is not None else PartitionPolicy()
 
     def resolve(
-        node: ContextNode,
+        root: ContextNode,
     ) -> Tuple[float, List[Candidate], List[ContextNode]]:
         """Bottom-up resolution of one sub-tree.
 
         Returns ``(best_breakeven, candidates, interior)`` for the best
-        trimming of the sub-tree rooted at ``node``.
+        trimming of the sub-tree rooted at ``root``.  Iterative post-order
+        with an explicit stack: real call chains routinely exceed Python's
+        recursion limit (~1000 frames), and the trimming rule only needs
+        each node's children resolved first.
         """
-        if node.name.startswith("sys:"):
-            return math.inf, [], []
-        mergeable = node.name not in policy.never_merge and not (
-            policy.forbid_syscalls and subtree_has_syscall(node)
-        )
-        merged = _candidate_for(sigil, callgrind, node, policy) if mergeable else None
-        children = [c for c in node.children.values() if not c.name.startswith("sys:")]
-
-        if not children:
-            if merged is not None:
-                return merged.breakeven, [merged], []
-            return math.inf, [], [node]
-
-        resolved = [resolve(child) for child in children]
-        best_split = min((score for score, _, _ in resolved), default=math.inf)
-        if merged is not None and merged.breakeven <= best_split:
-            return merged.breakeven, [merged], []
-        return (
-            best_split,
-            [c for _, cands, _ in resolved for c in cands],
-            [node] + [n for _, _, inter in resolved for n in inter],
-        )
+        # node id -> resolved (score, candidates, interior) of its sub-tree
+        done: Dict[int, Tuple[float, List[Candidate], List[ContextNode]]] = {}
+        # node id -> whether the sub-tree contains a syscall pseudo-node;
+        # accumulated bottom-up so the check is O(tree) overall instead of
+        # one full sub-tree walk per node.
+        has_sys: Dict[int, bool] = {}
+        stack: List[Tuple[ContextNode, bool]] = [(root, False)]
+        while stack:
+            node, children_resolved = stack.pop()
+            if node.name.startswith("sys:"):
+                done[node.id] = (math.inf, [], [])
+                continue
+            children = [
+                c for c in node.children.values()
+                if not c.name.startswith("sys:")
+            ]
+            if not children_resolved and children:
+                stack.append((node, True))
+                stack.extend((child, False) for child in reversed(children))
+                continue
+            child_flags = [has_sys.pop(child.id) for child in children]
+            has_sys[node.id] = any(child_flags) or any(
+                c.name.startswith("sys:") for c in node.children.values()
+            )
+            mergeable = node.name not in policy.never_merge and not (
+                policy.forbid_syscalls and has_sys[node.id]
+            )
+            merged = (
+                _candidate_for(sigil, callgrind, node, policy)
+                if mergeable
+                else None
+            )
+            if not children:
+                if merged is not None:
+                    done[node.id] = (merged.breakeven, [merged], [])
+                else:
+                    done[node.id] = (math.inf, [], [node])
+                continue
+            resolved = [done.pop(child.id) for child in children]
+            best_split = min(
+                (score for score, _, _ in resolved), default=math.inf
+            )
+            if merged is not None and merged.breakeven <= best_split:
+                done[node.id] = (merged.breakeven, [merged], [])
+            else:
+                done[node.id] = (
+                    best_split,
+                    [c for _, cands, _ in resolved for c in cands],
+                    [node] + [n for _, _, inter in resolved for n in inter],
+                )
+        return done[root.id]
 
     total = callgrind.total_cycles() if callgrind is not None else 0.0
     candidates: List[Candidate] = []

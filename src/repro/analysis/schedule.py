@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.segments import EDGE_DATA, EventLog
+from repro.core.segments import EventArrays, EventLog, as_event_arrays
 
 __all__ = ["ScheduleResult", "schedule_events", "speedup_curve"]
 
@@ -51,35 +51,48 @@ class ScheduleResult:
         return self.speedup / self.n_cores if self.n_cores else 0.0
 
 
-def _bottom_levels(events: EventLog, succs: List[List[int]]) -> List[int]:
+def _bottom_levels(ops: List[int], succs: List[List[int]]) -> List[int]:
     """Critical-path-to-exit length per segment (the HLFET priority)."""
-    n = events.n_segments
+    n = len(ops)
     levels = [0] * n
-    for seg in reversed(events.segments):
-        i = seg.seg_id
+    for i in range(n - 1, -1, -1):
         tail = max((levels[s] for s in succs[i]), default=0)
-        levels[i] = seg.ops + tail
+        levels[i] = ops[i] + tail
     return levels
 
 
-def schedule_events(events: EventLog, n_cores: int) -> ScheduleResult:
-    """List-schedule the segment DAG onto ``n_cores`` identical cores."""
+def schedule_events(
+    events: Union[EventLog, EventArrays], n_cores: int
+) -> ScheduleResult:
+    """List-schedule the segment DAG onto ``n_cores`` identical cores.
+
+    Accepts either event-log form; the dependency structure is pulled
+    straight out of the columnar edge tables (one bulk ``tolist`` per
+    column, no per-edge objects) and results are identical on both.
+    """
     if n_cores <= 0:
         raise ValueError("n_cores must be positive")
-    n = events.n_segments
+    arrays = as_event_arrays(events)
+    n = arrays.n_segments
     if n == 0:
         return ScheduleResult(n_cores, 0, 0, {}, 0)
 
+    ops = arrays.segs["ops"].tolist()
     preds: List[List[int]] = [[] for _ in range(n)]
     succs: List[List[int]] = [[] for _ in range(n)]
-    data_edges: List[Tuple[int, int, int]] = []
-    for edge in events.edges():
-        preds[edge.dst].append(edge.src)
-        succs[edge.src].append(edge.dst)
-        if edge.kind == EDGE_DATA:
-            data_edges.append((edge.src, edge.dst, edge.bytes))
+    for src, dst in zip(
+        arrays.ordercall["src"].tolist(), arrays.ordercall["dst"].tolist()
+    ):
+        preds[dst].append(src)
+        succs[src].append(dst)
+    data_edges: List[Tuple[int, int, int]] = [
+        tuple(row) for row in arrays.data.tolist()
+    ]
+    for src, dst, _ in data_edges:
+        preds[dst].append(src)
+        succs[src].append(dst)
 
-    priority = _bottom_levels(events, succs)
+    priority = _bottom_levels(ops, succs)
     in_degree = [len(p) for p in preds]
     finish = [0] * n
     placement: Dict[int, Tuple[int, int]] = {}
@@ -88,9 +101,9 @@ def schedule_events(events: EventLog, n_cores: int) -> ScheduleResult:
     # Ready heap: (-priority, seg_id); earliest data-ready time per segment.
     ready: List[Tuple[int, int]] = []
     data_ready = [0] * n
-    for seg in events.segments:
-        if in_degree[seg.seg_id] == 0:
-            heapq.heappush(ready, (-priority[seg.seg_id], seg.seg_id))
+    for i in range(n):
+        if in_degree[i] == 0:
+            heapq.heappush(ready, (-priority[i], i))
 
     scheduled = 0
     while ready:
@@ -98,7 +111,7 @@ def schedule_events(events: EventLog, n_cores: int) -> ScheduleResult:
         # Pick the core that lets the segment start earliest.
         core = min(range(n_cores), key=core_free.__getitem__)
         start = max(core_free[core], data_ready[i])
-        end = start + events.segments[i].ops
+        end = start + ops[i]
         core_free[core] = end
         finish[i] = end
         placement[i] = (core, start)
@@ -120,16 +133,17 @@ def schedule_events(events: EventLog, n_cores: int) -> ScheduleResult:
     return ScheduleResult(
         n_cores=n_cores,
         makespan=max(finish),
-        serial_length=events.total_ops(),
+        serial_length=arrays.total_ops(),
         placement=placement,
         cross_core_bytes=cross,
     )
 
 
 def speedup_curve(
-    events: EventLog, cores: Optional[List[int]] = None
+    events: Union[EventLog, EventArrays], cores: Optional[List[int]] = None
 ) -> List[ScheduleResult]:
     """Schedule for a range of core counts (default 1, 2, 4, ... 32)."""
     if cores is None:
         cores = [1, 2, 4, 8, 16, 32]
-    return [schedule_events(events, k) for k in cores]
+    arrays = as_event_arrays(events)
+    return [schedule_events(arrays, k) for k in cores]

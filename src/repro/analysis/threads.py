@@ -11,9 +11,11 @@ them into the matrix a NoC or shared-cache designer would start from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
-from repro.core.segments import EDGE_DATA, EventLog
+import numpy as np
+
+from repro.core.segments import EventArrays, EventLog, as_event_arrays
 
 __all__ = ["ThreadCommSummary", "thread_comm_matrix", "per_thread_ops"]
 
@@ -53,21 +55,41 @@ class ThreadCommSummary:
         return self.cross_thread_bytes / total if total else 0.0
 
 
-def thread_comm_matrix(events: EventLog) -> ThreadCommSummary:
-    """Aggregate data-edge bytes by the producing/consuming threads."""
+def thread_comm_matrix(
+    events: Union[EventLog, EventArrays],
+) -> ThreadCommSummary:
+    """Aggregate data-edge bytes by the producing/consuming threads.
+
+    Accepts either event-log form; the aggregation is a grouped reduction
+    over the columnar data-edge table (sort producer/consumer thread
+    pairs, sum byte runs), so million-edge logs reduce without touching
+    per-edge Python objects.
+    """
+    arrays = as_event_arrays(events)
     matrix: Dict[Tuple[int, int], int] = {}
-    segments = events.segments
-    for edge in events.edges():
-        if edge.kind != EDGE_DATA:
-            continue
-        key = (segments[edge.src].thread, segments[edge.dst].thread)
-        matrix[key] = matrix.get(key, 0) + edge.bytes
-    return ThreadCommSummary(matrix=matrix, ops=per_thread_ops(events))
+    if len(arrays.data):
+        threads = arrays.segs["thread"]
+        pairs = np.stack(
+            (threads[arrays.data["src"]], threads[arrays.data["dst"]]), axis=1
+        )
+        uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inverse, arrays.data["bytes"])
+        matrix = {
+            (int(src), int(dst)): int(count)
+            for (src, dst), count in zip(uniq.tolist(), totals.tolist())
+        }
+    return ThreadCommSummary(matrix=matrix, ops=per_thread_ops(arrays))
 
 
-def per_thread_ops(events: EventLog) -> Dict[int, int]:
+def per_thread_ops(events: Union[EventLog, EventArrays]) -> Dict[int, int]:
     """Operations retired per thread (load balance view)."""
-    ops: Dict[int, int] = {}
-    for seg in events.segments:
-        ops[seg.thread] = ops.get(seg.thread, 0) + seg.ops
-    return ops
+    arrays = as_event_arrays(events)
+    if not len(arrays.segs):
+        return {}
+    tids, inverse = np.unique(arrays.segs["thread"], return_inverse=True)
+    totals = np.zeros(len(tids), dtype=np.int64)
+    np.add.at(totals, inverse, arrays.segs["ops"])
+    return {
+        int(tid): int(total) for tid, total in zip(tids.tolist(), totals.tolist())
+    }

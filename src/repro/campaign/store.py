@@ -33,7 +33,8 @@ from typing import Any, Dict, List, Optional, Union
 from repro.campaign.spec import Job
 from repro.harness import ProfiledRun
 from repro.io.callgrindfile import dump_callgrind, load_callgrind
-from repro.io.eventfile import dump_events, load_events
+from repro.io.eventbin import dump_events_bin
+from repro.io.eventfile import load_events
 from repro.io.profilefile import dump_profile, load_profile, profile_digest
 from repro.telemetry import Manifest
 from repro.workloads import get_workload
@@ -201,7 +202,10 @@ class ResultStore:
                 dump_profile(run.sigil, staging / _PROFILE)
                 meta["profile_sha256"] = profile_digest(run.sigil)
                 if run.sigil.events is not None:
-                    dump_events(run.sigil.events, staging / _EVENTS)
+                    # Binary v2: compact and loads without per-row objects.
+                    # load_events sniffs, so stores with v1 entries written
+                    # by older versions keep reading fine.
+                    dump_events_bin(run.sigil.events, staging / _EVENTS)
             if run.callgrind is not None:
                 dump_callgrind(run.callgrind, staging / _CALLGRIND)
             if run.manifest is not None:

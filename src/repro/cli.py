@@ -6,6 +6,7 @@ is that surface for the reproduction::
     repro list
     repro list --json
     repro profile vips --reuse --events -o vips.profile --events-out vips.events
+    repro profile vips --events-out vips.events --events-format text
     repro profile vips --telemetry --heartbeat 100000
     repro report vips.profile --top 10
     repro partition blackscholes --bandwidth 8
@@ -65,9 +66,10 @@ from repro.harness import profile_workload
 from repro.io import (
     dump_callgrind,
     dump_events,
+    dump_events_bin,
     dump_profile,
     load_callgrind,
-    load_events,
+    load_event_arrays,
     load_profile,
 )
 from repro.io.tracefmt import COLLAPSED_WEIGHTS as _COLLAPSED_WEIGHTS
@@ -219,6 +221,19 @@ def _batch_size_from(args) -> int:
     return getattr(args, "batch_size", None) or SigilConfig().batch_size
 
 
+def _write_events(args, events, path) -> None:
+    """Write an event file in the format ``--events-format`` selected.
+
+    Binary v2 is the default (columnar, chunked, compressed -- see
+    docs/file-formats.md); ``--events-format text`` keeps the line-oriented
+    v1 for hand-inspection and diffing.  Every reader sniffs the version.
+    """
+    if getattr(args, "events_format", "bin") == "text":
+        dump_events(events, path)
+    else:
+        dump_events_bin(events, path)
+
+
 def _run(args, *, reuse: bool = False, events: bool = False):
     # Asking for an event-file or trace output implies collecting events.
     events = events or bool(
@@ -257,7 +272,7 @@ def cmd_profile(args) -> int:
         dump_profile(profile, args.output)
         print(f"profile written to {args.output}")
     if args.events_out:
-        dump_events(profile.events, args.events_out)
+        _write_events(args, profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
     if args.callgrind_out:
         dump_callgrind(run.callgrind, args.callgrind_out)
@@ -480,7 +495,7 @@ def cmd_run(args) -> int:
         dump_profile(profile, args.output)
         print(f"profile written to {args.output}")
     if args.events_out:
-        dump_events(profile.events, args.events_out)
+        _write_events(args, profile.events, args.events_out)
         print(f"event file written to {args.events_out}")
     _emit_manifest(args, manifest, default_stem=Path(args.program).stem)
     _print_summary(profile, args.top)
@@ -560,7 +575,9 @@ def cmd_diff(args) -> int:
 def cmd_critpath(args) -> int:
     tree = None
     if Path(args.target).exists():
-        events = load_events(args.target)
+        # Columnar form regardless of on-disk version: v2 loads straight
+        # into arrays, v1 parses once; all passes below consume arrays.
+        events = load_event_arrays(args.target)
         name = Path(args.target).stem
     else:
         if args.target not in WORKLOADS:
@@ -700,20 +717,29 @@ def cmd_trace(args) -> int:
         manifest_to_chrome,
         profile_to_collapsed,
     )
+    from repro.io.eventbin import is_binary_events, load_events_bin
     from repro.io.eventfile import loads_events
     from repro.io.profilefile import loads_profile
 
     source = Path(args.input)
     try:
-        text = source.read_text()
-        kind = _sniff_trace_input(text)
+        raw = source.read_bytes()
+        if is_binary_events(raw[:32]):
+            kind, text = "events-bin", ""
+        else:
+            text = raw.decode()
+            kind = _sniff_trace_input(text)
     except (OSError, ValueError) as exc:
         log.error("cannot read %s: %s", args.input, exc)
         return 2
 
     if args.format == "chrome":
-        if kind == "events":
-            events = loads_events(text)
+        if kind in ("events", "events-bin"):
+            events = (
+                load_events_bin(source)
+                if kind == "events-bin"
+                else loads_events(text)
+            )
             trace = events_to_chrome(events)
             n_data = sum(1 for e in events.edges() if e.kind == "data")
             summary = (f"{events.n_segments} segments, {n_data} data flows")
@@ -965,6 +991,15 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _add_events_format_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--events-format", choices=["text", "bin"], default="bin",
+        help="event-file format for --events-out: 'bin' is the columnar "
+             "# sigil-events 2 (compact, loads without per-row objects); "
+             "'text' is the line-oriented v1. All readers sniff the "
+             "version (default: bin)")
+
+
 def _add_transport_args(p: argparse.ArgumentParser) -> None:
     group = p.add_mutually_exclusive_group()
     group.add_argument(
@@ -1015,6 +1050,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_transport_args(p)
     p.add_argument("-o", "--output", help="write the aggregate profile here")
     p.add_argument("--events-out", help="write the event file here")
+    _add_events_format_arg(p)
     p.add_argument("--callgrind-out", help="write the callgrind profile here")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome/Perfetto trace of the run here "
@@ -1071,6 +1107,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", action="store_true")
     p.add_argument("-o", "--output", help="write the aggregate profile here")
     p.add_argument("--events-out", help="write the event file here")
+    _add_events_format_arg(p)
     p.add_argument("--top", type=int, default=10)
     _add_transport_args(p)
     p.set_defaults(func=cmd_run)

@@ -24,13 +24,48 @@ Three kinds of edges join segments (all point forward in time):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple, Union
 
-__all__ = ["Segment", "SegmentEdge", "EventLog", "EDGE_ORDER", "EDGE_CALL", "EDGE_DATA"]
+import numpy as np
+
+__all__ = [
+    "Segment",
+    "SegmentEdge",
+    "EventLog",
+    "EventArrays",
+    "as_event_arrays",
+    "EDGE_ORDER",
+    "EDGE_CALL",
+    "EDGE_DATA",
+    "SEG_DTYPE",
+    "OC_EDGE_DTYPE",
+    "DATA_EDGE_DTYPE",
+    "OC_KIND_ORDER",
+    "OC_KIND_CALL",
+]
 
 EDGE_ORDER = "order"
 EDGE_CALL = "call"
 EDGE_DATA = "data"
+
+#: Columnar segment record; the segment id is the row index (ids are dense).
+SEG_DTYPE = np.dtype(
+    [
+        ("ctx", "<i8"),
+        ("call", "<i8"),
+        ("start", "<i8"),
+        ("ops", "<i8"),
+        ("thread", "<i8"),
+    ]
+)
+
+#: Order/call edges share one table so their relative (insertion) order --
+#: which the text format preserves -- survives the columnar round-trip.
+OC_EDGE_DTYPE = np.dtype([("kind", "<i1"), ("src", "<i8"), ("dst", "<i8")])
+OC_KIND_ORDER = 0
+OC_KIND_CALL = 1
+
+DATA_EDGE_DTYPE = np.dtype([("src", "<i8"), ("dst", "<i8"), ("bytes", "<i8")])
 
 
 @dataclass
@@ -102,3 +137,113 @@ class EventLog:
     def total_ops(self) -> int:
         """The program's serial length in operations."""
         return sum(seg.ops for seg in self.segments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventLog):
+            return NotImplemented
+        return (
+            self.segments == other.segments
+            and self._order_call_edges == other._order_call_edges
+            and self._data_edges == other._data_edges
+        )
+
+
+@dataclass
+class EventArrays:
+    """The event log as NumPy structured arrays (one row per record).
+
+    The columnar twin of :class:`EventLog`: identical information, but laid
+    out so that million-segment logs can be serialised, loaded and analysed
+    without building per-row Python objects.  ``segs`` rows are indexed by
+    segment id (ids are dense by construction); ``ordercall`` keeps order and
+    call edges interleaved in their insertion order so that converting back
+    to an :class:`EventLog` -- and from there to the v1 text format -- is
+    byte-identical; ``data`` rows keep the aggregated data-edge order.
+    """
+
+    segs: np.ndarray
+    ordercall: np.ndarray
+    data: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return int(len(self.segs))
+
+    def total_ops(self) -> int:
+        """The program's serial length in operations."""
+        return int(self.segs["ops"].sum()) if len(self.segs) else 0
+
+    @classmethod
+    def empty(cls) -> "EventArrays":
+        return cls(
+            segs=np.empty(0, dtype=SEG_DTYPE),
+            ordercall=np.empty(0, dtype=OC_EDGE_DTYPE),
+            data=np.empty(0, dtype=DATA_EDGE_DTYPE),
+        )
+
+    @classmethod
+    def from_eventlog(cls, events: EventLog) -> "EventArrays":
+        segs = np.empty(events.n_segments, dtype=SEG_DTYPE)
+        for seg in events.segments:
+            segs[seg.seg_id] = (
+                seg.ctx_id, seg.call_id, seg.start_time, seg.ops, seg.thread
+            )
+        oc = np.empty(len(events._order_call_edges), dtype=OC_EDGE_DTYPE)
+        for i, edge in enumerate(events._order_call_edges):
+            kind = OC_KIND_CALL if edge.kind == EDGE_CALL else OC_KIND_ORDER
+            oc[i] = (kind, edge.src, edge.dst)
+        data = np.empty(len(events._data_edges), dtype=DATA_EDGE_DTYPE)
+        for i, ((src, dst), count) in enumerate(events._data_edges.items()):
+            data[i] = (src, dst, count)
+        return cls(segs=segs, ordercall=oc, data=data)
+
+    def to_eventlog(self) -> EventLog:
+        """Materialise the compatibility :class:`EventLog` object form."""
+        events = EventLog()
+        for ctx, call, start, ops, thread in self.segs.tolist():
+            seg = events.new_segment(ctx, call, start, thread=thread)
+            seg.ops = ops
+        for kind, src, dst in self.ordercall.tolist():
+            if kind == OC_KIND_CALL:
+                events.add_call_edge(src, dst)
+            else:
+                events.add_order_edge(src, dst)
+        for src, dst, count in self.data.tolist():
+            events.add_data_bytes(src, dst, count)
+        return events
+
+    def validate(self) -> None:
+        """Structural checks mirroring the text loader's validation."""
+        if len(self.segs) and int(self.segs["ops"].min()) < 0:
+            raise ValueError("segment ops must be non-negative")
+        if len(self.segs) and int(self.segs["thread"].min()) < 0:
+            raise ValueError("segment thread ids must be non-negative")
+        n = self.n_segments
+        for table, label in ((self.ordercall, "order/call"), (self.data, "data")):
+            if not len(table):
+                continue
+            src, dst = table["src"], table["dst"]
+            if int(src.min()) < 0 or int(dst.max()) >= n:
+                raise ValueError(f"{label} edge endpoints out of range")
+            if not bool((src < dst).all()):
+                raise ValueError(
+                    f"{label} edges must point forward in time (src < dst)"
+                )
+        if len(self.data) and int(self.data["bytes"].min()) < 0:
+            raise ValueError("data edge byte counts must be non-negative")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventArrays):
+            return NotImplemented
+        return (
+            np.array_equal(self.segs, other.segs)
+            and np.array_equal(self.ordercall, other.ordercall)
+            and np.array_equal(self.data, other.data)
+        )
+
+
+def as_event_arrays(events: Union[EventLog, EventArrays]) -> EventArrays:
+    """Coerce either event-log form to the columnar form."""
+    if isinstance(events, EventArrays):
+        return events
+    return EventArrays.from_eventlog(events)

@@ -6,7 +6,21 @@ from repro.io.callgrindfile import (
     load_callgrind,
     loads_callgrind,
 )
-from repro.io.eventfile import dump_events, dumps_events, load_events, loads_events
+from repro.io.eventbin import (
+    BinaryEventWriter,
+    dump_events_bin,
+    dumps_events_bin,
+    iter_event_chunks,
+    load_event_arrays_bin,
+    load_events_bin,
+)
+from repro.io.eventfile import (
+    dump_events,
+    dumps_events,
+    load_event_arrays,
+    load_events,
+    loads_events,
+)
 from repro.io.kcachegrind import export_callgrind, export_sigil
 from repro.io.profilefile import (
     dump_profile,
@@ -30,11 +44,18 @@ __all__ = [
     "dumps_callgrind",
     "load_callgrind",
     "loads_callgrind",
+    "BinaryEventWriter",
     "dump_events",
+    "dump_events_bin",
     "dumps_events",
+    "dumps_events_bin",
     "export_callgrind",
     "export_sigil",
+    "iter_event_chunks",
+    "load_event_arrays",
+    "load_event_arrays_bin",
     "load_events",
+    "load_events_bin",
     "loads_events",
     "dump_profile",
     "dumps_profile",

@@ -1,0 +1,436 @@
+"""Binary columnar event logs (``# sigil-events 2``).
+
+The v1 text format (:mod:`repro.io.eventfile`) parses every record through
+Python string handling and builds one object per segment -- fine for the
+paper's toy graphs, hopeless for the million-segment logs the batched trace
+transport now produces.  Version 2 stores the same information as NumPy
+structured arrays in length-prefixed chunks, so logs stream to disk while
+they are collected and stream back as whole arrays, never touching a
+per-row Python object.
+
+Layout::
+
+    # sigil-events 2\\n                       ASCII magic line
+    <chunk> <chunk> ... <chunk>              length-prefixed chunks
+
+Every chunk is ``tag[4] codec[4] length[u64-le] payload[length]``:
+
+========  =====================================================
+``head``  JSON header: format version, chunk row target, codec
+``segs``  rows of :data:`~repro.core.segments.SEG_DTYPE`
+          (ctx, call, start, ops, thread; seg id = row index)
+``oced``  rows of :data:`~repro.core.segments.OC_EDGE_DTYPE`
+          (kind 0=order/1=call, src, dst; insertion order kept)
+``data``  rows of :data:`~repro.core.segments.DATA_EDGE_DTYPE`
+          (src, dst, unique bytes)
+``end.``  JSON trailer: total row counts, for truncation checks
+========  =====================================================
+
+Codecs are ``raw.`` (verbatim), ``gzip`` (zlib) and ``zstd`` (only when the
+optional :mod:`zstandard` package is installed; never required).  A table
+may span any number of chunks -- the streaming writer emits a chunk
+whenever its buffer fills, so serialisation needs O(chunk) memory, and the
+streaming reader (:func:`iter_event_chunks`) hands back one decoded array
+per chunk without materialising the file.
+
+The format is lossless: text-v1 -> binary-v2 -> text-v1 round-trips
+byte-identically (segment order, the interleaving of order/call edges, and
+aggregated data-edge order are all preserved).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.segments import (
+    DATA_EDGE_DTYPE,
+    OC_EDGE_DTYPE,
+    SEG_DTYPE,
+    EventArrays,
+    EventLog,
+    as_event_arrays,
+)
+
+__all__ = [
+    "MAGIC_V2",
+    "BinaryEventWriter",
+    "dump_events_bin",
+    "dumps_events_bin",
+    "load_events_bin",
+    "load_event_arrays_bin",
+    "iter_event_chunks",
+    "is_binary_events",
+    "zstd_available",
+]
+
+MAGIC_V2 = b"# sigil-events 2\n"
+
+_TAG_HEAD = b"head"
+_TAG_SEGS = b"segs"
+_TAG_OCED = b"oced"
+_TAG_DATA = b"data"
+_TAG_END = b"end."
+
+_CODEC_RAW = b"raw."
+_CODEC_GZIP = b"gzip"
+_CODEC_ZSTD = b"zstd"
+
+_CHUNK_HEADER = struct.Struct("<4s4sQ")
+
+#: Rows per chunk before the streaming writer flushes (per table).
+DEFAULT_CHUNK_ROWS = 1 << 18
+
+_DTYPES = {
+    _TAG_SEGS: SEG_DTYPE,
+    _TAG_OCED: OC_EDGE_DTYPE,
+    _TAG_DATA: DATA_EDGE_DTYPE,
+}
+
+
+def zstd_available() -> bool:
+    """Whether the optional zstandard codec can be used on this machine."""
+    try:
+        import zstandard  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _encode(payload: bytes, codec: bytes) -> bytes:
+    if codec == _CODEC_RAW:
+        return payload
+    if codec == _CODEC_GZIP:
+        return zlib.compress(payload, 6)
+    if codec == _CODEC_ZSTD:
+        import zstandard
+
+        return zstandard.ZstdCompressor().compress(payload)
+    raise ValueError(f"unknown event-chunk codec {codec!r}")
+
+
+def _decode(payload: bytes, codec: bytes) -> bytes:
+    if codec == _CODEC_RAW:
+        return payload
+    if codec == _CODEC_GZIP:
+        return zlib.decompress(payload)
+    if codec == _CODEC_ZSTD:
+        try:
+            import zstandard
+        except ImportError:
+            raise ValueError(
+                "event file uses zstd chunks but the zstandard package "
+                "is not installed"
+            ) from None
+        return zstandard.ZstdDecompressor().decompress(payload)
+    raise ValueError(f"unknown event-chunk codec {codec!r}")
+
+
+def _codec_for(compression: Optional[str]) -> bytes:
+    if compression in (None, "none", "raw"):
+        return _CODEC_RAW
+    if compression == "gzip":
+        return _CODEC_GZIP
+    if compression == "zstd":
+        if not zstd_available():
+            raise ValueError(
+                "zstd compression requested but zstandard is not installed"
+            )
+        return _CODEC_ZSTD
+    raise ValueError(f"unknown compression {compression!r}")
+
+
+class BinaryEventWriter:
+    """Streaming chunk writer for ``# sigil-events 2``.
+
+    Collectors append rows as they happen (:meth:`add_segment`,
+    :meth:`add_order_edge`, ...) or in bulk (:meth:`write_segments`, ...);
+    a chunk goes to disk whenever a table's buffer reaches ``chunk_rows``,
+    so the log never has to be fully materialised to serialise.  Usable as
+    a context manager; :meth:`close` seals the file with the trailer chunk.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, BinaryIO],
+        *,
+        compression: Optional[str] = "gzip",
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self._codec = _codec_for(compression)
+        self._chunk_rows = chunk_rows
+        if hasattr(sink, "write"):
+            self._fh: BinaryIO = sink  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._fh = open(sink, "wb")
+            self._owns_fh = True
+        self._counts = {_TAG_SEGS: 0, _TAG_OCED: 0, _TAG_DATA: 0}
+        self._buffers = {tag: [] for tag in self._counts}
+        self._buffered = {tag: 0 for tag in self._counts}
+        self._closed = False
+        self._fh.write(MAGIC_V2)
+        self._write_chunk(
+            _TAG_HEAD,
+            json.dumps(
+                {
+                    "version": 2,
+                    "chunk_rows": chunk_rows,
+                    "codec": self._codec.decode().rstrip("."),
+                }
+            ).encode(),
+            codec=_CODEC_RAW,
+        )
+
+    # -- low level ---------------------------------------------------------
+
+    def _write_chunk(self, tag: bytes, payload: bytes, *, codec: bytes) -> None:
+        encoded = _encode(payload, codec)
+        self._fh.write(_CHUNK_HEADER.pack(tag, codec, len(encoded)))
+        self._fh.write(encoded)
+
+    def _append(self, tag: bytes, rows: np.ndarray) -> None:
+        if self._closed:
+            raise ValueError("writer is closed")
+        rows = np.ascontiguousarray(rows, dtype=_DTYPES[tag])
+        if not len(rows):
+            return
+        self._counts[tag] += len(rows)
+        self._buffers[tag].append(rows)
+        self._buffered[tag] += len(rows)
+        if self._buffered[tag] >= self._chunk_rows:
+            self._flush_table(tag)
+
+    def _flush_table(self, tag: bytes) -> None:
+        if not self._buffered[tag]:
+            return
+        block = (
+            self._buffers[tag][0]
+            if len(self._buffers[tag]) == 1
+            else np.concatenate(self._buffers[tag])
+        )
+        for start in range(0, len(block), self._chunk_rows):
+            rows = block[start : start + self._chunk_rows]
+            self._write_chunk(tag, rows.tobytes(), codec=self._codec)
+        self._buffers[tag] = []
+        self._buffered[tag] = 0
+
+    # -- bulk appends ------------------------------------------------------
+
+    def write_segments(self, segs: np.ndarray) -> None:
+        """Append rows of :data:`SEG_DTYPE` (seg ids = arrival order)."""
+        self._append(_TAG_SEGS, segs)
+
+    def write_order_call_edges(self, edges: np.ndarray) -> None:
+        """Append rows of :data:`OC_EDGE_DTYPE` in insertion order."""
+        self._append(_TAG_OCED, edges)
+
+    def write_data_edges(self, edges: np.ndarray) -> None:
+        """Append rows of :data:`DATA_EDGE_DTYPE` (aggregated per pair)."""
+        self._append(_TAG_DATA, edges)
+
+    # -- scalar appends (collector-facing) ---------------------------------
+
+    def add_segment(
+        self, ctx: int, call: int, start: int, ops: int, thread: int = 0
+    ) -> int:
+        """Append one segment; returns the segment id it received."""
+        seg_id = self._counts[_TAG_SEGS]
+        row = np.array([(ctx, call, start, ops, thread)], dtype=SEG_DTYPE)
+        self._append(_TAG_SEGS, row)
+        return seg_id
+
+    def add_order_edge(self, src: int, dst: int) -> None:
+        self._append(_TAG_OCED, np.array([(0, src, dst)], dtype=OC_EDGE_DTYPE))
+
+    def add_call_edge(self, src: int, dst: int) -> None:
+        self._append(_TAG_OCED, np.array([(1, src, dst)], dtype=OC_EDGE_DTYPE))
+
+    def add_data_edge(self, src: int, dst: int, count: int) -> None:
+        self._append(
+            _TAG_DATA, np.array([(src, dst, count)], dtype=DATA_EDGE_DTYPE)
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush buffered rows and seal the file with the trailer chunk."""
+        if self._closed:
+            return
+        for tag in (_TAG_SEGS, _TAG_OCED, _TAG_DATA):
+            self._flush_table(tag)
+        self._write_chunk(
+            _TAG_END,
+            json.dumps(
+                {
+                    "segments": self._counts[_TAG_SEGS],
+                    "order_call_edges": self._counts[_TAG_OCED],
+                    "data_edges": self._counts[_TAG_DATA],
+                }
+            ).encode(),
+            codec=_CODEC_RAW,
+        )
+        self._closed = True
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "BinaryEventWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# whole-log serialisation
+# ---------------------------------------------------------------------------
+
+
+def dump_events_bin(
+    events: Union[EventLog, EventArrays],
+    sink: Union[str, Path, BinaryIO],
+    *,
+    compression: Optional[str] = "gzip",
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> None:
+    """Write an event log (either form) as ``# sigil-events 2``."""
+    arrays = as_event_arrays(events)
+    with BinaryEventWriter(
+        sink, compression=compression, chunk_rows=chunk_rows
+    ) as writer:
+        writer.write_segments(arrays.segs)
+        writer.write_order_call_edges(arrays.ordercall)
+        writer.write_data_edges(arrays.data)
+
+
+def dumps_events_bin(
+    events: Union[EventLog, EventArrays],
+    *,
+    compression: Optional[str] = "gzip",
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> bytes:
+    """Serialise an event log to ``# sigil-events 2`` bytes."""
+    buf = io.BytesIO()
+    dump_events_bin(
+        events, buf, compression=compression, chunk_rows=chunk_rows
+    )
+    return buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def is_binary_events(header: bytes) -> bool:
+    """Sniff: does ``header`` (the first bytes of a file) start v2 data?"""
+    return header.startswith(MAGIC_V2) or MAGIC_V2.startswith(header)
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    block = fh.read(n)
+    if len(block) != n:
+        raise ValueError(f"truncated event file: short read in {what}")
+    return block
+
+
+def iter_event_chunks(
+    source: Union[str, Path, BinaryIO],
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Stream decoded chunks of a v2 file as ``(table, rows)`` pairs.
+
+    ``table`` is ``"segs"``, ``"oced"`` or ``"data"``; ``rows`` is one
+    structured array per on-disk chunk.  Constant memory in the file size:
+    one chunk is decoded at a time, which is what lets analyses run
+    out-of-core over logs larger than RAM.  Raises :class:`ValueError` on a
+    bad magic, an unknown chunk tag, or a truncated file (no trailer or a
+    row-count mismatch).
+    """
+    fh: BinaryIO
+    if hasattr(source, "read"):
+        fh = source  # type: ignore[assignment]
+        owns = False
+    else:
+        fh = open(source, "rb")
+        owns = True
+    try:
+        magic = fh.read(len(MAGIC_V2))
+        if magic != MAGIC_V2:
+            raise ValueError("not a binary sigil event file (bad magic)")
+        counts = {_TAG_SEGS: 0, _TAG_OCED: 0, _TAG_DATA: 0}
+        sealed = False
+        while True:
+            header = fh.read(_CHUNK_HEADER.size)
+            if not header:
+                break
+            if len(header) != _CHUNK_HEADER.size:
+                raise ValueError("truncated event file: partial chunk header")
+            tag, codec, length = _CHUNK_HEADER.unpack(header)
+            payload = _decode(
+                _read_exact(fh, length, f"{tag!r} chunk"), codec
+            )
+            if tag == _TAG_HEAD:
+                continue
+            if tag == _TAG_END:
+                trailer = json.loads(payload.decode())
+                expected = {
+                    _TAG_SEGS: trailer.get("segments", 0),
+                    _TAG_OCED: trailer.get("order_call_edges", 0),
+                    _TAG_DATA: trailer.get("data_edges", 0),
+                }
+                if expected != counts:
+                    raise ValueError(
+                        "corrupt event file: trailer row counts "
+                        f"{expected} != read {counts}"
+                    )
+                sealed = True
+                continue
+            dtype = _DTYPES.get(tag)
+            if dtype is None:
+                raise ValueError(f"unknown event-chunk tag {tag!r}")
+            rows = np.frombuffer(payload, dtype=dtype)
+            counts[tag] += len(rows)
+            yield tag.decode().rstrip("."), rows
+        if not sealed:
+            raise ValueError(
+                "truncated event file: missing trailer (writer not closed?)"
+            )
+    finally:
+        if owns:
+            fh.close()
+
+
+def load_event_arrays_bin(
+    source: Union[str, Path, BinaryIO],
+) -> EventArrays:
+    """Load a v2 file into :class:`EventArrays` (no per-row objects)."""
+    tables = {"segs": [], "oced": [], "data": []}
+    for table, rows in iter_event_chunks(source):
+        tables[table].append(rows)
+
+    def cat(name: str, dtype) -> np.ndarray:
+        blocks = tables[name]
+        if not blocks:
+            return np.empty(0, dtype=dtype)
+        return blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+
+    arrays = EventArrays(
+        segs=cat("segs", SEG_DTYPE),
+        ordercall=cat("oced", OC_EDGE_DTYPE),
+        data=cat("data", DATA_EDGE_DTYPE),
+    )
+    arrays.validate()
+    return arrays
+
+
+def load_events_bin(source: Union[str, Path, BinaryIO]) -> EventLog:
+    """Load a v2 file into the compatibility :class:`EventLog` form."""
+    return load_event_arrays_bin(source).to_eventlog()

@@ -4,13 +4,22 @@
 The latter representation allows a system designer to view a workload as a
 list of function calls connected by data transfer edges." (section I)
 
-Format (``# sigil-events 1``)::
+Text format (``# sigil-events 1``)::
 
-    seg <id> <ctx> <call> <start_time> <ops>
+    seg <id> <ctx> <call> <start_time> <ops> <thread>
     edge <kind> <src> <dst> [<bytes>]
 
-Segment lines appear in id order; the loader validates monotonicity so that
-downstream longest-path passes can rely on topological order.
+``seg`` records carry six fields; five-field records from pre-thread files
+are still accepted (``thread`` defaults to 0).  ``ops``, ``thread`` and
+data-edge ``bytes`` must be non-negative.  Segment lines appear in id
+order; the loader validates monotonicity so that downstream longest-path
+passes can rely on topological order.
+
+:func:`load_events` sniffs the version magic, so callers transparently
+read both this text format and the binary columnar ``# sigil-events 2``
+(:mod:`repro.io.eventbin`); :func:`load_event_arrays` does the same but
+returns the columnar :class:`~repro.core.segments.EventArrays` form, which
+the analysis passes consume without building per-row objects.
 """
 
 from __future__ import annotations
@@ -22,11 +31,18 @@ from repro.core.segments import (
     EDGE_CALL,
     EDGE_DATA,
     EDGE_ORDER,
+    EventArrays,
     EventLog,
     SegmentEdge,
 )
 
-__all__ = ["dump_events", "load_events", "dumps_events", "loads_events"]
+__all__ = [
+    "dump_events",
+    "load_events",
+    "load_event_arrays",
+    "dumps_events",
+    "loads_events",
+]
 
 _MAGIC = "# sigil-events 1"
 _KINDS = {EDGE_ORDER, EDGE_CALL, EDGE_DATA}
@@ -88,6 +104,12 @@ def loads_events(text: str) -> EventLog:
                     f"segment ids must be dense and ordered; got {seg_id}, "
                     f"expected {events.n_segments}"
                 )
+            if ops < 0:
+                raise fail(f"segment ops must be non-negative, got {ops}")
+            if thread < 0:
+                raise fail(
+                    f"segment thread must be non-negative, got {thread}"
+                )
             seg = events.new_segment(ctx_id, call_id, start, thread=thread)
             seg.ops = ops
         elif kind == "edge":
@@ -104,20 +126,53 @@ def loads_events(text: str) -> EventLog:
                     f"got {len(fields) - 1}"
                 )
             try:
-                src, dst = int(fields[1]), int(fields[2])
-                if edge_kind == EDGE_DATA:
-                    events.add_data_bytes(src, dst, int(fields[3]))
-                elif edge_kind == EDGE_CALL:
-                    events.add_call_edge(src, dst)
-                else:
-                    events.add_order_edge(src, dst)
+                operands = [int(x) for x in fields[1:]]
             except ValueError:
                 raise fail("malformed edge record") from None
+            src, dst = operands[0], operands[1]
+            if edge_kind == EDGE_DATA:
+                if operands[2] < 0:
+                    raise fail(
+                        f"data edge bytes must be non-negative, "
+                        f"got {operands[2]}"
+                    )
+                events.add_data_bytes(src, dst, operands[2])
+            elif edge_kind == EDGE_CALL:
+                events.add_call_edge(src, dst)
+            else:
+                events.add_order_edge(src, dst)
         else:
             raise fail(f"unknown event line kind: {kind!r}")
     return events
 
 
+def _is_binary_file(path: Path) -> bool:
+    from repro.io.eventbin import MAGIC_V2
+
+    with open(path, "rb") as fh:
+        return fh.read(len(MAGIC_V2)) == MAGIC_V2
+
+
 def load_events(path: Union[str, Path]) -> EventLog:
-    """Read an event log previously written by :func:`dump_events`."""
-    return loads_events(Path(path).read_text())
+    """Read an event log, sniffing text v1 vs binary v2 by magic."""
+    path = Path(path)
+    if _is_binary_file(path):
+        from repro.io.eventbin import load_events_bin
+
+        return load_events_bin(path)
+    return loads_events(path.read_text())
+
+
+def load_event_arrays(path: Union[str, Path]) -> EventArrays:
+    """Read an event log into the columnar form, sniffing v1 vs v2.
+
+    Binary v2 files load straight into arrays; text v1 files are parsed
+    through the object loader and converted, so callers get one fast-path
+    type either way.
+    """
+    path = Path(path)
+    if _is_binary_file(path):
+        from repro.io.eventbin import load_event_arrays_bin
+
+        return load_event_arrays_bin(path)
+    return EventArrays.from_eventlog(loads_events(path.read_text()))

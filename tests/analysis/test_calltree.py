@@ -33,6 +33,26 @@ class TestRenderCalltree:
         out = render_calltree(sigil, min_share=0.5)
         assert "subtree(s) below" in out
 
+    def test_deep_chain_does_not_blow_recursion(self):
+        """Regression: the inclusive-ops accumulation used to recurse per
+        tree level and raised ``RecursionError`` on deep call chains."""
+        from repro.core import SigilConfig, SigilProfiler
+        from repro.trace import OpKind
+
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        names = [f"f{i}" for i in range(5000)]
+        for name in names:
+            p.on_fn_enter(name)
+            p.on_op(OpKind.INT, 1)
+        for name in reversed(names):
+            p.on_fn_exit(name)
+        p.on_fn_exit("main")
+        p.on_run_end()
+        out = render_calltree(p.profile(), max_depth=3, min_share=0.0)
+        assert "f0" in out and "depth limit" in out
+
     def test_comm_column_toggle(self, toy_profiles):
         sigil, _ = toy_profiles
         with_comm = render_calltree(sigil)

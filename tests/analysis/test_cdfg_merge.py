@@ -55,6 +55,25 @@ class TestCDFG:
         assert dot.startswith("digraph")
         assert "style=dashed" in dot and "style=bold" in dot
 
+    def test_dot_labels_escaped(self):
+        """Regression: node labels must escape ``"`` and ``\\`` so names
+        from demangled C++ cannot break the Graphviz syntax."""
+        from repro.core import SigilConfig, SigilProfiler
+        from repro.trace.events import OpKind
+
+        weird = 'fn"quoted\\path'
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        p.on_fn_enter(weird)
+        p.on_op(OpKind.INT, 5)
+        p.on_fn_exit(weird)
+        p.on_fn_exit("main")
+        p.on_run_end()
+        dot = CDFG(p.profile()).to_dot()
+        assert 'fn\\"quoted\\\\path' in dot
+        assert 'label="fn"quoted' not in dot
+
 
 class TestMerging:
     def test_internal_edges_absorbed(self, toy_profiles):

@@ -185,3 +185,24 @@ class TestEventsToDot:
         sigil, _ = toy_profiles
         dot = events_to_dot(sigil.events, sigil.tree)
         assert 'label="8B"' in dot
+
+    def test_labels_escape_quotes_and_backslashes(self):
+        """Regression: a function name carrying ``"`` or ``\\`` (demangled
+        C++, odd syscall pseudo-nodes) used to be emitted verbatim into the
+        double-quoted DOT label, producing invalid Graphviz."""
+        from repro.analysis import events_to_dot
+
+        weird = 'operator""_kb\\alias'
+        p = profiler()
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        p.on_fn_enter(weird)
+        p.on_op(OpKind.INT, 5)
+        p.on_fn_exit(weird)
+        p.on_fn_exit("main")
+        p.on_run_end()
+        prof = p.profile()
+        dot = events_to_dot(prof.events, prof.tree)
+        assert 'operator\\"\\"_kb\\\\alias' in dot
+        # The raw name must never appear unescaped inside a label.
+        assert f'label="{weird}' not in dot

@@ -124,6 +124,27 @@ class TestTrimming:
         assert "free" in by_name
         assert by_name["free"] > ranked[0].breakeven
 
+    def test_deep_chain_does_not_blow_recursion(self):
+        """Regression: ``resolve`` used to recurse per tree level and raised
+        ``RecursionError`` on call chains past ~1000 frames."""
+        from repro.core import SigilConfig, SigilProfiler
+        from repro.trace import OpKind
+
+        p = SigilProfiler(SigilConfig())
+        p.on_run_begin()
+        p.on_fn_enter("main")
+        names = [f"f{i}" for i in range(5000)]
+        for name in names:
+            p.on_fn_enter(name)
+            p.on_op(OpKind.INT, 1)
+        for name in reversed(names):
+            p.on_fn_exit(name)
+        p.on_fn_exit("main")
+        p.on_run_end()
+        trimmed = trim_calltree(p.profile(), None)
+        # The whole chain merges into one candidate rooted just below main.
+        assert [c.name for c in trimmed.candidates] == ["f0"]
+
     def test_trim_without_callgrind_gives_inf(self, toy_profiles):
         """Without timing data every breakeven degenerates; the structure
         still comes out."""

@@ -1,0 +1,205 @@
+"""Binary columnar event-file (``# sigil-events 2``) tests."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.segments import (
+    DATA_EDGE_DTYPE,
+    OC_EDGE_DTYPE,
+    SEG_DTYPE,
+    EventArrays,
+    EventLog,
+)
+from repro.io import (
+    BinaryEventWriter,
+    dump_events,
+    dump_events_bin,
+    dumps_events,
+    dumps_events_bin,
+    iter_event_chunks,
+    load_event_arrays,
+    load_event_arrays_bin,
+    load_events,
+    load_events_bin,
+)
+from repro.io.eventbin import MAGIC_V2, is_binary_events, zstd_available
+
+
+def make_log() -> EventLog:
+    log = EventLog()
+    s0 = log.new_segment(0, 0, 0)
+    s1 = log.new_segment(1, 1, 5, thread=1)
+    s2 = log.new_segment(2, 2, 9)
+    s0.ops, s1.ops, s2.ops = 3, 10, 7
+    log.add_call_edge(0, 1)
+    log.add_order_edge(0, 2)
+    log.add_data_bytes(1, 2, 64)
+    return log
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("compression", [None, "gzip"])
+    def test_bytes_roundtrip(self, compression):
+        log = make_log()
+        blob = dumps_events_bin(log, compression=compression)
+        assert blob.startswith(MAGIC_V2)
+        assert load_events_bin(io.BytesIO(blob)) == log
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "events.bin"
+        dump_events_bin(make_log(), path)
+        assert load_events_bin(path) == make_log()
+
+    def test_v1_v2_v1_byte_identical(self):
+        log = make_log()
+        via_v2 = load_events_bin(io.BytesIO(dumps_events_bin(log)))
+        assert dumps_events(via_v2) == dumps_events(log)
+
+    def test_chunked_roundtrip(self):
+        """Tables spanning many tiny chunks reassemble losslessly."""
+        log = make_log()
+        blob = dumps_events_bin(log, chunk_rows=1)
+        assert load_events_bin(io.BytesIO(blob)) == log
+
+    def test_empty_log(self):
+        blob = dumps_events_bin(EventLog())
+        loaded = load_event_arrays_bin(io.BytesIO(blob))
+        assert loaded.n_segments == 0
+        assert len(loaded.ordercall) == 0 and len(loaded.data) == 0
+
+    def test_order_call_interleaving_preserved(self):
+        log = EventLog()
+        for i in range(4):
+            log.new_segment(i, i, i)
+        log.add_order_edge(0, 1)
+        log.add_call_edge(1, 2)
+        log.add_order_edge(2, 3)
+        loaded = load_events_bin(io.BytesIO(dumps_events_bin(log)))
+        assert [e.kind for e in loaded.edges()] == ["order", "call", "order"]
+
+    def test_accepts_event_arrays_input(self):
+        arrays = EventArrays.from_eventlog(make_log())
+        blob = dumps_events_bin(arrays)
+        assert load_event_arrays_bin(io.BytesIO(blob)) == arrays
+
+
+class TestStreamingWriter:
+    def test_scalar_appends_match_bulk_dump(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "stream.bin"
+        with BinaryEventWriter(path, chunk_rows=2) as w:
+            for seg in log.segments:
+                assert (
+                    w.add_segment(
+                        seg.ctx_id, seg.call_id, seg.start_time,
+                        seg.ops, seg.thread,
+                    )
+                    == seg.seg_id
+                )
+            w.add_call_edge(0, 1)
+            w.add_order_edge(0, 2)
+            w.add_data_edge(1, 2, 64)
+        assert load_events_bin(path) == log
+
+    def test_unclosed_writer_detected_as_truncated(self, tmp_path):
+        path = tmp_path / "truncated.bin"
+        w = BinaryEventWriter(path)
+        w.add_segment(0, 0, 0, 1)
+        w._fh.flush()
+        # no close(): trailer missing
+        with pytest.raises(ValueError, match="trailer"):
+            list(iter_event_chunks(path))
+        w.close()
+
+    def test_write_after_close_rejected(self, tmp_path):
+        w = BinaryEventWriter(tmp_path / "closed.bin")
+        w.close()
+        with pytest.raises(ValueError, match="closed"):
+            w.add_segment(0, 0, 0, 1)
+
+    def test_streaming_reader_yields_per_chunk(self):
+        blob = dumps_events_bin(make_log(), chunk_rows=1)
+        chunks = list(iter_event_chunks(io.BytesIO(blob)))
+        assert [t for t, _ in chunks].count("segs") == 3
+        assert all(len(rows) == 1 for _, rows in chunks)
+        assert all(
+            rows.dtype in (SEG_DTYPE, OC_EDGE_DTYPE, DATA_EDGE_DTYPE)
+            for _, rows in chunks
+        )
+
+
+class TestSniffing:
+    def test_load_events_sniffs_both(self, tmp_path):
+        log = make_log()
+        v1, v2 = tmp_path / "v1.events", tmp_path / "v2.events"
+        dump_events(log, v1)
+        dump_events_bin(log, v2)
+        assert load_events(v1) == log
+        assert load_events(v2) == log
+
+    def test_load_event_arrays_sniffs_both(self, tmp_path):
+        log = make_log()
+        v1, v2 = tmp_path / "v1.events", tmp_path / "v2.events"
+        dump_events(log, v1)
+        dump_events_bin(log, v2)
+        expected = EventArrays.from_eventlog(log)
+        assert load_event_arrays(v1) == expected
+        assert load_event_arrays(v2) == expected
+
+    def test_is_binary_events(self):
+        assert is_binary_events(MAGIC_V2)
+        assert is_binary_events(MAGIC_V2 + b"junk")
+        assert not is_binary_events(b"# sigil-events 1\n")
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_events_bin(io.BytesIO(b"# sigil-events 1\nseg 0 0 0 0 0\n"))
+
+    def test_truncated_payload(self):
+        blob = dumps_events_bin(make_log())
+        with pytest.raises(ValueError, match="truncated"):
+            load_events_bin(io.BytesIO(blob[:-10]))
+
+    def test_unknown_chunk_tag(self):
+        buf = io.BytesIO()
+        buf.write(MAGIC_V2)
+        buf.write(struct.pack("<4s4sQ", b"wild", b"raw.", 0))
+        with pytest.raises(ValueError, match="unknown event-chunk tag"):
+            list(iter_event_chunks(io.BytesIO(buf.getvalue())))
+
+    def test_trailer_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        w = BinaryEventWriter(path, compression=None)
+        w.add_segment(0, 0, 0, 1)
+        w._counts[b"segs"] = 2  # corrupt the bookkeeping before sealing
+        w.close()
+        with pytest.raises(ValueError, match="trailer row counts"):
+            load_events_bin(path)
+
+    def test_negative_ops_rejected(self):
+        arrays = EventArrays.from_eventlog(make_log())
+        arrays.segs["ops"][0] = -1
+        blob = dumps_events_bin(arrays)
+        with pytest.raises(ValueError, match="non-negative"):
+            load_event_arrays_bin(io.BytesIO(blob))
+
+    def test_backward_edge_rejected(self):
+        arrays = EventArrays.from_eventlog(make_log())
+        arrays.ordercall["src"][0] = 2
+        arrays.ordercall["dst"][0] = 1
+        blob = dumps_events_bin(arrays)
+        with pytest.raises(ValueError, match="forward"):
+            load_event_arrays_bin(io.BytesIO(blob))
+
+    def test_zstd_gated_when_unavailable(self):
+        if zstd_available():
+            pytest.skip("zstandard installed; gating not exercised")
+        with pytest.raises(ValueError, match="zstandard"):
+            dumps_events_bin(make_log(), compression="zstd")

@@ -98,3 +98,44 @@ class TestValidation:
             "# sigil-events 1\n\n# a comment\nseg 0 0 0 0 0\n"
         )
         assert loaded.n_segments == 1
+
+    def test_negative_ops_rejected(self):
+        """Regression: negative ops used to load silently and corrupt every
+        downstream cost sum."""
+        with pytest.raises(
+            ValueError, match=r"ops must be non-negative.*line 2"
+        ):
+            loads_events("# sigil-events 1\nseg 0 0 0 0 -3 0\n")
+
+    def test_negative_thread_rejected(self):
+        with pytest.raises(
+            ValueError, match=r"thread must be non-negative.*line 2"
+        ):
+            loads_events("# sigil-events 1\nseg 0 0 0 0 5 -1\n")
+
+    def test_negative_data_bytes_rejected(self):
+        """Regression: negative data-edge bytes used to load silently."""
+        with pytest.raises(
+            ValueError, match=r"bytes must be non-negative.*line 4"
+        ):
+            loads_events(
+                "# sigil-events 1\n"
+                "seg 0 0 0 0 1 0\n"
+                "seg 1 1 1 1 1 0\n"
+                "edge data 0 1 -64\n"
+            )
+
+
+class TestThreadField:
+    def test_six_field_seg_roundtrips_thread(self):
+        log = EventLog()
+        s0 = log.new_segment(0, 0, 0, thread=2)
+        s0.ops = 4
+        text = dumps_events(log)
+        assert "seg 0 0 0 0 4 2" in text
+        assert loads_events(text).segments[0].thread == 2
+
+    def test_legacy_five_field_seg_defaults_thread_zero(self):
+        loaded = loads_events("# sigil-events 1\nseg 0 0 0 0 7\n")
+        assert loaded.segments[0].thread == 0
+        assert loaded.segments[0].ops == 7

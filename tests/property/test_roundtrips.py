@@ -96,6 +96,52 @@ def test_eventfile_roundtrip_on_random_traces(steps):
     assert offline.critical_length == live.critical_length
 
 
+@given(trace_steps())
+@settings(max_examples=80, deadline=None)
+def test_text_roundtrip_preserves_eventlog_equality(steps):
+    events = run_profiler(steps, event_mode=True).profile().events
+    assert loads_events(dumps_events(events)) == events
+
+
+@given(
+    trace_steps(),
+    st.sampled_from([None, "gzip"]),
+    st.sampled_from([1, 7, 1 << 18]),
+)
+@settings(max_examples=60, deadline=None)
+def test_binary_roundtrip_preserves_eventlog_equality(
+    steps, compression, chunk_rows
+):
+    import io
+
+    from repro.io import dumps_events_bin, load_events_bin
+
+    events = run_profiler(steps, event_mode=True).profile().events
+    blob = dumps_events_bin(
+        events, compression=compression, chunk_rows=chunk_rows
+    )
+    loaded = load_events_bin(io.BytesIO(blob))
+    assert loaded == events
+    # v1 -> v2 -> v1 is byte-identical, not merely equal.
+    assert dumps_events(loaded) == dumps_events(events)
+
+
+@given(trace_steps())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_identical_on_both_representations(steps):
+    """The array kernel must reproduce the object path exactly, including
+    tie-breaking on the reported chain."""
+    from repro.core.segments import EventArrays
+
+    events = run_profiler(steps, event_mode=True).profile().events
+    obj = analyze_critical_path(events)
+    arr = analyze_critical_path(EventArrays.from_eventlog(events))
+    assert arr.serial_length == obj.serial_length
+    assert arr.critical_length == obj.critical_length
+    assert arr.inclusive == obj.inclusive
+    assert [s.seg_id for s in arr.path] == [s.seg_id for s in obj.path]
+
+
 @given(trace_steps(), st.integers(min_value=1, max_value=16))
 @settings(max_examples=80, deadline=None)
 def test_schedule_bounds_on_random_traces(steps, n_cores):

@@ -43,7 +43,8 @@ class TestProfile:
         )
         assert code == 0
         assert prof.read_text().startswith("# sigil-profile 1")
-        assert events.read_text().startswith("# sigil-events 1")
+        # Event files default to the binary columnar v2 format.
+        assert events.read_bytes().startswith(b"# sigil-events 2\n")
         assert cg.read_text().startswith("# callgrind-equiv 1")
 
     def test_events_out_implies_events(self, capsys, tmp_path):
@@ -52,7 +53,29 @@ class TestProfile:
             capsys, "profile", "freqmine", "--events-out", str(events),
         )
         assert code == 0
+        assert events.read_bytes().startswith(b"# sigil-events 2\n")
+
+    def test_events_format_text_writes_v1(self, capsys, tmp_path):
+        events = tmp_path / "x.events"
+        code, _, _ = run_cli(
+            capsys, "profile", "freqmine", "--events-out", str(events),
+            "--events-format", "text",
+        )
+        assert code == 0
         assert events.read_text().startswith("# sigil-events 1")
+
+    def test_binary_and_text_events_analyze_identically(self, capsys, tmp_path):
+        from repro.io import load_event_arrays
+
+        text_path = tmp_path / "t.events"
+        bin_path = tmp_path / "b.events"
+        for path, fmt in ((text_path, "text"), (bin_path, "bin")):
+            code, _, _ = run_cli(
+                capsys, "profile", "freqmine", "--events-out", str(path),
+                "--events-format", fmt,
+            )
+            assert code == 0
+        assert load_event_arrays(text_path) == load_event_arrays(bin_path)
 
     def test_trace_out_writes_combined_chrome_trace(self, capsys, tmp_path):
         trace = tmp_path / "run.trace.json"
