@@ -1,11 +1,11 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke bench-throughput bench-event-io regen-golden clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke serve-smoke bench-throughput bench-event-io regen-golden clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: telemetry-smoke campaign-smoke
+test: telemetry-smoke campaign-smoke serve-smoke
 	pytest tests/
 
 # Prove the self-telemetry loop end to end: profile a small workload with a
@@ -35,6 +35,32 @@ campaign-smoke:
 		--tools sigil -j 2 --store .campaign-smoke \
 		| grep -q "2 done (2 cached, 0 executed, 0 failed, 0 timeout)"; \
 	echo "campaign-smoke: warm re-run was 100% cache hits"
+
+# Prove the serve daemon end to end: start it on an ephemeral port, submit
+# a job over HTTP, watch its trace to completion, re-submit the same cell
+# (must be a pure cache hit), then scrape /metrics and check the hit
+# counter.  The trap kills the daemon and drops the scratch dir either way.
+serve-smoke:
+	@set -e; \
+	trap 'kill $$SERVE_PID 2>/dev/null; rm -rf .serve-smoke' EXIT; \
+	rm -rf .serve-smoke; mkdir -p .serve-smoke; \
+	PYTHONPATH=src python -m repro serve --port 0 \
+		--port-file .serve-smoke/port --store .serve-smoke/store \
+		-j 2 >/dev/null 2>&1 & SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		test -s .serve-smoke/port && break; sleep 0.1; done; \
+	URL="http://$$(cat .serve-smoke/port)"; \
+	JOB=$$(PYTHONPATH=src python -m repro submit blackscholes \
+		--tool native --url "$$URL"); \
+	PYTHONPATH=src python -m repro watch "$$JOB" --url "$$URL" \
+		--timeout 60 | grep -q "completed"; \
+	JOB2=$$(PYTHONPATH=src python -m repro submit blackscholes \
+		--tool native --url "$$URL"); \
+	PYTHONPATH=src python -m repro watch "$$JOB2" --url "$$URL" \
+		--timeout 60 | grep -q "cached"; \
+	PYTHONPATH=src python -m repro metrics --url "$$URL" \
+		| grep -q "^repro_store_cache_hits_total 1$$"; \
+	echo "serve-smoke: warm HTTP re-submit was a cache hit"
 
 property:
 	pytest tests/property/ -q
@@ -74,6 +100,6 @@ examples:
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks
-	rm -rf .campaign-smoke .repro-campaigns
+	rm -rf .campaign-smoke .serve-smoke .repro-campaigns
 	rm -f .telemetry-smoke.manifest.json *.trace.json *.collapsed
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -218,6 +218,7 @@ def run_campaign(
     retries: int = 1,
     backoff: float = 0.5,
     heartbeat_seconds: Optional[float] = None,
+    heartbeat: Optional[Callable[[str], None]] = None,
     progress: Optional[Callable[[str], None]] = None,
     dry_run: bool = False,
     skip_keys: frozenset = frozenset(),
@@ -228,9 +229,17 @@ def run_campaign(
     journal-derived completed set a resume passes in -- are marked ``done``
     with ``cached=True`` and never spawn a worker.  ``dry_run`` plans and
     classifies every job (cached vs. to-run) without executing anything.
+
+    Periodic progress lines (gated by ``heartbeat_seconds``) go through the
+    ``heartbeat`` callback; the default keeps the historical behaviour of a
+    line on stderr, while a daemon embedding this executor captures the
+    beats into its own per-job trace instead of losing them to the tty.
     """
     t0 = time.monotonic()
     notify = progress if progress is not None else (lambda line: None)
+    beat = heartbeat if heartbeat is not None else (
+        lambda line: print(line, file=sys.stderr)
+    )
     result = CampaignResult()
     pending: List[_Attempt] = []
     duplicates = 0
@@ -355,11 +364,10 @@ def run_campaign(
             if heartbeat_seconds and now - last_beat >= heartbeat_seconds:
                 last_beat = now
                 done = result.done
-                print(
+                beat(
                     f"campaign: {done}/{result.total} done "
                     f"({result.cached} cached) · {len(running)} running · "
-                    f"{len(pending)} pending · {now - t0:.1f}s",
-                    file=sys.stderr,
+                    f"{len(pending)} pending · {now - t0:.1f}s"
                 )
 
             if pending or running:

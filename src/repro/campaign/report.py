@@ -50,6 +50,12 @@ def _job_entry(
     stored = store.get(job.key)
     if stored is not None:
         entry["stored"] = True
+        # Per-phase timings and the publication time ride along so `status
+        # --json` consumers (dashboards, `repro watch`, the serve daemon's
+        # job endpoint) need no second store lookup.
+        entry["phases"] = dict(stored.meta.get("phases", {}))
+        if "created_unix" in stored.meta:
+            entry["stored_unix"] = stored.meta["created_unix"]
         manifest = stored.load_manifest()
         if manifest is not None:
             entry["events_total"] = manifest.events_total

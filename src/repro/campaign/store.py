@@ -174,6 +174,24 @@ class ResultStore:
             f.stat().st_size for f in objects.rglob("*") if f.is_file()
         )
 
+    def stats(self) -> Dict[str, int]:
+        """Store-level bookkeeping for gauges: object count, bytes, campaigns.
+
+        One filesystem walk feeds the serve daemon's ``repro_store_*``
+        gauges; the numbers are point-in-time (concurrent publishes may land
+        between the count and the byte walk, which is fine for monitoring).
+        """
+        campaigns_dir = self.root / "campaigns"
+        n_campaigns = (
+            sum(1 for p in campaigns_dir.iterdir() if p.is_dir())
+            if campaigns_dir.exists() else 0
+        )
+        return {
+            "objects": len(self.keys()),
+            "bytes": self.size_bytes(),
+            "campaigns": n_campaigns,
+        }
+
     # -- writes -----------------------------------------------------------
 
     def put_run(self, job: Job, run: ProfiledRun) -> StoredResult:

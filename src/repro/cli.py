@@ -19,12 +19,21 @@ is that surface for the reproduction::
     repro campaign run --workloads vips,dedup --sizes simsmall,simmedium -j 4
     repro campaign status sweep
     repro campaign resume sweep -j 4
+    repro serve --port 8787 --store /var/lib/repro
+    repro submit blackscholes --tool native --url http://127.0.0.1:8787
+    repro watch job-000001 --url http://127.0.0.1:8787
+    repro metrics --url http://127.0.0.1:8787
 
 The ``campaign`` family executes whole sweep matrices in parallel worker
 processes against a shared on-disk result store (see
 :mod:`repro.campaign`); re-running a campaign recomputes nothing that the
 store already holds, and an interrupted campaign picks up where it stopped
 with ``resume``.
+
+The ``serve`` family turns that engine into a long-running daemon
+(:mod:`repro.serve`): ``serve`` hosts it, ``submit`` posts jobs over HTTP,
+``watch`` follows a job's sequence-numbered event trace (file tail or live
+SSE), and ``metrics`` scrapes the daemon's Prometheus endpoint.
 
 Commands accepting a workload name run it live; ``report``/``critpath`` also
 accept files produced by ``profile``, supporting the paper's offline model.
@@ -616,6 +625,24 @@ def cmd_critpath(args) -> int:
     return 0
 
 
+def _fmt_metric_value(value) -> str:
+    """Render one manifest metric; histogram summaries become one line.
+
+    Histograms snapshot as dicts (count/sum/min/max/mean plus the p50/p90/
+    p99 estimates); everything else prints as-is.
+    """
+    if isinstance(value, dict) and "count" in value:
+        if not value.get("count"):
+            return "count=0"
+        parts = [f"count={value['count']}"]
+        for key in ("mean", "p50", "p90", "p99"):
+            v = value.get(key)
+            if isinstance(v, (int, float)):
+                parts.append(f"{key}={v:.6g}")
+        return " ".join(parts)
+    return str(value)
+
+
 def cmd_stats(args) -> int:
     """Render and compare run manifests written by telemetry-enabled runs."""
     manifests = []
@@ -656,7 +683,7 @@ def cmd_stats(args) -> int:
             print(f"\n{path.name} (git {m.git_rev or '?'}, "
                   f"config {m.config_hash or '?'}):")
             for name, value in sorted(m.metrics.items()):
-                print(f"  {name:40s} {value}")
+                print(f"  {name:40s} {_fmt_metric_value(value)}")
     if len(manifests) >= 2:
         base_path, base = manifests[0]
 
@@ -932,6 +959,203 @@ def cmd_campaign_clean(args) -> int:
         return 0
     log.error("no campaign named %r under %s", args.name, store.root)
     return 2
+
+
+# ---------------------------------------------------------------------------
+# serve: profiling-as-a-service
+# ---------------------------------------------------------------------------
+
+
+def _http_json(url: str, body=None, timeout: float = 30.0):
+    """One JSON request against the serve daemon; errors become one line."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = json.loads(exc.read().decode()).get("error", "")
+        except (ValueError, OSError):
+            pass
+        raise RuntimeError(
+            f"{url}: HTTP {exc.code}" + (f": {detail}" if detail else "")
+        ) from None
+    except urllib.error.URLError as exc:
+        raise RuntimeError(f"cannot reach {url}: {exc.reason}") from None
+
+
+def cmd_serve(args) -> int:
+    """Run the profiling daemon until interrupted (ctrl-C exits cleanly)."""
+    from repro.campaign import ResultStore
+    from repro.serve import create_server, serve_forever
+
+    store = ResultStore(getattr(args, "store", None))
+    server = create_server(
+        store,
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+        retries=args.retries,
+        heartbeat_seconds=getattr(args, "heartbeat_secs", None) or 5.0,
+        resume=not args.no_resume,
+    )
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(store {store.root})")
+    sys.stdout.flush()
+    serve_forever(server, port_file=args.port_file)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """POST one job to a running daemon; prints only the job id (stdout)."""
+    if args.body:
+        text = sys.stdin.read() if args.body == "-" else Path(args.body).read_text()
+        body = json.loads(text)
+    elif args.workload:
+        body = {
+            "workload": args.workload,
+            "size": args.size,
+            "tool": args.tool,
+        }
+        if args.config:
+            body["config"] = json.loads(args.config)
+    else:
+        log.error("submit needs a WORKLOAD or --body FILE")
+        return 2
+    resp = _http_json(args.url.rstrip("/") + "/jobs", body)
+    log.info("submitted %s (%s cells) to %s", resp["job"], resp["cells"],
+             args.url)
+    print(resp["job"])
+    return 0
+
+
+def _render_trace_record(rec) -> str:
+    """One human line per trace record (shared by both watch modes)."""
+    seq = rec.get("seq", 0)
+    event = str(rec.get("event", "?"))
+    bits = []
+    if rec.get("label"):
+        bits.append(str(rec["label"]))
+    if event == "done":
+        bits.append(
+            "cached" if rec.get("cached")
+            else f"{float(rec.get('seconds', 0.0)):.2f}s"
+        )
+    elif event in ("submitted", "resumed"):
+        bits.append(f"{rec.get('name', '?')}: {rec.get('cells', '?')} cells")
+    elif event == "heartbeat":
+        bits.append(str(rec.get("message", "")))
+    elif event == "phases":
+        skip = {"seq", "event", "t", "job", "key", "label"}
+        bits.append(" ".join(
+            f"{k}={float(v):.3f}s" for k, v in sorted(rec.items())
+            if k not in skip and isinstance(v, (int, float))
+        ))
+    elif event in ("completed", "error"):
+        state = str(rec.get("state", event))
+        summary = " ".join(
+            f"{k}={rec[k]}" for k in
+            ("total", "done", "cached", "executed", "failed", "timeout")
+            if k in rec
+        )
+        bits.append(state + (f" ({summary})" if summary else ""))
+        if rec.get("message"):
+            bits.append(str(rec["message"]))
+    elif rec.get("error"):
+        bits.append(str(rec["error"]))
+    return f"#{int(seq):<4d} {event:<10s} " + "  ".join(b for b in bits if b)
+
+
+def _watch_exit_code(rec) -> int:
+    """Map a terminal trace record to the watcher's exit code."""
+    return 0 if rec.get("state") == "done" else 1
+
+
+def _watch_sse(args) -> int:
+    """Stream a job's events from a daemon over SSE until it finishes."""
+    import urllib.error
+    import urllib.request
+
+    url = (f"{args.url.rstrip('/')}/jobs/{args.job}/events"
+           f"?after={args.after}")
+    try:
+        resp = urllib.request.urlopen(url, timeout=args.timeout or 300.0)
+    except urllib.error.HTTPError as exc:
+        log.error("%s: HTTP %d", url, exc.code)
+        return 2
+    except urllib.error.URLError as exc:
+        log.error("cannot reach %s: %s", url, exc.reason)
+        return 2
+    from repro.serve import TERMINAL_EVENTS
+
+    with resp:
+        for raw in resp:
+            line = raw.decode("utf-8", "replace").rstrip("\n")
+            if not line.startswith("data: "):
+                continue  # id:/event:/retry:/pings; data carries the record
+            rec = json.loads(line[len("data: "):])
+            print(_render_trace_record(rec))
+            sys.stdout.flush()
+            if rec.get("event") in TERMINAL_EVENTS:
+                return _watch_exit_code(rec)
+    log.error("stream ended before the job finished")
+    return 1
+
+
+def cmd_watch(args) -> int:
+    """Follow a serve job to completion: trace-file tail or SSE (--url)."""
+    if args.url:
+        return _watch_sse(args)
+    import time as _time
+
+    from repro.campaign import ResultStore
+    from repro.serve import TERMINAL_EVENTS
+    from repro.telemetry import read_jsonl
+
+    store = ResultStore(getattr(args, "store", None))
+    trace = store.root / "serve" / "jobs" / args.job / "trace.jsonl"
+    if not trace.parent.exists():
+        log.error("no such serve job: %s (under %s)", args.job, store.root)
+        return 2
+    deadline = (_time.monotonic() + args.timeout) if args.timeout else None
+    last = args.after
+    while True:
+        for rec in read_jsonl(trace):
+            if int(rec.get("seq", 0)) <= last:
+                continue
+            last = int(rec.get("seq", 0))
+            print(_render_trace_record(rec))
+            sys.stdout.flush()
+            if rec.get("event") in TERMINAL_EVENTS:
+                return _watch_exit_code(rec)
+        if deadline is not None and _time.monotonic() >= deadline:
+            log.error("gave up after %.0fs (job still running)", args.timeout)
+            return 1
+        _time.sleep(0.2)
+
+
+def cmd_metrics(args) -> int:
+    """Scrape a daemon's Prometheus exposition and print it verbatim."""
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            sys.stdout.write(resp.read().decode())
+    except urllib.error.URLError as exc:
+        log.error("cannot scrape %s: %s", url, exc)
+        return 2
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -1217,6 +1441,75 @@ def build_parser() -> argparse.ArgumentParser:
                     help="remove the entire store root")
     _store_arg(cp)
     cp.set_defaults(func=cmd_campaign_clean)
+
+    default_url = "http://127.0.0.1:8787"
+
+    p = sub.add_parser(
+        "serve",
+        help="run the profiling-as-a-service daemon (HTTP + SSE + metrics)",
+        parents=[common],
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port; 0 picks an ephemeral one (default 8787)")
+    p.add_argument("--port-file", metavar="FILE",
+                   help="write the bound host:port here once listening "
+                        "(pairs with --port 0 in scripts)")
+    p.add_argument("-j", "--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes per campaign (default 1)")
+    p.add_argument("--concurrency", type=_positive_int, default=1,
+                   metavar="N", help="serve jobs executing at once "
+                                     "(default 1)")
+    p.add_argument("--timeout", type=_positive_float, metavar="S",
+                   default=None,
+                   help="kill any cell running longer than S seconds")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="re-attempts per failed cell (default 1)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="do not re-queue journaled jobs from a previous run")
+    _store_arg(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running repro serve daemon",
+        parents=[common],
+    )
+    p.add_argument("workload", nargs="?", metavar="WORKLOAD",
+                   help="workload for a single-cell job")
+    p.add_argument("--size", default="simsmall",
+                   choices=[s.value for s in InputSize])
+    p.add_argument("--tool", default="sigil+callgrind",
+                   help="tool stack (default sigil+callgrind)")
+    p.add_argument("--config", metavar="JSON",
+                   help="SigilConfig overrides for the cell")
+    p.add_argument("--body", metavar="FILE",
+                   help="raw JSON job body instead of the flags "
+                        "('-' reads stdin); accepts the campaign form too")
+    p.add_argument("--url", default=default_url,
+                   help=f"daemon base URL (default {default_url})")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "watch", help="follow a serve job's event trace to completion",
+        parents=[common],
+    )
+    p.add_argument("job", metavar="JOB", help="serve job id (job-NNNNNN)")
+    p.add_argument("--url", default=None,
+                   help="stream over SSE from this daemon URL instead of "
+                        "tailing the trace file")
+    p.add_argument("--after", type=int, default=0, metavar="SEQ",
+                   help="skip events with seq <= SEQ (resume a watch)")
+    p.add_argument("--timeout", type=_positive_float, metavar="S",
+                   default=None, help="give up after S seconds")
+    _store_arg(p)
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "metrics", help="scrape a serve daemon's Prometheus /metrics")
+    p.add_argument("--url", default=default_url,
+                   help=f"daemon base URL (default {default_url})")
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 

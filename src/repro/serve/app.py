@@ -1,0 +1,106 @@
+"""Wiring the serve daemon together: server object, factory, run loop.
+
+:class:`ReproServer` is a ``ThreadingHTTPServer`` that carries the two
+objects every request needs -- the :class:`~repro.serve.jobs.JobManager`
+and the :class:`~repro.serve.promfmt.ServeMetrics` -- so handler threads
+reach them via ``self.server``.  :func:`create_server` builds the whole
+stack from a store root, and :func:`serve_forever` is the blocking entry
+point the CLI calls: it optionally writes the bound port to a file (the
+``--port 0`` + ``--port-file`` handshake the smoke test uses), then serves
+until interrupted, draining workers on the way out.
+"""
+
+from __future__ import annotations
+
+import logging
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaign.store import ResultStore
+from repro.serve.jobs import JobManager
+from repro.serve.promfmt import ServeMetrics
+from repro.serve.routes import ServeHandler
+
+__all__ = ["ReproServer", "create_server", "serve_forever"]
+
+log = logging.getLogger("repro.serve.app")
+
+
+class ReproServer(ThreadingHTTPServer):
+    """HTTP server that owns a job manager and a metrics registry.
+
+    ``daemon_threads`` keeps lingering SSE connections from blocking
+    shutdown; ``allow_reuse_address`` makes quick restarts painless.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, manager: JobManager, metrics: ServeMetrics):
+        self.manager = manager
+        self.metrics = metrics
+        super().__init__(address, ServeHandler)
+
+    def shutdown_jobs(self, wait: bool = False, timeout: float = 5.0) -> None:
+        """Stop the manager's workers (journals keep queued work resumable)."""
+        self.manager.shutdown(wait=wait, timeout=timeout)
+
+
+def create_server(
+    store: Union[str, Path, ResultStore],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    concurrency: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    heartbeat_seconds: Optional[float] = 5.0,
+    resume: bool = True,
+) -> ReproServer:
+    """Build a ready-to-serve daemon bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``server.server_address``.  ``workers`` is processes *per campaign*,
+    ``concurrency`` is how many jobs execute at once.  Restart resume is on
+    by default and re-queues any journaled job without a terminal event.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    metrics = ServeMetrics()
+    manager = JobManager(
+        store,
+        workers=workers,
+        concurrency=concurrency,
+        timeout=timeout,
+        retries=retries,
+        heartbeat_seconds=heartbeat_seconds,
+        metrics=metrics,
+        resume=resume,
+    )
+    return ReproServer((host, port), manager, metrics)
+
+
+def serve_forever(
+    server: ReproServer,
+    *,
+    port_file: Optional[Union[str, Path]] = None,
+) -> None:
+    """Serve until KeyboardInterrupt, then drain workers and close.
+
+    When ``port_file`` is given the bound ``host:port`` is written there
+    after the socket is listening -- scripts that started the daemon with
+    ``--port 0`` poll that file instead of parsing log output.
+    """
+    host, port = server.server_address[0], server.server_address[1]
+    if port_file is not None:
+        Path(port_file).write_text(f"{host}:{port}\n")
+    log.info("serve: listening on http://%s:%d", host, port)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        log.info("serve: interrupted, shutting down")
+    finally:
+        server.shutdown_jobs(wait=True, timeout=5.0)
+        server.server_close()

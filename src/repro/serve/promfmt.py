@@ -1,0 +1,102 @@
+"""The serve daemon's metrics catalog and its Prometheus rendering.
+
+The daemon keeps one process-wide :class:`~repro.telemetry.MetricRegistry`;
+this module names every series it exports (the catalog below is mirrored in
+``docs/serve.md``) and renders the registry through
+:func:`repro.telemetry.render_prometheus` on each ``GET /metrics`` scrape.
+
+Catalog:
+
+* ``repro_serve_jobs_submitted_total`` -- jobs accepted over HTTP
+* ``repro_serve_jobs_resumed_total`` -- jobs re-queued after a restart
+* ``repro_serve_jobs_running`` -- serve jobs currently executing
+* ``repro_serve_jobs_completed_total{status=...}`` -- terminal outcomes
+  (``done`` / ``failed`` / ``error``)
+* ``repro_store_cache_hits_total`` / ``repro_store_cache_misses_total`` --
+  campaign cells answered from the store vs. executed
+* ``repro_serve_job_seconds{tool=...}`` -- histogram of per-cell execution
+  seconds for cells that actually ran, labelled by tool stack
+* ``repro_store_objects`` / ``repro_store_bytes`` /
+  ``repro_store_campaigns`` -- store gauges refreshed at scrape time
+* ``repro_serve_sse_clients`` -- live SSE subscriber queues
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.campaign.store import ResultStore
+from repro.telemetry import MetricRegistry, render_prometheus
+
+__all__ = ["ServeMetrics", "render_prometheus", "JOB_SECONDS_BOUNDS"]
+
+#: Duration buckets for per-cell execution time: sub-10ms cache-adjacent
+#: work up through half-hour monster cells.
+JOB_SECONDS_BOUNDS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0, 1800.0)
+
+
+class ServeMetrics:
+    """Every metric the daemon exports, as attributes with stable names."""
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self.jobs_submitted = reg.counter(
+            "repro_serve_jobs_submitted_total",
+            help_text="Profiling jobs accepted over HTTP.")
+        self.jobs_resumed = reg.counter(
+            "repro_serve_jobs_resumed_total",
+            help_text="In-flight jobs re-queued after a daemon restart.")
+        self.jobs_running = reg.gauge(
+            "repro_serve_jobs_running",
+            help_text="Serve jobs currently executing.")
+        self.cache_hits = reg.counter(
+            "repro_store_cache_hits_total",
+            help_text="Campaign cells answered from the result store.")
+        self.cache_misses = reg.counter(
+            "repro_store_cache_misses_total",
+            help_text="Campaign cells that had to execute.")
+        # Declare the families so a scrape before the first terminal event
+        # still exposes the series names dashboards alert on.
+        reg.counter(
+            "repro_serve_jobs_completed_total", {"status": "done"},
+            help_text="Serve jobs that reached a terminal state, by outcome.")
+        reg.gauge("repro_store_objects",
+                  help_text="Completed entries in the result store.")
+        reg.gauge("repro_store_bytes",
+                  help_text="Bytes of artifacts in the result store.")
+        reg.gauge("repro_store_campaigns",
+                  help_text="Campaign journals under the store root.")
+        reg.gauge("repro_serve_sse_clients",
+                  help_text="Live SSE subscriber connections.")
+
+    def job_completed(self, status: str) -> None:
+        """Count one terminal serve-job outcome (``done``/``failed``/``error``)."""
+        self.registry.counter(
+            "repro_serve_jobs_completed_total", {"status": status}
+        ).inc()
+
+    def observe_cell_seconds(self, tool: str, seconds: float) -> None:
+        """Record one executed campaign cell's wall seconds under its tool."""
+        self.registry.histogram(
+            "repro_serve_job_seconds", JOB_SECONDS_BOUNDS, {"tool": tool},
+            help_text="Execution seconds of campaign cells that ran "
+                      "(cache hits excluded).",
+        ).observe(seconds)
+
+    def refresh_store(self, store: ResultStore) -> None:
+        """Update the store gauges from a fresh filesystem walk."""
+        stats = store.stats()
+        self.registry.gauge("repro_store_objects").set(stats["objects"])
+        self.registry.gauge("repro_store_bytes").set(stats["bytes"])
+        self.registry.gauge("repro_store_campaigns").set(stats["campaigns"])
+
+    def set_sse_clients(self, count: int) -> None:
+        """Update the live-subscriber gauge (sampled at scrape time)."""
+        self.registry.gauge("repro_serve_sse_clients").set(count)
+
+    def render(self, store: Optional[ResultStore] = None) -> str:
+        """Prometheus exposition text, refreshing store gauges when given."""
+        if store is not None:
+            self.refresh_store(store)
+        return render_prometheus(self.registry)

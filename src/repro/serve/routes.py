@@ -1,0 +1,244 @@
+"""HTTP surface of the serve daemon: routing, JSON bodies, SSE streaming.
+
+One handler class serves every endpoint; the :class:`ThreadingHTTPServer`
+it mounts on gives each connection its own thread, so a slow SSE consumer
+never blocks a ``/metrics`` scrape or a job submission.
+
+============================  =============================================
+``POST /jobs``                submit a job body; 202 + ``{"job": id, ...}``
+``GET /jobs``                 list every serve job and its state
+``GET /jobs/<id>``            job detail + the ``repro-campaign/1`` manifest
+``GET /jobs/<id>/events``     live SSE stream (``Last-Event-ID`` resumes)
+``GET /metrics``              Prometheus text exposition (format 0.0.4)
+``GET /healthz``              liveness probe
+============================  =============================================
+
+SSE responses are ``Connection: close`` streams: frames are flushed per
+event, a comment ping goes out during idle gaps so dead clients surface as
+broken pipes, and the stream ends once the job's terminal event (``completed``
+or ``error``) has been delivered.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue as queue_mod
+import re
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.jobs import TERMINAL_EVENTS
+from repro.serve.sse import format_sse
+
+__all__ = ["ServeHandler", "SSE_PING_SECONDS"]
+
+log = logging.getLogger("repro.serve.http")
+
+#: Idle seconds between ``: ping`` comments on an SSE stream.
+SSE_PING_SECONDS = 10.0
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
+_EVENTS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/events$")
+
+#: Maximum accepted request body; a campaign spec is a few hundred bytes.
+_MAX_BODY = 1 << 20
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP connection against the server's JobManager."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def manager(self):
+        """The serving JobManager (attached to the server object)."""
+        return self.server.manager
+
+    @property
+    def metrics(self):
+        """The serving ServeMetrics (attached to the server object)."""
+        return self.server.metrics
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs into the ``repro.*`` logger tree, not stderr."""
+        log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True,
+                          default=str).encode() + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _split_path(self) -> Tuple[str, Dict[str, str]]:
+        parts = urlsplit(self.path)
+        query = {
+            k: v[-1] for k, v in parse_qs(parts.query).items()
+        }
+        return parts.path.rstrip("/") or "/", query
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch GET endpoints; unknown paths 404 with a JSON error."""
+        path, query = self._split_path()
+        if path == "/" :
+            self._send_json(200, {
+                "service": "repro-serve",
+                "endpoints": [
+                    "POST /jobs", "GET /jobs", "GET /jobs/<id>",
+                    "GET /jobs/<id>/events", "GET /metrics", "GET /healthz",
+                ],
+            })
+            return
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if path == "/metrics":
+            self._do_metrics()
+            return
+        if path == "/jobs":
+            self._send_json(200, {
+                "jobs": [job.to_dict() for job in self.manager.list()],
+            })
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            self._do_job_detail(match.group(1))
+            return
+        match = _EVENTS_PATH.match(path)
+        if match:
+            self._do_events(match.group(1), query)
+            return
+        self._send_error_json(404, f"no such endpoint: {path}")
+
+    def _do_metrics(self) -> None:
+        self.metrics.set_sse_clients(self.manager.broker.n_subscribers())
+        text = self.metrics.render(self.manager.store).encode()
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(text)))
+        self.end_headers()
+        self.wfile.write(text)
+
+    def _do_job_detail(self, job_id: str) -> None:
+        try:
+            self._send_json(200, self.manager.detail(job_id))
+        except KeyError:
+            self._send_error_json(404, f"no such job: {job_id}")
+
+    def _resume_seq(self, query: Dict[str, str]) -> int:
+        """Where to resume the stream: ``Last-Event-ID`` beats ``?after=``."""
+        raw = self.headers.get("Last-Event-ID") or query.get("after") or "0"
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return 0
+
+    def _do_events(self, job_id: str, query: Dict[str, str]) -> None:
+        if self.manager.get(job_id) is None:
+            self._send_error_json(404, f"no such job: {job_id}")
+            return
+        channel = self.manager.broker.channel(
+            job_id, self.manager.trace_path(job_id)
+        )
+        after = self._resume_seq(query)
+        backlog, live = channel.subscribe(after)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+            self.wfile.write(b"retry: 2000\n\n")
+            last_sent = after
+            for record in backlog:
+                last_sent = self._send_event(record, last_sent)
+                if record.get("event") in TERMINAL_EVENTS:
+                    return
+            while True:
+                try:
+                    record = live.get(timeout=SSE_PING_SECONDS)
+                except queue_mod.Empty:
+                    self.wfile.write(b": ping\n\n")
+                    self.wfile.flush()
+                    continue
+                last_sent = self._send_event(record, last_sent)
+                if record.get("event") in TERMINAL_EVENTS:
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            log.debug("serve: SSE client for %s went away", job_id)
+        finally:
+            channel.unsubscribe(live)
+
+    def _send_event(self, record: Dict[str, Any], last_sent: int) -> int:
+        """Write one frame, skipping anything at or below ``last_sent``.
+
+        The subscribe handshake already guarantees no gaps; the seq guard
+        here makes duplicates impossible even if a record straddles the
+        backlog/live boundary.
+        """
+        seq = int(record.get("seq", 0))
+        if seq <= last_sent:
+            return last_sent
+        self.wfile.write(format_sse(record).encode())
+        self.wfile.flush()
+        return seq
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch POST endpoints (only ``/jobs`` accepts bodies)."""
+        path, _query = self._split_path()
+        if path != "/jobs":
+            self._send_error_json(404, f"no such endpoint: {path}")
+            return
+        body = self._read_body()
+        if body is None:
+            return  # error already sent
+        try:
+            job = self.manager.submit(body)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(202, {
+            "job": job.id,
+            "cells": job.n_cells,
+            "state": job.state,
+            "url": f"/jobs/{job.id}",
+            "events_url": f"/jobs/{job.id}/events",
+        })
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._send_error_json(400, "a JSON body is required")
+            return None
+        if length > _MAX_BODY:
+            self._send_error_json(413, "body too large")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(parsed, dict):
+            self._send_error_json(400, "job body must be a JSON object")
+            return None
+        return parsed

@@ -1,0 +1,144 @@
+"""Ordered event channels: the JSONL trace file plus live SSE fan-out.
+
+Each serve job owns one :class:`JobChannel` -- an append-only JSONL trace on
+disk and a set of in-memory subscriber queues.  A single lock orders both:
+``emit`` assigns the next sequence number, appends the record to the trace
+(through the lock-guarded :func:`repro.telemetry.append_jsonl`, so external
+tailers never see torn lines) and fans it out to every live queue *before*
+the lock drops.  ``subscribe`` reads the backlog and registers its queue
+under the same lock.  Together that yields the contract SSE resume needs: a
+subscriber that asks for "everything after seq N" receives seq N+1, N+2,
+... with no gap and no duplicate, no matter how emitters race.
+
+The trace file is the source of truth; queues are a latency optimisation.
+A daemon restart rebuilds a channel from the file (``_seq`` resumes from
+the last record), which is also how ``Last-Event-ID`` reconnects replay
+history that predates the current process.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry import append_jsonl, read_jsonl
+
+__all__ = ["JobChannel", "EventBroker", "format_sse"]
+
+
+def format_sse(record: Dict[str, Any]) -> str:
+    """Render one trace record as a Server-Sent-Events frame.
+
+    The frame carries the sequence number as the SSE ``id`` (what a
+    reconnecting client echoes back via ``Last-Event-ID``), the event kind
+    as the SSE ``event`` name, and the whole record as JSON ``data``.
+    """
+    data = json.dumps(record, sort_keys=True, default=str)
+    event = str(record.get("event", "message"))
+    seq = record.get("seq", "")
+    return f"id: {seq}\nevent: {event}\ndata: {data}\n\n"
+
+
+class JobChannel:
+    """One job's ordered event stream: trace file + live subscribers."""
+
+    def __init__(self, trace_path: Union[str, Path]):
+        self.trace_path = Path(trace_path)
+        self._lock = threading.Lock()
+        self._subscribers: List["queue.SimpleQueue[Dict[str, Any]]"] = []
+        existing = read_jsonl(self.trace_path)
+        self._seq = max((int(r.get("seq", 0)) for r in existing), default=0)
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recently emitted event."""
+        return self._seq
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event (next seq, wall time) and fan it out live."""
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {
+                "seq": self._seq, "event": event, "t": time.time(),
+            }
+            record.update(fields)
+            append_jsonl(self.trace_path, record)
+            for q in self._subscribers:
+                q.put(record)
+        return record
+
+    def events(self, after: int = 0) -> List[Dict[str, Any]]:
+        """Every trace record with ``seq > after``, in order."""
+        return [
+            r for r in read_jsonl(self.trace_path)
+            if int(r.get("seq", 0)) > after
+        ]
+
+    def subscribe(
+        self, after: int = 0
+    ) -> Tuple[List[Dict[str, Any]], "queue.SimpleQueue[Dict[str, Any]]"]:
+        """Join the stream: ``(backlog after seq, live queue)``, atomically.
+
+        Reading the backlog and registering the queue happen under the emit
+        lock, so no event can fall between the two (gap) or appear in both
+        (duplicate).  Callers must :meth:`unsubscribe` the queue when done.
+        """
+        with self._lock:
+            backlog = self.events(after)
+            q: "queue.SimpleQueue[Dict[str, Any]]" = queue.SimpleQueue()
+            self._subscribers.append(q)
+        return backlog, q
+
+    def unsubscribe(self, q: "queue.SimpleQueue[Dict[str, Any]]") -> None:
+        """Detach a subscriber queue (idempotent)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(q)
+            except ValueError:
+                pass
+
+    @property
+    def n_subscribers(self) -> int:
+        """How many live queues are attached (for the SSE client gauge)."""
+        with self._lock:
+            return len(self._subscribers)
+
+
+class EventBroker:
+    """Registry of job channels, keyed by serve-job id."""
+
+    def __init__(self) -> None:
+        self._channels: Dict[str, JobChannel] = {}
+        self._lock = threading.Lock()
+
+    def channel(
+        self, job_id: str, trace_path: Optional[Union[str, Path]] = None
+    ) -> JobChannel:
+        """The channel for ``job_id``; created on first use.
+
+        Creation needs ``trace_path`` (the manager supplies it); later
+        lookups may omit it.  Looking up an unknown channel without a path
+        raises ``KeyError`` so HTTP handlers can 404 cleanly.
+        """
+        with self._lock:
+            chan = self._channels.get(job_id)
+            if chan is None:
+                if trace_path is None:
+                    raise KeyError(job_id)
+                chan = self._channels[job_id] = JobChannel(trace_path)
+            return chan
+
+    def has(self, job_id: str) -> bool:
+        """Whether a channel exists for ``job_id``."""
+        with self._lock:
+            return job_id in self._channels
+
+    def n_subscribers(self) -> int:
+        """Total live subscriber queues across every channel."""
+        with self._lock:
+            channels = list(self._channels.values())
+        return sum(c.n_subscribers for c in channels)

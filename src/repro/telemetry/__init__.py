@@ -28,6 +28,7 @@ from repro.telemetry.manifest import (
     git_rev,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.prometheus import render_prometheus
 from repro.telemetry.session import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.telemetry.timers import PhaseTimer
 
@@ -46,6 +47,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "render_prometheus",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "Telemetry",

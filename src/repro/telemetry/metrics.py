@@ -12,11 +12,20 @@ so the observer hot path stays exactly as fast as before telemetry existed.
 All metrics are named with dotted lowercase paths (``sigil.bytes.unique``,
 ``vm.instructions_retired``); :meth:`MetricRegistry.snapshot` flattens them
 into a JSON-ready mapping for the run manifest.
+
+Metrics optionally carry **labels** -- a small mapping of dimension names to
+values (``{"tool": "sigil"}``) -- so one logical metric family can be split
+per tool, per workload, or per job state.  Two calls with the same name but
+different labels return *different* child metrics; the registry keys on the
+``(name, sorted label items)`` pair.  Labelled metrics exist for the serve
+daemon's Prometheus endpoint (:mod:`repro.telemetry.prometheus`); the
+pre-existing unlabelled call sites are the ``labels=None`` special case and
+behave exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
 
@@ -24,15 +33,26 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
 #: with few buckets, suiting byte counts and event counts alike).
 _DEFAULT_BOUNDS = tuple(4 ** k for k in range(1, 13))
 
+#: A frozen, sorted (key, value) form of a label mapping; the registry key.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    """Normalise a label mapping into a hashable, deterministic key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
 
 class Counter:
     """A monotonically increasing count (events seen, bytes classified)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
         self.name = name
         self.value = 0
+        self.labels: Dict[str, str] = dict(_label_items(labels))
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -44,11 +64,12 @@ class Counter:
 class Gauge:
     """A point-in-time measurement (live shadow pages, peak RSS)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
         self.name = name
         self.value: Union[int, float] = 0
+        self.labels: Dict[str, str] = dict(_label_items(labels))
 
     def set(self, value: Union[int, float]) -> None:
         """Record the current value, replacing any previous one."""
@@ -65,12 +86,20 @@ class Histogram:
 
     Buckets are cumulative-free (each observation lands in exactly one
     bucket whose upper bound is the first ``>= value``); the final implicit
-    bucket is unbounded.
+    bucket is unbounded.  :meth:`quantile` estimates order statistics from
+    the buckets by linear interpolation, so summaries can report p50/p90/p99
+    without retaining raw observations.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min",
+                 "max", "labels")
 
-    def __init__(self, name: str, bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS):
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = name
         self.bounds: List[Union[int, float]] = sorted(bounds)
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
@@ -78,6 +107,7 @@ class Histogram:
         self.total: Union[int, float] = 0
         self.min: Optional[Union[int, float]] = None
         self.max: Optional[Union[int, float]] = None
+        self.labels: Dict[str, str] = dict(_label_items(labels))
 
     def observe(self, value: Union[int, float]) -> None:
         """Add one observation to the distribution."""
@@ -98,55 +128,163 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Observations are assumed uniform within their bucket; the estimate
+        interpolates linearly between the bucket's bounds, clamped to the
+        observed min/max so a wide first or last bucket cannot report a
+        value the histogram never saw.  Returns None when empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0.0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                if i < len(self.bounds):
+                    lower = self.bounds[i - 1] if i > 0 else (
+                        self.min if self.min is not None else 0.0
+                    )
+                    upper = self.bounds[i]
+                else:  # unbounded overflow bucket: interpolate to the max
+                    lower = self.bounds[-1] if self.bounds else 0.0
+                    upper = self.max if self.max is not None else lower
+                estimate = lower + fraction * (upper - lower)
+                if self.min is not None:
+                    estimate = max(estimate, float(self.min))
+                if self.max is not None:
+                    estimate = min(estimate, float(self.max))
+                return estimate
+            cumulative += bucket_count
+        return float(self.max) if self.max is not None else None
+
     def summary(self) -> Dict[str, Union[int, float, None]]:
-        """JSON-ready summary of the distribution."""
+        """JSON-ready summary of the distribution, quantiles included."""
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 
+def _snapshot_key(name: str, labels: Mapping[str, str]) -> str:
+    """The flattened snapshot key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
 class MetricRegistry:
-    """Get-or-create home for every metric a run produces."""
+    """Get-or-create home for every metric a run produces.
+
+    Metrics are addressed by ``(name, labels)``; the common unlabelled call
+    ``registry.counter("x")`` is the ``labels=None`` case.  ``help_text``
+    given at first creation is kept per *family* (name) for the Prometheus
+    exposition; later calls may omit it.
+    """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self._help: Dict[str, str] = {}
 
-    def counter(self, name: str) -> Counter:
-        """The counter named ``name``, created on first use."""
-        metric = self._counters.get(name)
+    def _remember_help(self, name: str, help_text: Optional[str]) -> None:
+        if help_text and name not in self._help:
+            self._help[name] = help_text
+
+    def help_text(self, name: str) -> Optional[str]:
+        """The family help string registered for ``name`` (None if absent)."""
+        return self._help.get(name)
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        help_text: Optional[str] = None,
+    ) -> Counter:
+        """The counter named ``name`` (with ``labels``), created on first use."""
+        key = (name, _label_items(labels))
+        metric = self._counters.get(key)
         if metric is None:
-            metric = self._counters[name] = Counter(name)
+            metric = self._counters[key] = Counter(name, labels)
+        self._remember_help(name, help_text)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge named ``name``, created on first use."""
-        metric = self._gauges.get(name)
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        help_text: Optional[str] = None,
+    ) -> Gauge:
+        """The gauge named ``name`` (with ``labels``), created on first use."""
+        key = (name, _label_items(labels))
+        metric = self._gauges.get(key)
         if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+            metric = self._gauges[key] = Gauge(name, labels)
+        self._remember_help(name, help_text)
         return metric
 
     def histogram(
-        self, name: str, bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS
+        self,
+        name: str,
+        bounds: Sequence[Union[int, float]] = _DEFAULT_BOUNDS,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        help_text: Optional[str] = None,
     ) -> Histogram:
-        """The histogram named ``name``, created on first use."""
-        metric = self._histograms.get(name)
+        """The histogram named ``name`` (with ``labels``), created on first use."""
+        key = (name, _label_items(labels))
+        metric = self._histograms.get(key)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name, bounds)
+            metric = self._histograms[key] = Histogram(name, bounds, labels)
+        self._remember_help(name, help_text)
         return metric
 
+    def collect(self) -> Iterator[Tuple[str, str, List[object]]]:
+        """Yield ``(kind, family name, [metrics])`` for exposition.
+
+        Families are yielded in sorted-name order within each kind
+        (counters, then gauges, then histograms); each family's children are
+        sorted by label items, so the output is deterministic.
+        """
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            families: Dict[str, List[object]] = {}
+            for (name, _items), metric in sorted(table.items()):
+                families.setdefault(name, []).append(metric)
+            for name in sorted(families):
+                yield kind, name, families[name]
+
     def snapshot(self) -> Dict[str, object]:
-        """Flatten every metric into a JSON-serialisable name -> value map."""
+        """Flatten every metric into a JSON-serialisable name -> value map.
+
+        Labelled metrics appear under ``name{k=v,...}`` keys; the unlabelled
+        common case keeps its bare name, so existing manifests are
+        unchanged.
+        """
         out: Dict[str, object] = {}
-        for name, counter in self._counters.items():
-            out[name] = counter.value
-        for name, gauge in self._gauges.items():
-            out[name] = gauge.value
-        for name, hist in self._histograms.items():
-            out[name] = hist.summary()
+        for (name, _items), counter in self._counters.items():
+            out[_snapshot_key(name, counter.labels)] = counter.value
+        for (name, _items), gauge in self._gauges.items():
+            out[_snapshot_key(name, gauge.labels)] = gauge.value
+        for (name, _items), hist in self._histograms.items():
+            out[_snapshot_key(name, hist.labels)] = hist.summary()
         return dict(sorted(out.items()))

@@ -1,0 +1,127 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`MetricRegistry`.
+
+The serve daemon's ``GET /metrics`` endpoint hands a scraper the daemon's
+whole registry in the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ -- plain
+text, one sample per line, ``# HELP``/``# TYPE`` comments per family --
+with **zero new dependencies**: the format is line-oriented and this module
+is the whole implementation.
+
+Three translations happen on the way out:
+
+* **names** are sanitised to the Prometheus charset ``[a-zA-Z0-9_:]``
+  (dotted telemetry paths like ``sigil.bytes.unique`` become
+  ``sigil_bytes_unique``);
+* **label values** are escaped per the spec (backslash, double-quote and
+  newline);
+* **histograms** are re-expressed as cumulative ``_bucket`` series with
+  ``le`` labels (upper bounds inclusive, final ``+Inf``) plus ``_sum`` and
+  ``_count`` samples, which is exactly what ``histogram_quantile()`` wants.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Mapping, Union
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = ["render_prometheus", "sanitize_metric_name", "escape_label_value"]
+
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary metric name onto the Prometheus name charset.
+
+    Invalid characters become underscores and a leading digit is prefixed
+    with one, so any telemetry path renders as a scrapable series name.
+    """
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec (``\\``, ``"``, ``\\n``)."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Render a sample value: integers bare, floats via repr, inf/nan named."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    """The ``{k="v",...}`` suffix for a sample line ('' when unlabelled)."""
+    parts = [
+        f'{sanitize_metric_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _bound_text(bound: Union[int, float]) -> str:
+    """An ``le`` bound rendered without a spurious trailing ``.0``."""
+    if isinstance(bound, float) and bound.is_integer():
+        return str(int(bound))
+    return str(bound)
+
+
+def _render_simple(lines: List[str], name: str, metric) -> None:
+    lines.append(f"{name}{_format_labels(metric.labels)} "
+                 f"{_format_value(metric.value)}")
+
+
+def _render_histogram(lines: List[str], name: str, hist: Histogram) -> None:
+    cumulative = 0
+    for bound, bucket_count in zip(hist.bounds, hist.bucket_counts):
+        cumulative += bucket_count
+        le = f'le="{escape_label_value(_bound_text(bound))}"'
+        lines.append(f"{name}_bucket{_format_labels(hist.labels, le)} "
+                     f"{cumulative}")
+    cumulative += hist.bucket_counts[-1]
+    inf_label = 'le="+Inf"'
+    lines.append(f"{name}_bucket{_format_labels(hist.labels, inf_label)} "
+                 f"{cumulative}")
+    lines.append(f"{name}_sum{_format_labels(hist.labels)} "
+                 f"{_format_value(hist.total)}")
+    lines.append(f"{name}_count{_format_labels(hist.labels)} {hist.count}")
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Render every metric in ``registry`` as Prometheus exposition text.
+
+    Families appear with their ``# TYPE`` line (and ``# HELP`` when help
+    text was registered), counters and gauges as one sample per labelset,
+    histograms as cumulative ``_bucket``/``_sum``/``_count`` series.  The
+    output is deterministic: families sort by name, children by labels.
+    """
+    lines: List[str] = []
+    for kind, family, metrics in registry.collect():
+        name = sanitize_metric_name(family)
+        help_text = registry.help_text(family)
+        if help_text:
+            escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                _render_histogram(lines, name, metric)
+            elif isinstance(metric, (Counter, Gauge)):
+                _render_simple(lines, name, metric)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,133 @@
+"""CLI surface of the serve family: watch, submit validation, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _render_trace_record, build_parser, main
+from repro.telemetry import append_jsonl
+
+
+class TestParser:
+    def test_serve_family_is_wired(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--port-file", "p", "--store", "s",
+             "-j", "2", "--concurrency", "3"])
+        assert args.command == "serve" and args.jobs == 2
+        args = parser.parse_args(["submit", "vips", "--tool", "native"])
+        assert args.workload == "vips"
+        args = parser.parse_args(["watch", "job-000001", "--after", "5"])
+        assert args.job == "job-000001" and args.after == 5
+        args = parser.parse_args(["metrics", "--url", "http://x:1"])
+        assert args.url == "http://x:1"
+
+
+class TestRenderTraceRecord:
+    def test_done_shows_cached_or_seconds(self):
+        line = _render_trace_record(
+            {"seq": 5, "event": "done", "label": "vips/simsmall/native",
+             "cached": True})
+        assert "cached" in line and "vips/simsmall/native" in line
+        line = _render_trace_record(
+            {"seq": 5, "event": "done", "label": "x", "cached": False,
+             "seconds": 1.234})
+        assert "1.23s" in line
+
+    def test_completed_summarises_counts(self):
+        line = _render_trace_record(
+            {"seq": 9, "event": "completed", "state": "done",
+             "total": 2, "done": 2, "cached": 1, "executed": 1,
+             "failed": 0, "timeout": 0})
+        assert "done" in line and "cached=1" in line and "executed=1" in line
+
+    def test_every_event_kind_renders_one_line(self):
+        for rec in (
+            {"seq": 1, "event": "submitted", "name": "adhoc", "cells": 1},
+            {"seq": 2, "event": "resumed", "name": "adhoc", "cells": 1},
+            {"seq": 3, "event": "heartbeat", "message": "1/2 done"},
+            {"seq": 4, "event": "phases", "execute": 0.5, "setup": 0.1},
+            {"seq": 5, "event": "failed", "error": "boom"},
+            {"seq": 6, "event": "error", "state": "error", "message": "bad"},
+        ):
+            line = _render_trace_record(rec)
+            assert "\n" not in line and rec["event"] in line
+
+
+class TestWatchFileTail:
+    def _trace(self, tmp_path, job="job-000001"):
+        trace = tmp_path / "serve" / "jobs" / job / "trace.jsonl"
+        trace.parent.mkdir(parents=True)
+        return trace
+
+    def test_watch_replays_to_terminal_and_exits_zero(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        for i, event in enumerate(("submitted", "running", "done"), start=1):
+            append_jsonl(trace, {"seq": i, "event": event})
+        append_jsonl(trace, {"seq": 4, "event": "completed", "state": "done"})
+        code = main(["watch", "job-000001", "--store", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert [line.split()[1] for line in out.splitlines()] == \
+            ["submitted", "running", "done", "completed"]
+
+    def test_watch_exit_code_follows_job_state(self, tmp_path):
+        trace = self._trace(tmp_path)
+        append_jsonl(trace, {"seq": 1, "event": "completed",
+                             "state": "failed"})
+        assert main(["watch", "job-000001", "--store", str(tmp_path)]) == 1
+
+    def test_watch_after_skips_replayed_events(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        for i in range(1, 4):
+            append_jsonl(trace, {"seq": i, "event": "running"})
+        append_jsonl(trace, {"seq": 4, "event": "completed", "state": "done"})
+        assert main(["watch", "job-000001", "--store", str(tmp_path),
+                     "--after", "2"]) == 0
+        out = capsys.readouterr().out
+        assert [int(line.split()[0][1:]) for line in out.splitlines()] == \
+            [3, 4]
+
+    def test_watch_unknown_job_is_an_error(self, tmp_path):
+        assert main(["watch", "job-004242", "--store", str(tmp_path)]) == 2
+
+    def test_watch_timeout_gives_up_on_a_stuck_job(self, tmp_path):
+        trace = self._trace(tmp_path)
+        append_jsonl(trace, {"seq": 1, "event": "running"})
+        assert main(["watch", "job-000001", "--store", str(tmp_path),
+                     "--timeout", "0.3"]) == 1
+
+
+class TestSubmitValidation:
+    def test_submit_needs_a_workload_or_body(self):
+        assert main(["submit"]) == 2
+
+    def test_submit_body_file_must_be_json(self, tmp_path):
+        bad = tmp_path / "body.json"
+        bad.write_text("not json")
+        assert main(["submit", "--body", str(bad),
+                     "--url", "http://127.0.0.1:9"]) == 1
+
+    def test_submit_unreachable_daemon_is_one_error_line(self, tmp_path, capsys):
+        body = tmp_path / "body.json"
+        body.write_text(json.dumps({"workload": "vips"}))
+        # Port 9 (discard) refuses; the CLI must fail with one stderr line.
+        code = main(["submit", "--body", str(body),
+                     "--url", "http://127.0.0.1:9"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err and "Traceback" not in err
+
+
+class TestStatsHistogramRendering:
+    def test_quantile_summaries_render_inline(self):
+        from repro.cli import _fmt_metric_value
+
+        rendered = _fmt_metric_value(
+            {"count": 10, "sum": 5.0, "min": 0.1, "max": 2.0, "mean": 0.5,
+             "p50": 0.4, "p90": 1.5, "p99": 1.9})
+        assert rendered == "count=10 mean=0.5 p50=0.4 p90=1.5 p99=1.9"
+        assert _fmt_metric_value({"count": 0}) == "count=0"
+        assert _fmt_metric_value(42) == "42"

@@ -1,0 +1,157 @@
+"""Prometheus exposition: golden text, escaping, buckets, serve catalog."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.serve.promfmt import JOB_SECONDS_BOUNDS, ServeMetrics
+from repro.telemetry import MetricRegistry, render_prometheus
+from repro.telemetry.prometheus import escape_label_value, sanitize_metric_name
+
+# One sample line: name, optional {labels}, a space, a value.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?\d+(\.\d+([eE][+-]?\d+)?)?|[+-]Inf|NaN)$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every line must be a comment or a well-formed sample."""
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE.match(line), f"malformed sample line: {line!r}"
+
+
+class TestGoldenText:
+    def test_full_document(self):
+        reg = MetricRegistry()
+        reg.counter("hits_total", help_text="Total hits.").inc(3)
+        reg.counter("req_total", {"code": "200"}).inc(2)
+        reg.counter("req_total", {"code": "500"}).inc(1)
+        reg.gauge("temp").set(1.5)
+        hist = reg.histogram("lat_seconds", (0.5, 2.0), help_text="Latency.")
+        for v in (0.25, 0.5, 4.0):
+            hist.observe(v)
+        assert render_prometheus(reg) == (
+            "# HELP hits_total Total hits.\n"
+            "# TYPE hits_total counter\n"
+            "hits_total 3\n"
+            "# TYPE req_total counter\n"
+            'req_total{code="200"} 2\n'
+            'req_total{code="500"} 1\n'
+            "# TYPE temp gauge\n"
+            "temp 1.5\n"
+            "# HELP lat_seconds Latency.\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.5"} 2\n'
+            'lat_seconds_bucket{le="2"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            "lat_seconds_sum 4.75\n"
+            "lat_seconds_count 3\n"
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricRegistry()) == ""
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("h", (1, 2, 4))
+        for v in (0.5, 1.5, 1.6, 3, 100):
+            hist.observe(v)
+        text = render_prometheus(reg)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines() if line.startswith("h_bucket")
+        ]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts == [1, 3, 4, 5]
+        assert "h_count 5" in text.splitlines()
+
+
+class TestEscaping:
+    def test_label_values(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_escaped_labels_survive_rendering(self):
+        reg = MetricRegistry()
+        reg.counter("c", {"path": 'a\\b"c"\nd'}).inc()
+        text = render_prometheus(reg)
+        assert 'c{path="a\\\\b\\"c\\"\\nd"} 1\n' in text
+        assert_valid_exposition(text)
+
+    def test_metric_name_sanitization(self):
+        assert sanitize_metric_name("sigil.bytes.unique") == \
+            "sigil_bytes_unique"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("ok_name:sub") == "ok_name:sub"
+        reg = MetricRegistry()
+        reg.counter("vm.ops/sec").inc()
+        assert "vm_ops_sec 1" in render_prometheus(reg)
+
+    def test_inf_and_nan_values(self):
+        reg = MetricRegistry()
+        reg.gauge("g_inf").set(math.inf)
+        reg.gauge("g_nan").set(math.nan)
+        text = render_prometheus(reg)
+        assert "g_inf +Inf" in text and "g_nan NaN" in text
+        assert_valid_exposition(text)
+
+
+class TestServeMetrics:
+    def test_catalog_is_scrapable_before_any_job(self):
+        text = ServeMetrics().render()
+        assert_valid_exposition(text)
+        for family in (
+            "repro_serve_jobs_submitted_total",
+            "repro_serve_jobs_running",
+            "repro_store_cache_hits_total",
+            'repro_serve_jobs_completed_total{status="done"}',
+            "repro_serve_sse_clients",
+        ):
+            assert family in text
+
+    def test_activity_shows_up_in_the_scrape(self, tmp_path):
+        metrics = ServeMetrics()
+        metrics.jobs_submitted.inc()
+        metrics.cache_hits.inc(2)
+        metrics.job_completed("done")
+        metrics.job_completed("failed")
+        metrics.observe_cell_seconds("native", 0.02)
+        metrics.observe_cell_seconds("sigil", 40.0)
+        metrics.set_sse_clients(3)
+        text = metrics.render(ResultStore(tmp_path))
+        assert_valid_exposition(text)
+        lines = text.splitlines()
+        assert "repro_serve_jobs_submitted_total 1" in lines
+        assert "repro_store_cache_hits_total 2" in lines
+        assert 'repro_serve_jobs_completed_total{status="done"} 1' in lines
+        assert 'repro_serve_jobs_completed_total{status="failed"} 1' in lines
+        assert 'repro_serve_job_seconds_bucket{tool="native",le="0.05"} 1' \
+            in lines
+        assert 'repro_serve_job_seconds_count{tool="sigil"} 1' in lines
+        assert "repro_serve_sse_clients 3" in lines
+        assert "repro_store_objects 0" in lines
+
+    def test_histogram_bounds_cover_the_plausible_range(self):
+        assert JOB_SECONDS_BOUNDS == tuple(sorted(JOB_SECONDS_BOUNDS))
+        assert JOB_SECONDS_BOUNDS[0] <= 0.01
+        assert JOB_SECONDS_BOUNDS[-1] >= 1800
+
+    def test_refresh_store_counts_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        metrics = ServeMetrics()
+        with pytest.raises(KeyError):
+            _ = metrics.registry._counters[("nope", ())]  # sanity: no magic
+        text = metrics.render(store)
+        assert "repro_store_objects 0" in text
+        assert "repro_store_campaigns 0" in text

@@ -1,0 +1,148 @@
+"""Event channels: SSE framing, durable sequencing, gap/dup-free resume."""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+
+import pytest
+
+from repro.serve.sse import EventBroker, JobChannel, format_sse
+
+
+class TestFormatSSE:
+    def test_frame_shape(self):
+        frame = format_sse({"seq": 7, "event": "done", "x": 1})
+        lines = frame.split("\n")
+        assert lines[0] == "id: 7"
+        assert lines[1] == "event: done"
+        assert lines[2].startswith("data: ")
+        assert frame.endswith("\n\n")
+        assert json.loads(lines[2][len("data: "):]) == \
+            {"seq": 7, "event": "done", "x": 1}
+
+    def test_data_is_one_line_even_for_nested_payloads(self):
+        frame = format_sse({"seq": 1, "event": "e", "nest": {"a": [1, 2]}})
+        # SSE data spanning lines would need multiple data: fields; we
+        # guarantee compact single-line JSON instead.
+        assert frame.count("\n") == 4
+
+
+class TestJobChannel:
+    def test_emit_assigns_contiguous_seqs_and_persists(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        chan = JobChannel(trace)
+        for name in ("a", "b", "c"):
+            chan.emit(name)
+        assert [r["seq"] for r in chan.events()] == [1, 2, 3]
+        assert chan.last_seq == 3
+        # A fresh channel on the same file (daemon restart) resumes the seq.
+        reborn = JobChannel(trace)
+        assert reborn.last_seq == 3
+        reborn.emit("d")
+        assert [r["seq"] for r in reborn.events()] == [1, 2, 3, 4]
+
+    def test_events_after_filters(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        for i in range(5):
+            chan.emit("e", i=i)
+        assert [r["seq"] for r in chan.events(after=3)] == [4, 5]
+
+    def test_subscribe_sees_backlog_then_live(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        chan.emit("old")
+        backlog, live = chan.subscribe()
+        assert [r["event"] for r in backlog] == ["old"]
+        chan.emit("new")
+        assert live.get(timeout=1)["event"] == "new"
+        chan.unsubscribe(live)
+        chan.emit("after-detach")
+        with pytest.raises(queue.Empty):
+            live.get(timeout=0.05)
+
+    def test_unsubscribe_is_idempotent(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        _, live = chan.subscribe()
+        chan.unsubscribe(live)
+        chan.unsubscribe(live)
+        assert chan.n_subscribers == 0
+
+
+class TestResumeUnderConcurrency:
+    """The SSE contract: resume from any seq, no gap, no duplicate."""
+
+    N_EMITTERS = 4
+    PER_EMITTER = 50
+
+    def _hammer(self, chan):
+        barrier = threading.Barrier(self.N_EMITTERS)
+
+        def emitter(k):
+            barrier.wait()
+            for i in range(self.PER_EMITTER):
+                chan.emit("tick", emitter=k, i=i)
+
+        threads = [threading.Thread(target=emitter, args=(k,))
+                   for k in range(self.N_EMITTERS)]
+        for t in threads:
+            t.start()
+        return threads
+
+    def test_trace_is_gapless_under_concurrent_emitters(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        for t in self._hammer(chan):
+            t.join()
+        total = self.N_EMITTERS * self.PER_EMITTER
+        seqs = [r["seq"] for r in chan.events()]
+        assert seqs == list(range(1, total + 1))
+
+    def test_mid_stream_subscriber_resumes_without_gap_or_dup(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        threads = self._hammer(chan)
+        total = self.N_EMITTERS * self.PER_EMITTER
+
+        # Subscribe while emitters are racing; the handshake must hand us
+        # a backlog + live queue that covers every seq exactly once.
+        backlog, live = chan.subscribe(after=0)
+        for t in threads:
+            t.join()
+        got = [r["seq"] for r in backlog]
+        while len(got) < total:
+            got.append(live.get(timeout=2)["seq"])
+        chan.unsubscribe(live)
+        assert got == list(range(1, total + 1))
+
+    def test_resume_from_arbitrary_seq(self, tmp_path):
+        chan = JobChannel(tmp_path / "t.jsonl")
+        for i in range(20):
+            chan.emit("e")
+        backlog, live = chan.subscribe(after=12)
+        assert [r["seq"] for r in backlog] == list(range(13, 21))
+        chan.emit("last")
+        assert live.get(timeout=1)["seq"] == 21
+        chan.unsubscribe(live)
+
+
+class TestEventBroker:
+    def test_channel_requires_path_on_first_use(self, tmp_path):
+        broker = EventBroker()
+        with pytest.raises(KeyError):
+            broker.channel("job-000001")
+        chan = broker.channel("job-000001", tmp_path / "t.jsonl")
+        assert broker.channel("job-000001") is chan
+        assert broker.has("job-000001")
+        assert not broker.has("job-999999")
+
+    def test_subscriber_totals_across_channels(self, tmp_path):
+        broker = EventBroker()
+        a = broker.channel("a", tmp_path / "a.jsonl")
+        b = broker.channel("b", tmp_path / "b.jsonl")
+        _, qa = a.subscribe()
+        _, qb1 = b.subscribe()
+        _, qb2 = b.subscribe()
+        assert broker.n_subscribers() == 3
+        a.unsubscribe(qa)
+        b.unsubscribe(qb1)
+        b.unsubscribe(qb2)
+        assert broker.n_subscribers() == 0

@@ -43,6 +43,7 @@ class TestHistogram:
         assert h.mean == 0.0
         assert h.summary() == {
             "count": 0, "sum": 0, "min": None, "max": None, "mean": 0.0,
+            "p50": None, "p90": None, "p99": None,
         }
 
     def test_observations_land_in_one_bucket_each(self):
@@ -56,9 +57,29 @@ class TestHistogram:
         h = Histogram("x")
         for v in (2, 4, 6):
             h.observe(v)
-        assert h.summary() == {
-            "count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4.0,
-        }
+        summary = h.summary()
+        assert {k: summary[k] for k in ("count", "sum", "min", "max", "mean")} \
+            == {"count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4.0}
+        assert set(summary) >= {"p50", "p90", "p99"}
+        assert 2 <= summary["p50"] <= summary["p90"] <= summary["p99"] <= 6
+
+    def test_quantiles_interpolate_and_clamp(self):
+        h = Histogram("latency", bounds=[1, 10, 100])
+        for v in (5, 5, 5, 5):
+            h.observe(v)
+        # All mass in the (1, 10] bucket: estimates stay within [min, max].
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantiles_overflow_bucket_uses_observed_max(self):
+        h = Histogram("big", bounds=[10])
+        h.observe(1000)
+        assert h.quantile(0.99) <= 1000
+        assert h.quantile(1.0) == 1000
 
 
 class TestMetricRegistry:
@@ -78,6 +99,51 @@ class TestMetricRegistry:
         assert snap["z.count"] == 5
         assert snap["a.gauge"] == 7
         assert snap["m.hist"]["count"] == 1
+
+
+class TestLabels:
+    def test_distinct_labelsets_are_distinct_metrics(self):
+        reg = MetricRegistry()
+        a = reg.counter("jobs_total", {"tool": "sigil"})
+        b = reg.counter("jobs_total", {"tool": "callgrind"})
+        assert a is not b
+        a.inc(2)
+        b.inc(5)
+        assert a.value == 2 and b.value == 5
+
+    def test_same_labels_any_order_return_same_object(self):
+        reg = MetricRegistry()
+        a = reg.gauge("g", {"x": "1", "y": "2"})
+        b = reg.gauge("g", {"y": "2", "x": "1"})
+        assert a is b
+
+    def test_unlabelled_and_labelled_coexist(self):
+        reg = MetricRegistry()
+        bare = reg.counter("hits")
+        labelled = reg.counter("hits", {"kind": "warm"})
+        assert bare is not labelled
+        bare.inc()
+        snap = reg.snapshot()
+        assert snap["hits"] == 1
+        assert snap["hits{kind=warm}"] == 0
+
+    def test_help_text_is_kept_per_family(self):
+        reg = MetricRegistry()
+        reg.counter("x_total", help_text="things done")
+        reg.counter("x_total", {"s": "a"})  # later call may omit help
+        assert reg.help_text("x_total") == "things done"
+        assert reg.help_text("unknown") is None
+
+    def test_collect_groups_families_deterministically(self):
+        reg = MetricRegistry()
+        reg.counter("b_total", {"t": "y"})
+        reg.counter("b_total", {"t": "x"})
+        reg.gauge("a_gauge")
+        collected = list(reg.collect())
+        kinds = [(kind, name) for kind, name, _ in collected]
+        assert kinds == [("counter", "b_total"), ("gauge", "a_gauge")]
+        children = collected[0][2]
+        assert [m.labels["t"] for m in children] == ["x", "y"]
 
 
 class TestPhaseTimer:
