@@ -1,11 +1,11 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke serve-smoke bench-throughput bench-event-io regen-golden clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke serve-smoke timeline-smoke bench-throughput bench-event-io bench-windowed regen-golden clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: telemetry-smoke campaign-smoke serve-smoke
+test: telemetry-smoke campaign-smoke serve-smoke timeline-smoke
 	pytest tests/
 
 # Prove the self-telemetry loop end to end: profile a small workload with a
@@ -62,6 +62,28 @@ serve-smoke:
 		| grep -q "^repro_store_cache_hits_total 1$$"; \
 	echo "serve-smoke: warm HTTP re-submit was a cache hit"
 
+# Prove the time-resolved observability path end to end: synthesise a
+# 1M-segment binary event log (written chunk-by-chunk), stream it through
+# `repro timeline`, and validate that the output is a Chrome/Perfetto trace
+# carrying the counter tracks.  The trap drops the scratch dir either way.
+timeline-smoke:
+	@set -e; \
+	trap 'rm -rf .timeline-smoke' EXIT; \
+	rm -rf .timeline-smoke; mkdir -p .timeline-smoke; \
+	PYTHONPATH=src:benchmarks python -c "from bench_event_io import synth_log; \
+		from repro.io import dump_events_bin; \
+		dump_events_bin(synth_log(1_000_000), '.timeline-smoke/ev.bin')"; \
+	PYTHONPATH=src python -m repro timeline .timeline-smoke/ev.bin \
+		-o .timeline-smoke/ev.trace.json | grep -q "timeline written"; \
+	PYTHONPATH=src python -c "import json; \
+		t = json.load(open('.timeline-smoke/ev.trace.json')); \
+		names = {e['name'] for e in t if e['ph'] == 'C'}; \
+		assert {'WS(t) bytes', 'comm bytes/window', 'ops/window', \
+			'mean reuse lifetime (ops)'} <= names, names; \
+		assert all(e['ph'] in ('C', 'M') for e in t); \
+		assert all(e['args'] is not None for e in t)"; \
+	echo "timeline-smoke: 1M-segment log renders valid counter tracks"
+
 property:
 	pytest tests/property/ -q
 
@@ -77,6 +99,13 @@ bench-throughput:
 # binary load+critical-path path has regressed below the text path.
 bench-event-io:
 	PYTHONPATH=src python benchmarks/bench_event_io.py --check
+
+# Publish streaming windowed-analysis throughput (segments/s and the
+# tracemalloc peak of one pass over a 2M-segment log) into the windowed
+# section of BENCH_throughput.json, and fail if the pass's peak memory is
+# not below what materialising the tables would cost.
+bench-windowed:
+	PYTHONPATH=src python benchmarks/bench_windowed.py --check
 
 # Rewrite the golden-profile fixtures in tests/golden/.  Run this ONLY when
 # a change to the profiler's observable output is intentional, and commit

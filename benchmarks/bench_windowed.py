@@ -1,0 +1,130 @@
+"""Streaming windowed-analysis throughput and memory bound.
+
+Not a paper artifact -- the performance gate for the out-of-core layer this
+repo's observability surface is built on.  Writes the ``bench_event_io``
+synthetic log (same shape: one order/call chain, periodic data edges) as a
+v2 file, then measures one :func:`repro.analysis.windowed.windowed_curves`
+pass over it: wall time, segments/s, and the :mod:`tracemalloc` peak of the
+pass, compared against the bytes the materialised tables would occupy.
+
+Run directly to publish machine-readable numbers::
+
+    PYTHONPATH=src python benchmarks/bench_windowed.py
+
+merges a ``windowed`` section into ``BENCH_throughput.json`` at the repo
+root.  ``--check`` exits non-zero if the pass's peak traced memory is not
+below the materialised table bytes (the CI bounded-memory smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.analysis.windowed import windowed_curves
+from repro.io import dump_events_bin
+
+from bench_event_io import synth_log
+
+N_SEGMENTS = 2_000_000
+
+
+def measure(n_segments: int = N_SEGMENTS, workdir: Path = Path(".")) -> dict:
+    """One windowed pass over a freshly written synthetic v2 log."""
+    arrays = synth_log(n_segments)
+    table_bytes = int(
+        arrays.segs.nbytes + arrays.ordercall.nbytes + arrays.data.nbytes
+    )
+    path = workdir / "bench_windowed.v2.events"
+    dump_events_bin(arrays, path)
+    del arrays  # the pass must not lean on the in-memory copy
+
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    curves = windowed_curves(path)
+    wall_s = time.perf_counter() - t0
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    report = {
+        "n_segments": n_segments,
+        "n_windows": curves.n_windows,
+        "window_ops": curves.window,
+        "seconds": round(wall_s, 3),
+        "segments_per_sec": int(n_segments / wall_s),
+        "curves_per_sec": round(curves.n_windows / wall_s, 1),
+        "peak_traced_bytes": int(peak),
+        "materialized_table_bytes": table_bytes,
+        "memory_ratio": round(peak / table_bytes, 3),
+        "peak_ws_bytes": curves.peak_ws_bytes,
+        "total_comm_bytes": curves.total_comm_bytes,
+        "file_bytes": path.stat().st_size,
+    }
+    path.unlink()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="publish streaming windowed-analysis throughput"
+    )
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "-o", "--out",
+        default=str(root / "BENCH_throughput.json"),
+        help="JSON file to merge the windowed section into",
+    )
+    parser.add_argument(
+        "--segments", type=int, default=N_SEGMENTS,
+        help=f"log size in segments (default {N_SEGMENTS})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the pass's peak memory stays below the "
+             "materialised table bytes (the CI bounded-memory smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    report = measure(args.segments, workdir=out.parent)
+
+    merged = {}
+    if out.exists():
+        merged = json.loads(out.read_text())
+    merged["windowed"] = dict(
+        report, generated_by="benchmarks/bench_windowed.py"
+    )
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+
+    print(
+        f"windowed  {report['n_segments']:,} segments in "
+        f"{report['seconds']:.3f}s "
+        f"({report['segments_per_sec']:,} segs/s, "
+        f"{report['n_windows']} windows)"
+    )
+    print(
+        f"memory    peak {report['peak_traced_bytes']:,} B vs "
+        f"{report['materialized_table_bytes']:,} B materialised "
+        f"(x{report['memory_ratio']})"
+    )
+    print(f"wrote {out}")
+
+    if args.check and report["memory_ratio"] >= 1.0:
+        print(
+            f"--check: windowed pass peaked at x{report['memory_ratio']} of "
+            f"the materialised tables (required < 1.0); the streaming path "
+            f"has regressed",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        print(f"--check: peak memory x{report['memory_ratio']} < 1.0 OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

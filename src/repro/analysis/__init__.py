@@ -2,7 +2,28 @@
 
 from repro.analysis.bbcurve import BBCurve, BBCurveProfiler, BBPoint
 from repro.analysis.calltree import render_calltree
-from repro.analysis.cdfg import CDFG, CallEdge, DataEdge
+from repro.analysis.cdfg import (
+    CDFG,
+    CallEdge,
+    DataEdge,
+    ctx_comm_from_events,
+    data_edges_from_events,
+)
+from repro.analysis.streaming import (
+    ChunkSource,
+    EdgeCursor,
+    GrowingColumn,
+    SegmentColumns,
+    UnsortedEdges,
+    as_chunk_source,
+    stream_resolved,
+)
+from repro.analysis.windowed import (
+    DEFAULT_WINDOW_OPS,
+    WINDOWED_SCHEMA,
+    WindowedCurves,
+    windowed_curves,
+)
 from repro.analysis.coverage import CoverageReport, coverage_report
 from repro.analysis.diff import ContextDelta, ProfileDiff, diff_profiles
 from repro.analysis.critical_path import (
@@ -55,6 +76,19 @@ __all__ = [
     "CDFG",
     "CallEdge",
     "DataEdge",
+    "ctx_comm_from_events",
+    "data_edges_from_events",
+    "ChunkSource",
+    "EdgeCursor",
+    "GrowingColumn",
+    "SegmentColumns",
+    "UnsortedEdges",
+    "as_chunk_source",
+    "stream_resolved",
+    "DEFAULT_WINDOW_OPS",
+    "WINDOWED_SCHEMA",
+    "WindowedCurves",
+    "windowed_curves",
     "CoverageReport",
     "coverage_report",
     "ContextDelta",

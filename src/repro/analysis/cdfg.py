@@ -10,7 +10,11 @@ weighted by the number of bytes needed by the receiving function."
 
 The CDFG is a *view* over a :class:`~repro.core.profiler.SigilProfile`: call
 edges come from the calling-context tree, data edges from the unique-byte
-communication matrix.
+communication matrix.  For runs where only the event log survives (e.g. a
+cached v2 file in a campaign store), :func:`ctx_comm_from_events` and
+:func:`data_edges_from_events` rebuild the dashed edges of Figure 1
+directly from the log, chunk-at-a-time, without materialising the columnar
+tables.
 """
 
 from __future__ import annotations
@@ -18,10 +22,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.analysis.streaming import (
+    EventSource,
+    SegmentColumns,
+    as_chunk_source,
+    stream_resolved,
+)
 from repro.common.cct import INVALID_CTX, ContextNode
 from repro.core.profiler import SigilProfile
 
-__all__ = ["CallEdge", "DataEdge", "CDFG"]
+__all__ = [
+    "CallEdge",
+    "DataEdge",
+    "CDFG",
+    "ctx_comm_from_events",
+    "data_edges_from_events",
+]
 
 
 @dataclass(frozen=True)
@@ -137,3 +155,50 @@ class CDFG:
                 )
         lines.append("}")
         return "\n".join(lines)
+
+
+def ctx_comm_from_events(
+    events: EventSource,
+) -> Dict[Tuple[int, int], int]:
+    """(writer context, reader context) -> bytes, streamed from an event log.
+
+    The event log's data edges connect *segments*; this folds them onto the
+    contexts the segments execute in -- the weights of Figure 1's dashed
+    edges as recoverable from the log alone.  (Unlike the profile's
+    communication matrix, a log has no ``<input>`` writer: bytes read from
+    program input never produced a data edge.)  Accepts every event-log
+    form and streams file sources chunk-at-a-time, keeping 8 bytes per
+    segment (its context) plus one chunk in memory.
+    """
+    source = as_chunk_source(events)
+    cols = SegmentColumns(("ctx",))
+    comm: Dict[Tuple[int, int], int] = {}
+    for table, rows in stream_resolved(source, cols, tables=("segs", "data")):
+        if table != "data":
+            continue
+        ctx = cols.col("ctx")
+        pairs = np.stack((ctx[rows["src"]], ctx[rows["dst"]]), axis=1)
+        uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inverse, rows["bytes"])
+        for (writer, reader), count in zip(uniq.tolist(), totals.tolist()):
+            key = (int(writer), int(reader))
+            comm[key] = comm.get(key, 0) + int(count)
+    return comm
+
+
+def data_edges_from_events(
+    events: EventSource, *, include_local: bool = False
+) -> List[DataEdge]:
+    """:class:`DataEdge` list rebuilt from an event log (see above).
+
+    Event logs record unique (first-touch) communication only, so
+    ``nonunique_bytes`` is always zero here.
+    """
+    return [
+        DataEdge(writer, reader, count, 0)
+        for (writer, reader), count in sorted(
+            ctx_comm_from_events(events).items()
+        )
+        if include_local or writer != reader
+    ]

@@ -14,17 +14,21 @@ between fragments of the same call.
 "The maximum theoretical function-level parallelism is the ratio of overall
 serial length of the program to the critical path length." (Figure 13)
 
-Both event-log forms are accepted: the object :class:`EventLog` and the
-columnar :class:`EventArrays` that binary v2 files load into.  The
-longest-path DP runs over edge arrays grouped by destination (one stable
-sort, no per-edge Python objects, no predecessor lists of lists), so
-million-segment logs analyse in one tight pass; results are identical on
-both forms, including tie-breaking on the reported path.
+Every event-log form is accepted: the object :class:`EventLog`, the
+columnar :class:`EventArrays`, and -- out of core -- a path or raw bytes of
+a v2 binary file (or any :class:`~repro.analysis.streaming.ChunkSource`).
+Materialised forms run the longest-path DP over edge arrays grouped by
+destination (one stable sort, no per-edge Python objects); streamed forms
+run the same DP one segment chunk at a time, merging the two edge tables by
+destination through :class:`~repro.analysis.streaming.EdgeCursor`, keeping
+only 16 bytes of persistent state per segment.  Results are identical on
+all forms, including tie-breaking on the reported path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import contextlib
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +38,14 @@ from repro.core.segments import (
     EventLog,
     Segment,
     as_event_arrays,
+)
+from repro.analysis.streaming import (
+    ChunkSource,
+    EdgeCursor,
+    EventSource,
+    GrowingColumn,
+    UnsortedEdges,
+    as_chunk_source,
 )
 
 __all__ = ["CriticalPathResult", "analyze_critical_path", "events_to_dot"]
@@ -45,12 +57,16 @@ class CriticalPathResult:
     ``serial_length`` is the sum of all segment self-costs (the program's
     serial length), ``critical_length`` the longest dependent chain in
     operations, ``inclusive`` the per-segment inclusive cost (longest chain
-    from the start to it), and ``path`` the segments on the critical path
-    in execution order.  ``path`` is materialised lazily: on a
+    from the start to it -- a list for materialised inputs, an int64 array
+    for streamed ones), and ``path`` the segments on the critical path in
+    execution order.  ``path`` is materialised lazily: on a
     million-segment log whose critical path covers most of the program,
     building one ``Segment`` object per path node costs more than the
     longest-path DP itself, and callers that only want the lengths (the
-    parallelism limit, benchmark comparisons) never pay it.
+    parallelism limit, benchmark comparisons) never pay it.  Streamed
+    results defer even the backtrack, holding only the best-predecessor
+    array until ``path`` is first touched (which replays the segment chunks
+    to gather the path's rows).
     """
 
     def __init__(
@@ -58,34 +74,44 @@ class CriticalPathResult:
         serial_length: int,
         critical_length: int,
         path: Optional[List[Segment]],
-        inclusive: List[int],
+        inclusive: Sequence[int],
     ):
         self.serial_length = serial_length
         self.critical_length = critical_length
         self.inclusive = inclusive
         self._path = path
-        self._source: Union[EventLog, EventArrays, None] = None
+        self._source: Union[EventLog, EventArrays, ChunkSource, None] = None
         self._path_ids: Optional[List[int]] = None
+        self._best_pred: Optional[np.ndarray] = None
+        self._end = -1
 
     @classmethod
     def _deferred(
         cls,
         serial_length: int,
         critical_length: int,
-        inclusive: List[int],
-        source: Union[EventLog, EventArrays],
-        path_ids: List[int],
+        inclusive: Sequence[int],
+        source: Union[EventLog, EventArrays, ChunkSource],
+        path_ids: Optional[List[int]] = None,
+        best_pred: Optional[np.ndarray] = None,
+        end: int = -1,
     ) -> "CriticalPathResult":
         result = cls(serial_length, critical_length, None, inclusive)
         result._source = source
         result._path_ids = path_ids
+        result._best_pred = best_pred
+        result._end = end
         return result
 
     @property
     def path(self) -> List[Segment]:
         """Segments on the critical path, in execution order."""
         if self._path is None:
-            assert self._source is not None and self._path_ids is not None
+            if self._path_ids is None:
+                assert self._best_pred is not None
+                self._path_ids = _backtrack(self._best_pred, self._end)
+                self._best_pred = None
+            assert self._source is not None
             self._path = _materialise_path(self._source, self._path_ids)
         return self._path
 
@@ -148,7 +174,7 @@ def events_to_dot(
     def label(seg: Segment) -> str:
         name = tree.node(seg.ctx_id).name if tree is not None else f"ctx{seg.ctx_id}"
         text = f"{_dot_escape(name)}\\nself: {seg.ops}"
-        if result.inclusive:
+        if len(result.inclusive):
             text += f"\\ncost = {result.inclusive[seg.seg_id]}"
         return text
 
@@ -175,17 +201,38 @@ def events_to_dot(
 
 
 def analyze_critical_path(
-    events: Union[EventLog, EventArrays],
+    events: EventSource,
+    *,
+    telemetry=None,
 ) -> CriticalPathResult:
     """Longest-path DP over the segment DAG.
 
     All edges point from an earlier segment to a later one (producers write
     before consumers read; calls and order edges follow time), so segments
-    in id order are already topologically sorted.  The DP consumes the
-    columnar edge tables directly: edges are stable-sorted by destination
-    once, then a single forward pass finalises each segment's inclusive
-    cost from the already-final costs of its predecessors.
+    in id order are already topologically sorted.  Materialised inputs
+    (:class:`EventLog`/:class:`EventArrays`) consume the columnar edge
+    tables directly: edges are stable-sorted by destination once, then a
+    single forward pass finalises each segment's inclusive cost from the
+    already-final costs of its predecessors.
+
+    Any other input (a v2 file path, raw bytes, a
+    :class:`~repro.analysis.streaming.ChunkSource`) streams: three filtered
+    cursors walk the segment, order/call and data chunks in lock-step, the
+    DP advancing one segment chunk at a time, so the log never materialises
+    and peak memory is bounded by the chunk size plus 16 bytes per segment
+    of DP state.  The streamed DP needs each edge table in non-decreasing
+    destination order -- true of every writer here, since an edge's
+    destination is the newest segment -- and transparently falls back to
+    the materialised analysis when a table violates it.
     """
+    if not isinstance(events, (EventLog, EventArrays)):
+        source = as_chunk_source(events)
+        try:
+            return _analyze_stream(source, telemetry=telemetry)
+        except UnsortedEdges:
+            return analyze_critical_path(
+                source.to_event_arrays(), telemetry=telemetry
+            )
     source = events
     arrays = as_event_arrays(events)
     n = arrays.n_segments
@@ -253,9 +300,128 @@ def analyze_critical_path(
     )
 
 
+def _analyze_stream(
+    source: ChunkSource, *, telemetry=None
+) -> CriticalPathResult:
+    """Chunk-at-a-time longest-path DP (see :func:`analyze_critical_path`).
+
+    Three concurrent passes over the source -- segments, order/call edges,
+    data edges -- merge by destination.  For each segment chunk
+    ``[done, done + m)``, both cursors surrender every remaining edge with
+    ``dst`` in that window; within the window the DP is the same grouped
+    loop as the materialised analysis, with the same ``>=`` tie-break and
+    the same per-destination edge order (all order/call predecessors in
+    table order, then all data predecessors), so results -- including the
+    reported path -- are byte-identical.
+    """
+    phase = (
+        telemetry.phase("critical_path")
+        if telemetry is not None
+        else contextlib.nullcontext()
+    )
+    gauge = (
+        telemetry.gauge("analysis.stream.peak_chunk_bytes")
+        if telemetry is not None
+        else None
+    )
+    inclusive = GrowingColumn()
+    best_pred = GrowingColumn()
+    oced = EdgeCursor(source.chunks(tables=("oced",)), "oced")
+    data = EdgeCursor(source.chunks(tables=("data",)), "data")
+    serial = 0
+    done = 0
+    with phase:
+        for _table, segs in source.chunks(tables=("segs",)):
+            m = len(segs)
+            if not m:
+                continue
+            if gauge is not None:
+                gauge.set_max(int(segs.nbytes))
+            ops_col = segs["ops"]
+            if int(ops_col.min()) < 0:
+                raise ValueError("segment ops must be non-negative")
+            serial += int(ops_col.sum())
+            hi = done + m
+            o_src, o_dst = oced.take_below(hi)
+            d_src, d_dst = data.take_below(hi)
+            # Group sizes per in-window destination; each destination's
+            # predecessors are one contiguous slice of the cursor output.
+            o_counts = np.bincount(o_dst - done, minlength=m).tolist()
+            d_counts = np.bincount(d_dst - done, minlength=m).tolist()
+            o_list = o_src.tolist()
+            d_list = d_src.tolist()
+            ops = ops_col.tolist()
+            inc_prev = inclusive.view()  # finalised costs of prior windows
+            win_inc = [0] * m
+            win_bp = [-1] * m
+            oi = di = 0
+            for j in range(m):
+                best = 0
+                chosen = -1
+                c = o_counts[j]
+                if c:
+                    for p in o_list[oi : oi + c]:
+                        v = (
+                            win_inc[p - done]
+                            if p >= done
+                            else int(inc_prev[p])
+                        )
+                        # ">=" so zero-cost prefix fragments stay on the
+                        # reported path (matches the materialised DP).
+                        if v >= best:
+                            best = v
+                            chosen = p
+                    oi += c
+                c = d_counts[j]
+                if c:
+                    for p in d_list[di : di + c]:
+                        v = (
+                            win_inc[p - done]
+                            if p >= done
+                            else int(inc_prev[p])
+                        )
+                        if v >= best:
+                            best = v
+                            chosen = p
+                    di += c
+                win_inc[j] = best + ops[j]
+                win_bp[j] = chosen
+            inclusive.append(np.asarray(win_inc, dtype=np.int64))
+            best_pred.append(np.asarray(win_bp, dtype=np.int64))
+            done = hi
+        oced.require_empty(done)
+        data.require_empty(done)
+
+    inc = inclusive.view()
+    if not done:
+        return CriticalPathResult(0, 0, [], np.empty(0, dtype=np.int64))
+    end = int(np.argmax(inc))  # first maximum, like max() on a list
+    return CriticalPathResult._deferred(
+        serial_length=serial,
+        critical_length=int(inc[end]),
+        inclusive=inc.copy(),
+        source=source,
+        best_pred=best_pred.view().copy(),
+        end=end,
+    )
+
+
+def _backtrack(best_pred: np.ndarray, end: int) -> List[int]:
+    """Walk best-predecessor links from ``end`` back to a root."""
+    path_ids: List[int] = []
+    cursor = end
+    while cursor != -1:
+        path_ids.append(cursor)
+        cursor = int(best_pred[cursor])
+    path_ids.reverse()
+    return path_ids
+
+
 def _materialise_path(
-    source: Union[EventLog, EventArrays], path_ids: List[int]
+    source: Union[EventLog, EventArrays, ChunkSource], path_ids: List[int]
 ) -> List[Segment]:
+    if isinstance(source, ChunkSource):
+        return _gather_path_stream(source, path_ids)
     if isinstance(source, EventLog):
         # Share the caller's Segment objects rather than copying them.
         return [source.segments[i] for i in path_ids]
@@ -275,3 +441,43 @@ def _materialise_path(
             segs["thread"][sel].tolist(),
         )
     )
+
+
+def _gather_path_stream(
+    source: ChunkSource, path_ids: List[int]
+) -> List[Segment]:
+    """Gather the path's segment rows in one more pass over the chunks.
+
+    ``path_ids`` ascends (every best-predecessor link points backwards), so
+    each segment chunk contributes one contiguous slice of the path,
+    located with two binary searches -- the pass stays O(chunks) plus
+    O(path) gathered rows.
+    """
+    if not path_ids:
+        return []
+    wanted = np.asarray(path_ids, dtype=np.int64)
+    segments: List[Segment] = []
+    done = 0
+    for _table, segs in source.chunks(tables=("segs",)):
+        m = len(segs)
+        if not m:
+            continue
+        lo = int(np.searchsorted(wanted, done, side="left"))
+        hi = int(np.searchsorted(wanted, done + m, side="left"))
+        if hi > lo:
+            sel = wanted[lo:hi] - done
+            segments.extend(
+                map(
+                    Segment,
+                    wanted[lo:hi].tolist(),
+                    segs["ctx"][sel].tolist(),
+                    segs["call"][sel].tolist(),
+                    segs["start"][sel].tolist(),
+                    segs["ops"][sel].tolist(),
+                    segs["thread"][sel].tolist(),
+                )
+            )
+        done += m
+    if len(segments) != len(path_ids):
+        raise ValueError("critical path refers to segments past the log end")
+    return segments

@@ -20,9 +20,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.segments import EventArrays, EventLog, as_event_arrays
+from repro.analysis.streaming import (
+    EventSource,
+    SegmentColumns,
+    as_chunk_source,
+    stream_resolved,
+)
 
 __all__ = ["ScheduleResult", "schedule_events", "speedup_curve"]
 
@@ -61,36 +67,91 @@ def _bottom_levels(ops: List[int], succs: List[List[int]]) -> List[int]:
     return levels
 
 
-def schedule_events(
-    events: Union[EventLog, EventArrays], n_cores: int
-) -> ScheduleResult:
+class _SegmentDag:
+    """Python-list DAG (ops, adjacency, data edges) ready for scheduling.
+
+    The list scheduler is inherently O(n + E) in Python state (adjacency
+    lists, a heap); what streaming sources avoid is materialising the
+    *columnar tables* on top of that -- chunks are converted straight into
+    the scheduler's working form.
+    """
+
+    __slots__ = ("ops", "preds", "succs", "data_edges", "serial_length")
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.preds: List[List[int]] = []
+        self.succs: List[List[int]] = []
+        self.data_edges: List[Tuple[int, int, int]] = []
+        self.serial_length = 0
+
+
+def _build_dag(events: EventSource) -> _SegmentDag:
+    dag = _SegmentDag()
+    if isinstance(events, (EventLog, EventArrays)):
+        arrays = as_event_arrays(events)
+        n = arrays.n_segments
+        dag.ops = arrays.segs["ops"].tolist()
+        dag.serial_length = arrays.total_ops()
+        dag.preds = [[] for _ in range(n)]
+        dag.succs = [[] for _ in range(n)]
+        for src, dst in zip(
+            arrays.ordercall["src"].tolist(), arrays.ordercall["dst"].tolist()
+        ):
+            dag.preds[dst].append(src)
+            dag.succs[src].append(dst)
+        dag.data_edges = [tuple(row) for row in arrays.data.tolist()]
+        for src, dst, _ in dag.data_edges:
+            dag.preds[dst].append(src)
+            dag.succs[src].append(dst)
+        return dag
+    source = as_chunk_source(events)
+    cols = SegmentColumns(())
+    for table, rows in stream_resolved(source, cols):
+        if table == "segs":
+            chunk_ops = rows["ops"].tolist()
+            dag.ops.extend(chunk_ops)
+            dag.serial_length += int(rows["ops"].sum())
+            dag.preds.extend([] for _ in range(len(chunk_ops)))
+            dag.succs.extend([] for _ in range(len(chunk_ops)))
+        elif table == "oced":
+            for src, dst in zip(rows["src"].tolist(), rows["dst"].tolist()):
+                dag.preds[dst].append(src)
+                dag.succs[src].append(dst)
+        else:
+            edges = [tuple(row) for row in rows.tolist()]
+            dag.data_edges.extend(edges)
+            for src, dst, _ in edges:
+                dag.preds[dst].append(src)
+                dag.succs[src].append(dst)
+    return dag
+
+
+def schedule_events(events: EventSource, n_cores: int) -> ScheduleResult:
     """List-schedule the segment DAG onto ``n_cores`` identical cores.
 
-    Accepts either event-log form; the dependency structure is pulled
-    straight out of the columnar edge tables (one bulk ``tolist`` per
-    column, no per-edge objects) and results are identical on both.
+    Accepts every event-log form -- v2 file paths and raw bytes stream
+    chunk-at-a-time into the scheduler's adjacency lists without
+    materialising the columnar tables first; in-memory forms pull the
+    dependency structure straight out of the edge tables (one bulk
+    ``tolist`` per column, no per-edge objects).  Results are identical on
+    all forms: the ready heap orders by (priority, segment id), a total
+    order, so edge arrival order cannot change the schedule.
     """
+    return _schedule_dag(_build_dag(events), n_cores)
+
+
+def _schedule_dag(dag: _SegmentDag, n_cores: int) -> ScheduleResult:
     if n_cores <= 0:
         raise ValueError("n_cores must be positive")
-    arrays = as_event_arrays(events)
-    n = arrays.n_segments
+    n = len(dag.ops)
     if n == 0:
         return ScheduleResult(n_cores, 0, 0, {}, 0)
 
-    ops = arrays.segs["ops"].tolist()
-    preds: List[List[int]] = [[] for _ in range(n)]
-    succs: List[List[int]] = [[] for _ in range(n)]
-    for src, dst in zip(
-        arrays.ordercall["src"].tolist(), arrays.ordercall["dst"].tolist()
-    ):
-        preds[dst].append(src)
-        succs[src].append(dst)
-    data_edges: List[Tuple[int, int, int]] = [
-        tuple(row) for row in arrays.data.tolist()
-    ]
-    for src, dst, _ in data_edges:
-        preds[dst].append(src)
-        succs[src].append(dst)
+    ops = dag.ops
+    preds = dag.preds
+    succs = dag.succs
+    data_edges = dag.data_edges
 
     priority = _bottom_levels(ops, succs)
     in_degree = [len(p) for p in preds]
@@ -133,17 +194,21 @@ def schedule_events(
     return ScheduleResult(
         n_cores=n_cores,
         makespan=max(finish),
-        serial_length=arrays.total_ops(),
+        serial_length=dag.serial_length,
         placement=placement,
         cross_core_bytes=cross,
     )
 
 
 def speedup_curve(
-    events: Union[EventLog, EventArrays], cores: Optional[List[int]] = None
+    events: EventSource, cores: Optional[List[int]] = None
 ) -> List[ScheduleResult]:
-    """Schedule for a range of core counts (default 1, 2, 4, ... 32)."""
+    """Schedule for a range of core counts (default 1, 2, 4, ... 32).
+
+    The DAG is built once (streamed once for file sources) and rescheduled
+    per core count.
+    """
     if cores is None:
         cores = [1, 2, 4, 8, 16, 32]
-    arrays = as_event_arrays(events)
-    return [schedule_events(arrays, k) for k in cores]
+    dag = _build_dag(events)
+    return [_schedule_dag(dag, k) for k in cores]

@@ -11,11 +11,16 @@ them into the matrix a NoC or shared-cache designer would start from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.segments import EventArrays, EventLog, as_event_arrays
+from repro.analysis.streaming import (
+    EventSource,
+    SegmentColumns,
+    as_chunk_source,
+    stream_resolved,
+)
 
 __all__ = ["ThreadCommSummary", "thread_comm_matrix", "per_thread_ops"]
 
@@ -55,41 +60,53 @@ class ThreadCommSummary:
         return self.cross_thread_bytes / total if total else 0.0
 
 
-def thread_comm_matrix(
-    events: Union[EventLog, EventArrays],
-) -> ThreadCommSummary:
+def thread_comm_matrix(events: EventSource) -> ThreadCommSummary:
     """Aggregate data-edge bytes by the producing/consuming threads.
 
-    Accepts either event-log form; the aggregation is a grouped reduction
-    over the columnar data-edge table (sort producer/consumer thread
-    pairs, sum byte runs), so million-edge logs reduce without touching
-    per-edge Python objects.
+    Accepts every event-log form (including a v2 file path or raw bytes,
+    which stream chunk-at-a-time); the aggregation is a grouped reduction
+    per chunk of the columnar data-edge table (sort producer/consumer
+    thread pairs, sum byte runs), so million-edge logs reduce without ever
+    materialising per-edge Python objects -- or, for file sources, the
+    tables themselves.
     """
-    arrays = as_event_arrays(events)
+    source = as_chunk_source(events)
+    cols = SegmentColumns(("thread",))
     matrix: Dict[Tuple[int, int], int] = {}
-    if len(arrays.data):
-        threads = arrays.segs["thread"]
-        pairs = np.stack(
-            (threads[arrays.data["src"]], threads[arrays.data["dst"]]), axis=1
-        )
-        uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
-        totals = np.zeros(len(uniq), dtype=np.int64)
-        np.add.at(totals, inverse, arrays.data["bytes"])
-        matrix = {
-            (int(src), int(dst)): int(count)
-            for (src, dst), count in zip(uniq.tolist(), totals.tolist())
-        }
-    return ThreadCommSummary(matrix=matrix, ops=per_thread_ops(arrays))
+    ops: Dict[int, int] = {}
+    for table, rows in stream_resolved(source, cols, tables=("segs", "data")):
+        if table == "segs":
+            _accumulate_groups(ops, rows["thread"], rows["ops"])
+        else:
+            threads = cols.col("thread")
+            pairs = np.stack(
+                (threads[rows["src"]], threads[rows["dst"]]), axis=1
+            )
+            uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            totals = np.zeros(len(uniq), dtype=np.int64)
+            np.add.at(totals, inverse, rows["bytes"])
+            for (src, dst), count in zip(uniq.tolist(), totals.tolist()):
+                key = (int(src), int(dst))
+                matrix[key] = matrix.get(key, 0) + int(count)
+    return ThreadCommSummary(matrix=matrix, ops=ops)
 
 
-def per_thread_ops(events: Union[EventLog, EventArrays]) -> Dict[int, int]:
+def per_thread_ops(events: EventSource) -> Dict[int, int]:
     """Operations retired per thread (load balance view)."""
-    arrays = as_event_arrays(events)
-    if not len(arrays.segs):
-        return {}
-    tids, inverse = np.unique(arrays.segs["thread"], return_inverse=True)
-    totals = np.zeros(len(tids), dtype=np.int64)
-    np.add.at(totals, inverse, arrays.segs["ops"])
-    return {
-        int(tid): int(total) for tid, total in zip(tids.tolist(), totals.tolist())
-    }
+    source = as_chunk_source(events)
+    ops: Dict[int, int] = {}
+    for _table, rows in source.chunks(tables=("segs",)):
+        if len(rows):
+            _accumulate_groups(ops, rows["thread"], rows["ops"])
+    return ops
+
+
+def _accumulate_groups(
+    into: Dict[int, int], keys: np.ndarray, values: np.ndarray
+) -> None:
+    """Add per-key sums of one chunk into a running dict."""
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    totals = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(totals, inverse, values)
+    for key, total in zip(uniq.tolist(), totals.tolist()):
+        into[int(key)] = into.get(int(key), 0) + int(total)

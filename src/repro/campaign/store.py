@@ -6,6 +6,8 @@ Layout (all under one root directory)::
         meta.json                    job descriptor, timings, digests
         profile.sigil                aggregate Sigil profile (when collected)
         events.sigil                 event log (when event mode was on)
+        windowed.json                time-resolved curves (repro-windowed/1,
+                                     cached alongside the event log)
         callgrind.out                Callgrind-equivalent profile (when run)
         manifest.json                the run's telemetry manifest (when on)
     <root>/tmp/                      staging area for in-flight writes
@@ -49,6 +51,7 @@ DEFAULT_STORE_ENV = "REPRO_CAMPAIGN_STORE"
 _META = "meta.json"
 _PROFILE = "profile.sigil"
 _EVENTS = "events.sigil"
+_CURVES = "windowed.json"
 _CALLGRIND = "callgrind.out"
 _MANIFEST = "manifest.json"
 
@@ -96,6 +99,25 @@ class StoredResult:
     def load_manifest(self) -> Optional[Manifest]:
         path = self.path / _MANIFEST
         return Manifest.load(path) if path.exists() else None
+
+    def curves_path(self) -> Optional[Path]:
+        p = self.path / _CURVES
+        return p if p.exists() else None
+
+    def load_curves(self):
+        """The cached time-resolved curves (``repro-windowed/1``), or None.
+
+        Entries written before the windowed layer (or without event mode)
+        have no curves file; callers can recompute from ``events.sigil``
+        via :func:`repro.analysis.windowed.windowed_curves` when the log
+        was stored.
+        """
+        from repro.analysis.windowed import WindowedCurves
+
+        path = self.curves_path()
+        if path is None:
+            return None
+        return WindowedCurves.from_dict(json.loads(path.read_text()))
 
     def profiled_run(self) -> ProfiledRun:
         """Rehydrate a :class:`ProfiledRun` equivalent to the original.
@@ -224,6 +246,16 @@ class ResultStore:
                     # load_events sniffs, so stores with v1 entries written
                     # by older versions keep reading fine.
                     dump_events_bin(run.sigil.events, staging / _EVENTS)
+                    # Cache the time-resolved curves next to the log, so
+                    # watchers (and `repro serve`) plot WS(t) without
+                    # re-streaming the events per request.
+                    from repro.analysis.windowed import windowed_curves
+
+                    curves = windowed_curves(run.sigil.events)
+                    (staging / _CURVES).write_text(
+                        json.dumps(curves.to_dict(), separators=(",", ":"))
+                        + "\n"
+                    )
             if run.callgrind is not None:
                 dump_callgrind(run.callgrind, staging / _CALLGRIND)
             if run.manifest is not None:

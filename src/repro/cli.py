@@ -70,6 +70,7 @@ from repro.analysis import (
 )
 from repro.analysis.partition import BusModel, PartitionPolicy
 from repro.analysis.schedule import speedup_curve
+from repro.analysis.windowed import DEFAULT_WINDOW_OPS
 from repro.core import SigilConfig
 from repro.harness import profile_workload
 from repro.io import (
@@ -584,9 +585,15 @@ def cmd_diff(args) -> int:
 def cmd_critpath(args) -> int:
     tree = None
     if Path(args.target).exists():
-        # Columnar form regardless of on-disk version: v2 loads straight
-        # into arrays, v1 parses once; all passes below consume arrays.
-        events = load_event_arrays(args.target)
+        if args.dot:
+            # Rendering needs the segment objects anyway; load them once.
+            events = load_event_arrays(args.target)
+        else:
+            # Out-of-core: the analyses stream the file chunk-at-a-time
+            # (v1 text parses once under the same interface).
+            from repro.analysis.streaming import ChunkSource
+
+            events = ChunkSource(args.target)
         name = Path(args.target).stem
     else:
         if args.target not in WORKLOADS:
@@ -599,7 +606,7 @@ def cmd_critpath(args) -> int:
         events = run.sigil.events
         tree = run.sigil.tree
         name = run.name
-    result = analyze_critical_path(events)
+    result = analyze_critical_path(events, telemetry=_telemetry_from(args))
     print(f"{name}: serial {result.serial_length} ops, "
           f"critical path {result.critical_length} ops")
     if args.dot:
@@ -805,6 +812,50 @@ def cmd_trace(args) -> int:
     what = "chrome trace" if args.format == "chrome" else "collapsed stacks"
     hint = "ui.perfetto.dev" if args.format == "chrome" else "speedscope.app"
     print(f"{what} written to {out} ({summary}; open in {hint})")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """Time-resolved curves of an event log as Perfetto counter tracks.
+
+    Streams the file chunk-at-a-time (bounded memory on arbitrarily large
+    v2 logs) and emits WS(t), communication-bytes-per-window, ops-per-window
+    and mean-reuse-lifetime counter tracks.
+    """
+    from repro.analysis.windowed import windowed_curves
+    from repro.io import curves_to_chrome, dumps_chrome
+
+    source = Path(args.events)
+    try:
+        curves = windowed_curves(
+            source, window=args.window, telemetry=_telemetry_from(args)
+        )
+    except (OSError, ValueError) as exc:
+        log.error("cannot analyse %s: %s", args.events, exc)
+        return 2
+
+    if args.curves_out:
+        Path(args.curves_out).write_text(
+            json.dumps(curves.to_dict(), separators=(",", ":")) + "\n"
+        )
+
+    rendered = dumps_chrome(curves_to_chrome(curves))
+    if args.output == "-":
+        sys.stdout.write(rendered)
+        return 0
+    out = (
+        Path(args.output)
+        if args.output
+        else source.with_name(source.stem + ".timeline.json")
+    )
+    out.write_text(rendered)
+    peak = curves.peak_ws_bytes
+    print(
+        f"timeline written to {out} ({curves.n_windows} windows of "
+        f"{curves.window} ops, {curves.total_segments} segments, "
+        f"{curves.total_comm_bytes} comm bytes, peak WS {peak} B; "
+        f"open in ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -1361,6 +1412,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output file (default: derived from input; "
                         "'-' for stdout)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "timeline",
+        help="time-resolved WS(t)/communication counter tracks",
+        parents=[common],
+    )
+    p.add_argument("events", help="event file (v2 logs stream out of core)")
+    p.add_argument("--window", type=_positive_int, metavar="N",
+                   default=DEFAULT_WINDOW_OPS,
+                   help="window width in retired operations "
+                        f"(default {DEFAULT_WINDOW_OPS})")
+    p.add_argument("-o", "--output",
+                   help="Perfetto trace output (default: "
+                        "<events>.timeline.json; '-' for stdout)")
+    p.add_argument("--curves-out", metavar="FILE",
+                   help="also write the raw repro-windowed/1 curves JSON")
+    p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser("stats", help="print / compare run manifests")
     p.add_argument("manifests", nargs="+",

@@ -82,12 +82,16 @@ class ProfiledRun:
         """This run as Chrome trace events: workload timeline + pipeline.
 
         The workload's segments/data-flows appear when the run collected an
-        event log; the pipeline's setup/execute/aggregate spans come from
-        the manifest when telemetry ran, else from the measured phase
-        seconds laid out back to back.  One Perfetto view then shows the
-        reproduction's own phases alongside the profiled execution.
+        event log, together with the time-resolved WS(t)/communication
+        counter tracks (:mod:`repro.analysis.windowed`); the pipeline's
+        setup/execute/aggregate spans come from the manifest when telemetry
+        ran, else from the measured phase seconds laid out back to back.
+        One Perfetto view then shows the reproduction's own phases
+        alongside the profiled execution.
         """
+        from repro.analysis.windowed import windowed_curves
         from repro.io.tracefmt import (
+            curves_to_chrome,
             events_to_chrome,
             manifest_to_chrome,
             spans_to_chrome,
@@ -96,6 +100,15 @@ class ProfiledRun:
         trace: list = []
         if self.sigil is not None and self.sigil.events is not None:
             trace.extend(events_to_chrome(self.sigil.events, self.sigil.tree))
+            # The cumulative tracks already ride along with the event view;
+            # the windowed tracks add the time-resolved ones.
+            trace.extend(
+                curves_to_chrome(
+                    windowed_curves(self.sigil.events),
+                    include_cumulative=False,
+                    process_name=None,
+                )
+            )
         if self.manifest is not None:
             trace.extend(manifest_to_chrome(self.manifest))
         else:

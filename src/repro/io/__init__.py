@@ -29,6 +29,7 @@ from repro.io.profilefile import (
     loads_profile,
 )
 from repro.io.tracefmt import (
+    curves_to_chrome,
     dump_chrome,
     dump_collapsed,
     dumps_chrome,
@@ -61,6 +62,7 @@ __all__ = [
     "dumps_profile",
     "load_profile",
     "loads_profile",
+    "curves_to_chrome",
     "dump_chrome",
     "dump_collapsed",
     "dumps_chrome",

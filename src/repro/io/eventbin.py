@@ -68,6 +68,7 @@ __all__ = [
     "iter_event_chunks",
     "is_binary_events",
     "zstd_available",
+    "TABLE_NAMES",
 ]
 
 MAGIC_V2 = b"# sigil-events 2\n"
@@ -342,18 +343,44 @@ def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
     return block
 
 
+#: Table names accepted by ``iter_event_chunks(..., tables=...)``.
+TABLE_NAMES = ("segs", "oced", "data")
+
+_TAG_BY_NAME = {
+    "segs": _TAG_SEGS,
+    "oced": _TAG_OCED,
+    "data": _TAG_DATA,
+}
+
+
 def iter_event_chunks(
     source: Union[str, Path, BinaryIO],
+    *,
+    tables: Optional[Tuple[str, ...]] = None,
 ) -> Iterator[Tuple[str, np.ndarray]]:
     """Stream decoded chunks of a v2 file as ``(table, rows)`` pairs.
 
     ``table`` is ``"segs"``, ``"oced"`` or ``"data"``; ``rows`` is one
     structured array per on-disk chunk.  Constant memory in the file size:
     one chunk is decoded at a time, which is what lets analyses run
-    out-of-core over logs larger than RAM.  Raises :class:`ValueError` on a
-    bad magic, an unknown chunk tag, or a truncated file (no trailer or a
-    row-count mismatch).
+    out-of-core over logs larger than RAM.  ``tables`` restricts the yield
+    to a subset of tables; chunks of other tables are skipped without
+    decoding their payloads (their trailer counts are then not verified,
+    since counting rows would require the decode being skipped).
+
+    Raises :class:`ValueError` on a bad magic, an unknown chunk tag, or a
+    truncated file (no trailer or a row-count mismatch); truncation and
+    corruption errors name the chunk index and the byte offset at which the
+    bad chunk starts, so a damaged log can be inspected with ``dd``/``xxd``
+    directly.
     """
+    if tables is not None:
+        unknown = set(tables) - set(TABLE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown event tables {sorted(unknown)!r}")
+    wanted = (
+        None if tables is None else {_TAG_BY_NAME[name] for name in tables}
+    )
     fh: BinaryIO
     if hasattr(source, "read"):
         fh = source  # type: ignore[assignment]
@@ -367,41 +394,71 @@ def iter_event_chunks(
             raise ValueError("not a binary sigil event file (bad magic)")
         counts = {_TAG_SEGS: 0, _TAG_OCED: 0, _TAG_DATA: 0}
         sealed = False
+        # Chunk index and byte offset of the chunk being read, tracked
+        # manually so error messages work on unseekable streams too.
+        index = 0
+        offset = len(MAGIC_V2)
         while True:
             header = fh.read(_CHUNK_HEADER.size)
             if not header:
                 break
+            where = f"chunk {index} at byte {offset}"
             if len(header) != _CHUNK_HEADER.size:
-                raise ValueError("truncated event file: partial chunk header")
+                raise ValueError(
+                    f"truncated event file: partial chunk header ({where})"
+                )
             tag, codec, length = _CHUNK_HEADER.unpack(header)
-            payload = _decode(
-                _read_exact(fh, length, f"{tag!r} chunk"), codec
+            skip = (
+                wanted is not None
+                and tag not in (_TAG_HEAD, _TAG_END)
+                and tag not in wanted
             )
-            if tag == _TAG_HEAD:
+            if skip:
+                # Advance past the payload without decoding it.
+                _read_exact(
+                    fh, length, f"{tag!r} payload ({where})"
+                )
+                payload = b""
+            else:
+                payload = _decode(
+                    _read_exact(fh, length, f"{tag!r} payload ({where})"),
+                    codec,
+                )
+            index += 1
+            offset += _CHUNK_HEADER.size + length
+            if skip or tag == _TAG_HEAD:
                 continue
             if tag == _TAG_END:
                 trailer = json.loads(payload.decode())
                 expected = {
-                    _TAG_SEGS: trailer.get("segments", 0),
-                    _TAG_OCED: trailer.get("order_call_edges", 0),
-                    _TAG_DATA: trailer.get("data_edges", 0),
+                    t: trailer.get(name, 0)
+                    for t, name in (
+                        (_TAG_SEGS, "segments"),
+                        (_TAG_OCED, "order_call_edges"),
+                        (_TAG_DATA, "data_edges"),
+                    )
+                    if wanted is None or t in wanted
                 }
-                if expected != counts:
+                read = {t: counts[t] for t in expected}
+                if expected != read:
                     raise ValueError(
                         "corrupt event file: trailer row counts "
-                        f"{expected} != read {counts}"
+                        f"{expected} != read {read} ({where})"
                     )
                 sealed = True
                 continue
             dtype = _DTYPES.get(tag)
             if dtype is None:
-                raise ValueError(f"unknown event-chunk tag {tag!r}")
+                raise ValueError(
+                    f"unknown event-chunk tag {tag!r} ({where})"
+                )
             rows = np.frombuffer(payload, dtype=dtype)
             counts[tag] += len(rows)
             yield tag.decode().rstrip("."), rows
         if not sealed:
             raise ValueError(
-                "truncated event file: missing trailer (writer not closed?)"
+                "truncated event file: missing trailer (writer not "
+                f"closed?) after chunk {index} at byte {offset}"
             )
     finally:
         if owns:

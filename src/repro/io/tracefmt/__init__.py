@@ -18,6 +18,7 @@ telemetry) in formats existing tools open unmodified:
 
 from repro.io.tracefmt.chrome import (
     PIPELINE_PID,
+    curves_to_chrome,
     dump_chrome,
     dumps_chrome,
     events_to_chrome,
@@ -34,6 +35,7 @@ from repro.io.tracefmt.collapsed import (
 
 __all__ = [
     "PIPELINE_PID",
+    "curves_to_chrome",
     "dump_chrome",
     "dumps_chrome",
     "events_to_chrome",

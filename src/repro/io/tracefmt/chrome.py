@@ -37,6 +37,7 @@ from repro.core.segments import EDGE_DATA, EventLog
 __all__ = [
     "PIPELINE_PID",
     "events_to_chrome",
+    "curves_to_chrome",
     "spans_to_chrome",
     "synthesize_spans",
     "manifest_to_chrome",
@@ -67,9 +68,13 @@ def events_to_chrome(
 
     Pass the run's :class:`~repro.common.cct.ContextTree` to label tracks
     with function names; without it tracks are named by context id (event
-    files do not store names).
+    files do not store names).  An empty log renders as an empty trace
+    (``[]`` is valid Chrome trace JSON) rather than zero-sample counter
+    tracks with no process metadata.
     """
     out: List[Dict[str, Any]] = []
+    if not events.segments:
+        return out
     threads = sorted({seg.thread for seg in events.segments})
     seen_tracks = set()
     for thread in threads:
@@ -136,6 +141,68 @@ def _counter_events(
             ops += seg.ops
             out.append(sample("ops (cum)", seg.start_time + seg.ops, ops))
     return out
+
+
+# ---------------------------------------------------------------------------
+# time-resolved curves (repro.analysis.windowed)
+# ---------------------------------------------------------------------------
+
+
+def curves_to_chrome(
+    curves,
+    *,
+    pid: int = 1,
+    include_cumulative: bool = True,
+    process_name: Optional[str] = "workload timeline",
+) -> List[Dict[str, Any]]:
+    """Counter tracks for :class:`~repro.analysis.windowed.WindowedCurves`.
+
+    One sample per window at the window's start timestamp (the paper's
+    retired-ops clock): ``WS(t) bytes`` (live communicated bytes),
+    ``comm bytes/window``, ``ops/window`` and ``mean reuse lifetime (ops)``.
+    With ``include_cumulative`` the running integrals ``unique bytes (cum)``
+    and ``ops (cum)`` ride along too, so a timeline-only trace still carries
+    the tracks :func:`events_to_chrome` draws; pass ``False`` when combining
+    with a full event trace to avoid near-duplicate tracks (and
+    ``process_name=None`` to keep the event view's process labels).  An
+    empty curve set renders as an empty trace.
+    """
+    n = curves.n_windows
+    if n == 0:
+        return []
+    out: List[Dict[str, Any]] = []
+    if process_name is not None:
+        out.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": process_name}}
+        )
+
+    def track(name: str, values) -> None:
+        for k, value in enumerate(values):
+            out.append({
+                "ph": "C", "name": name, "pid": pid, "tid": 0,
+                "ts": k * curves.window, "args": {name: value},
+            })
+
+    ws = curves.ws_bytes.tolist()
+    comm = curves.comm_bytes.tolist()
+    ops = curves.ops.tolist()
+    life = [round(float(v), 3) for v in curves.mean_lifetime.tolist()]
+    track("WS(t) bytes", ws)
+    track("comm bytes/window", comm)
+    track("ops/window", ops)
+    track("mean reuse lifetime (ops)", life)
+    if include_cumulative:
+        track("unique bytes (cum)", list(_running_sum(comm)))
+        track("ops (cum)", list(_running_sum(ops)))
+    return out
+
+
+def _running_sum(values):
+    total = 0
+    for v in values:
+        total += v
+        yield total
 
 
 # ---------------------------------------------------------------------------

@@ -255,6 +255,31 @@ class JobManager:
         ).last_seq
         return doc
 
+    def curves(self, job_id: str) -> Dict[str, Any]:
+        """Per-cell time-resolved curves of a job's cached results.
+
+        One entry per campaign cell, keyed by the cell's content-addressed
+        key: the cell's label plus the ``repro-windowed/1`` curves document
+        the store cached at publish time, or ``None`` when the cell has no
+        result yet (still running/failed) or its entry carries no curves
+        (non-event tools, or a store written before the windowed layer).
+        A watcher can therefore plot WS(t) for any finished cell without
+        downloading or re-streaming the event log.
+        """
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        cells: Dict[str, Any] = {}
+        for cell in job.spec.jobs():
+            stored = self.store.get(cell.key)
+            payload = None
+            if stored is not None:
+                path = stored.curves_path()
+                if path is not None:
+                    payload = json.loads(path.read_text())
+            cells[cell.key] = {"label": cell.label, "curves": payload}
+        return {"job": job_id, "state": job.state, "cells": cells}
+
     # -- submission --------------------------------------------------------
 
     def _scan_next_index(self) -> int:

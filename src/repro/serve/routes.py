@@ -9,6 +9,7 @@ never blocks a ``/metrics`` scrape or a job submission.
 ``GET /jobs``                 list every serve job and its state
 ``GET /jobs/<id>``            job detail + the ``repro-campaign/1`` manifest
 ``GET /jobs/<id>/events``     live SSE stream (``Last-Event-ID`` resumes)
+``GET /jobs/<id>/curves``     per-cell time-resolved curves (WS(t) et al.)
 ``GET /metrics``              Prometheus text exposition (format 0.0.4)
 ``GET /healthz``              liveness probe
 ============================  =============================================
@@ -41,6 +42,7 @@ SSE_PING_SECONDS = 10.0
 
 _JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)$")
 _EVENTS_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/events$")
+_CURVES_PATH = re.compile(r"^/jobs/([A-Za-z0-9_.-]+)/curves$")
 
 #: Maximum accepted request body; a campaign spec is a few hundred bytes.
 _MAX_BODY = 1 << 20
@@ -97,7 +99,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "service": "repro-serve",
                 "endpoints": [
                     "POST /jobs", "GET /jobs", "GET /jobs/<id>",
-                    "GET /jobs/<id>/events", "GET /metrics", "GET /healthz",
+                    "GET /jobs/<id>/events", "GET /jobs/<id>/curves",
+                    "GET /metrics", "GET /healthz",
                 ],
             })
             return
@@ -120,6 +123,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         if match:
             self._do_events(match.group(1), query)
             return
+        match = _CURVES_PATH.match(path)
+        if match:
+            self._do_curves(match.group(1))
+            return
         self._send_error_json(404, f"no such endpoint: {path}")
 
     def _do_metrics(self) -> None:
@@ -135,6 +142,18 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _do_job_detail(self, job_id: str) -> None:
         try:
             self._send_json(200, self.manager.detail(job_id))
+        except KeyError:
+            self._send_error_json(404, f"no such job: {job_id}")
+
+    def _do_curves(self, job_id: str) -> None:
+        """Per-cell windowed curves of a job's cached results.
+
+        Cells whose result has no cached curves (no event mode, or a store
+        entry predating the windowed layer) report ``"curves": null`` so a
+        watcher can tell "not computed" from "empty run".
+        """
+        try:
+            self._send_json(200, self.manager.curves(job_id))
         except KeyError:
             self._send_error_json(404, f"no such job: {job_id}")
 

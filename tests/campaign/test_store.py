@@ -102,6 +102,25 @@ class TestResultStore:
         back = stored.profiled_run()
         assert back.sigil is None and back.callgrind is None
         assert back.execute_seconds == run.execute_seconds
+        # No event log, no cached curves.
+        assert stored.curves_path() is None
+        assert stored.load_curves() is None
+
+    def test_event_mode_run_caches_windowed_curves(self, tmp_path):
+        """put_run stages the time-resolved curves next to events.sigil so
+        watchers (and `repro serve`) never re-stream the log per request."""
+        from repro.analysis.windowed import WINDOWED_SCHEMA, windowed_curves
+
+        store = ResultStore(tmp_path)
+        job, run = _full()
+        stored = store.put_run(job, run)
+        path = stored.curves_path()
+        assert path is not None and path.name == "windowed.json"
+        cached = stored.load_curves()
+        fresh = windowed_curves(run.sigil.events)
+        assert cached.to_dict() == fresh.to_dict()
+        assert cached.to_dict()["schema"] == WINDOWED_SCHEMA
+        assert cached.total_segments == run.sigil.events.n_segments
 
     def test_drop_and_clear(self, tmp_path):
         store = ResultStore(tmp_path)

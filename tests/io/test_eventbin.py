@@ -203,3 +203,95 @@ class TestValidation:
             pytest.skip("zstandard installed; gating not exercised")
         with pytest.raises(ValueError, match="zstandard"):
             dumps_events_bin(make_log(), compression="zstd")
+
+
+class TestErrorLocation:
+    """Truncation/corruption errors name the chunk index and byte offset."""
+
+    def test_truncated_payload_names_chunk_and_offset(self):
+        blob = dumps_events_bin(make_log(), compression=None, chunk_rows=1)
+        with pytest.raises(ValueError, match=r"chunk \d+ at byte \d+"):
+            list(iter_event_chunks(io.BytesIO(blob[:-10])))
+
+    def test_partial_header_names_chunk_and_offset(self):
+        blob = dumps_events_bin(make_log(), compression=None)
+        # Cut inside a chunk header: magic + 3 bytes of the first header.
+        cut = blob[: len(MAGIC_V2) + 3]
+        with pytest.raises(
+            ValueError, match=r"partial chunk header \(chunk 0 at byte \d+\)"
+        ):
+            list(iter_event_chunks(io.BytesIO(cut)))
+
+    def test_reported_offset_is_the_real_file_offset(self):
+        """The byte offset in the message points at the damaged chunk."""
+        blob = dumps_events_bin(make_log(), compression=None, chunk_rows=1)
+        # Overwrite the second chunk's tag with garbage; its true offset is
+        # magic + first chunk (header + payload length from that header).
+        first_len = struct.unpack_from(
+            "<Q", blob, len(MAGIC_V2) + 8
+        )[0]
+        second = len(MAGIC_V2) + 16 + first_len
+        bad = bytearray(blob)
+        bad[second : second + 4] = b"wild"
+        with pytest.raises(
+            ValueError,
+            match=rf"unknown event-chunk tag .* \(chunk 1 at byte {second}\)",
+        ):
+            list(iter_event_chunks(io.BytesIO(bytes(bad))))
+
+    def test_trailer_mismatch_names_chunk_and_offset(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        w = BinaryEventWriter(path, compression=None)
+        w.add_segment(0, 0, 0, 1)
+        w._counts[b"segs"] = 2
+        w.close()
+        with pytest.raises(
+            ValueError, match=r"trailer row counts .* \(chunk \d+ at byte \d+\)"
+        ):
+            list(iter_event_chunks(path))
+
+    def test_missing_trailer_names_last_offset(self, tmp_path):
+        path = tmp_path / "truncated.bin"
+        w = BinaryEventWriter(path)
+        w.add_segment(0, 0, 0, 1)
+        w._fh.flush()  # no close(): trailer missing
+        with pytest.raises(
+            ValueError, match=r"missing trailer .*chunk \d+ at byte \d+"
+        ):
+            list(iter_event_chunks(path))
+        w.close()
+
+
+class TestTableFilter:
+    """``iter_event_chunks(..., tables=...)`` skips unwanted payloads."""
+
+    def test_filters_to_requested_tables(self):
+        blob = dumps_events_bin(make_log())
+        only_segs = list(
+            iter_event_chunks(io.BytesIO(blob), tables=("segs",))
+        )
+        assert {t for t, _ in only_segs} == {"segs"}
+        assert sum(len(rows) for _, rows in only_segs) == 3
+        pair = list(
+            iter_event_chunks(io.BytesIO(blob), tables=("segs", "data"))
+        )
+        assert {t for t, _ in pair} == {"segs", "data"}
+
+    def test_unknown_table_rejected(self):
+        blob = dumps_events_bin(make_log())
+        with pytest.raises(ValueError, match="unknown event tables"):
+            list(iter_event_chunks(io.BytesIO(blob), tables=("edges",)))
+
+    def test_filtered_pass_skips_other_tables_trailer_check(self, tmp_path):
+        """Skipped tables are not decoded, so their counts are unchecked."""
+        path = tmp_path / "bad_data.bin"
+        w = BinaryEventWriter(path, compression=None)
+        w.add_segment(0, 0, 0, 1)
+        w.add_segment(1, 1, 1, 1)
+        w.add_data_edge(0, 1, 8)
+        w._counts[b"data"] = 5  # corrupt only the data-table count
+        w.close()
+        segs = list(iter_event_chunks(path, tables=("segs",)))
+        assert sum(len(rows) for _, rows in segs) == 2
+        with pytest.raises(ValueError, match="trailer row counts"):
+            list(iter_event_chunks(path))

@@ -123,6 +123,92 @@ class TestEventTimeline:
         assert pids == {1, 4}  # pid_base + thread
 
 
+class TestEmptyLog:
+    def test_empty_log_renders_as_empty_trace(self):
+        """``[]`` is valid Chrome trace JSON; an empty log must not emit
+        orphan counter samples or process metadata."""
+        trace = events_to_chrome(EventLog())
+        assert trace == []
+        assert json.loads(dumps_chrome(trace)) == []
+
+
+class TestCurveTracks:
+    def _curves(self, window=10):
+        from repro.analysis.windowed import windowed_curves
+
+        log = EventLog()
+        for i in range(4):
+            log.new_segment(i, i, 10 * i).ops = 10
+        log.add_data_bytes(0, 2, 64)
+        log.add_data_bytes(1, 3, 16)
+        return windowed_curves(log, window=window)
+
+    def test_one_sample_per_window_per_track(self):
+        from repro.io import curves_to_chrome
+
+        curves = self._curves()
+        trace = curves_to_chrome(curves)
+        counters = [e for e in trace if e["ph"] == "C"]
+        by_name = defaultdict(list)
+        for event in counters:
+            assert event["args"][event["name"]] is not None
+            by_name[event["name"]].append(event["ts"])
+        assert set(by_name) == {
+            "WS(t) bytes", "comm bytes/window", "ops/window",
+            "mean reuse lifetime (ops)", "unique bytes (cum)", "ops (cum)",
+        }
+        for ts in by_name.values():
+            assert ts == [k * curves.window for k in range(curves.n_windows)]
+
+    def test_ws_track_carries_the_curve(self):
+        from repro.io import curves_to_chrome
+
+        curves = self._curves()
+        ws = [
+            e["args"]["WS(t) bytes"]
+            for e in curves_to_chrome(curves)
+            if e["ph"] == "C" and e["name"] == "WS(t) bytes"
+        ]
+        assert ws == curves.ws_bytes.tolist()
+
+    def test_cumulative_tracks_optional(self):
+        from repro.io import curves_to_chrome
+
+        trace = curves_to_chrome(self._curves(), include_cumulative=False)
+        names = {e["name"] for e in trace if e["ph"] == "C"}
+        assert "unique bytes (cum)" not in names and "ops (cum)" not in names
+
+    def test_process_name_optional(self):
+        from repro.io import curves_to_chrome
+
+        named = curves_to_chrome(self._curves())
+        meta = [e for e in named if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "workload timeline"
+        anonymous = curves_to_chrome(self._curves(), process_name=None)
+        assert not [e for e in anonymous if e["ph"] == "M"]
+
+    def test_empty_curves_render_as_empty_trace(self):
+        from repro.analysis.windowed import windowed_curves
+        from repro.io import curves_to_chrome
+
+        assert curves_to_chrome(windowed_curves(EventLog())) == []
+
+    def test_combined_harness_trace_is_schema_valid(self, toy_profiles):
+        """ProfiledRun.chrome_trace keeps every event in the valid-phase
+        set once the timeline counter tracks ride along."""
+        from repro.analysis.windowed import windowed_curves
+        from repro.io import curves_to_chrome
+
+        sigil, _ = toy_profiles
+        trace = events_to_chrome(sigil.events) + curves_to_chrome(
+            windowed_curves(sigil.events),
+            include_cumulative=False,
+            process_name=None,
+        )
+        for event in trace:
+            assert event["ph"] in VALID_PHASES
+
+
 class TestPipelineSpans:
     def test_spans_render_as_phase_slices(self):
         spans = [("setup", 0.0, 0.5), ("execute", 0.5, 2.0)]

@@ -1,0 +1,56 @@
+"""Property tests: streamed analyses equal the materialised ones.
+
+The out-of-core code paths (:mod:`repro.analysis.streaming`) must be
+invisible to callers: for any event log and any chunking of it, the
+streamed critical path and the windowed curves are *identical* to what the
+in-memory analysis computes.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_critical_path
+from repro.analysis.streaming import ChunkSource
+from repro.analysis.windowed import windowed_curves
+from repro.io import dumps_events_bin
+
+from tests.property.test_roundtrips import run_profiler, trace_steps
+
+
+@given(trace_steps(), st.sampled_from([1, 7, 64, 1 << 18]))
+@settings(max_examples=60, deadline=None)
+def test_streamed_critical_path_identical(steps, chunk_rows):
+    """Any chunking of the binary log reproduces the materialised DP
+    exactly: lengths, per-segment inclusive costs, and the tie-broken
+    reported chain."""
+    events = run_profiler(steps, event_mode=True).profile().events
+    base = analyze_critical_path(events)
+    blob = dumps_events_bin(events, chunk_rows=chunk_rows)
+    streamed = analyze_critical_path(io.BytesIO(blob))
+    assert streamed.serial_length == base.serial_length
+    assert streamed.critical_length == base.critical_length
+    assert list(streamed.inclusive) == list(base.inclusive)
+    assert [s.seg_id for s in streamed.path] == [
+        s.seg_id for s in base.path
+    ]
+
+
+@given(trace_steps(), st.sampled_from([1, 7, 64]), st.sampled_from([1, 16, 4096]))
+@settings(max_examples=60, deadline=None)
+def test_streamed_windowed_curves_identical(steps, chunk_rows, window):
+    """WS(t) and friends are invariant under both on-disk chunking and
+    synthetic in-memory chunking."""
+    events = run_profiler(steps, event_mode=True).profile().events
+    base = windowed_curves(events, window=window)
+    via_file = windowed_curves(
+        dumps_events_bin(events, chunk_rows=chunk_rows), window=window
+    )
+    via_slices = windowed_curves(
+        ChunkSource(events, chunk_rows=chunk_rows), window=window
+    )
+    assert via_file.to_dict() == base.to_dict()
+    assert via_slices.to_dict() == base.to_dict()

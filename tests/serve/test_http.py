@@ -89,7 +89,8 @@ class TestRouting:
         base = _base(server)
         status, doc = _get_json(base + "/jobs")
         assert status == 200 and doc["jobs"] == []
-        for suffix in ("/jobs/job-000042", "/jobs/job-000042/events"):
+        for suffix in ("/jobs/job-000042", "/jobs/job-000042/events",
+                       "/jobs/job-000042/curves"):
             with pytest.raises(urllib.error.HTTPError) as err:
                 _get(base + suffix)
             assert err.value.code == 404
@@ -162,6 +163,35 @@ class TestEndToEnd:
         assert "repro_store_cache_misses_total 1" in lines
         assert "repro_serve_jobs_submitted_total 2" in lines
         assert 'repro_serve_jobs_completed_total{status="done"} 2' in lines
+
+    def test_curves_endpoint_serves_cached_windowed_curves(self, server):
+        base = _base(server)
+        body = {"workload": "blackscholes", "size": "simsmall",
+                "tool": "sigil", "config": {"event_mode": True}}
+        _status, accepted = _post_json(base + "/jobs", body)
+        job_id = accepted["job"]
+        assert server.manager.wait(job_id, timeout=120)
+
+        status, doc = _get_json(base + f"/jobs/{job_id}/curves")
+        assert status == 200
+        assert doc["job"] == job_id and doc["state"] == "done"
+        assert len(doc["cells"]) == 1
+        (cell,) = doc["cells"].values()
+        curves = cell["curves"]
+        assert curves["schema"] == "repro-windowed/1"
+        assert curves["n_windows"] == len(curves["ws_bytes"]) > 0
+        assert curves["total_segments"] > 0
+
+    def test_curves_null_for_cells_without_event_logs(self, server):
+        base = _base(server)
+        _status, accepted = _post_json(base + "/jobs", _CELL)  # native tool
+        job_id = accepted["job"]
+        assert server.manager.wait(job_id, timeout=60)
+        status, doc = _get_json(base + f"/jobs/{job_id}/curves")
+        assert status == 200
+        (cell,) = doc["cells"].values()
+        assert cell["curves"] is None
+        assert cell["label"]
 
     def test_sse_resume_from_last_event_id(self, server):
         base = _base(server)

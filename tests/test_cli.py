@@ -315,6 +315,105 @@ class TestTrace:
         code, _, err = run_cli(capsys, "trace", str(tmp_path / "nope.txt"))
         assert code == 2
 
+    def test_empty_event_log_renders_empty_trace(self, capsys, tmp_path):
+        """An empty log exports as ``[]`` -- valid Chrome trace JSON."""
+        from repro.core.segments import EventLog
+        from repro.io import dump_events_bin
+
+        events = tmp_path / "empty.bin"
+        dump_events_bin(EventLog(), events)
+        target = tmp_path / "empty.trace.json"
+        code, _, _ = run_cli(
+            capsys, "trace", str(events), "-o", str(target)
+        )
+        assert code == 0
+        assert json.loads(target.read_text()) == []
+
+
+class TestTimeline:
+    @pytest.fixture()
+    def event_file(self, tmp_path):
+        from repro.core.segments import EventLog
+        from repro.io import dump_events_bin
+
+        log = EventLog()
+        for i in range(6):
+            log.new_segment(i % 2, i, 10 * i).ops = 10
+            if i:
+                log.add_order_edge(i - 1, i)
+        log.add_data_bytes(0, 2, 64)
+        log.add_data_bytes(1, 5, 16)
+        path = tmp_path / "ev.bin"
+        dump_events_bin(log, path)
+        return path
+
+    def test_writes_counter_tracks(self, capsys, event_file):
+        target = event_file.with_name("tl.json")
+        code, out, _ = run_cli(
+            capsys, "timeline", str(event_file), "--window", "10",
+            "-o", str(target),
+        )
+        assert code == 0
+        assert "6 windows of 10 ops" in out
+        assert "perfetto" in out
+        trace = json.loads(target.read_text())
+        names = {e["name"] for e in trace if e["ph"] == "C"}
+        assert "WS(t) bytes" in names
+        assert "comm bytes/window" in names
+        assert all(e["ph"] in ("C", "M") for e in trace)
+
+    def test_default_output_lands_next_to_input(self, capsys, event_file):
+        code, _, _ = run_cli(
+            capsys, "timeline", str(event_file), "--window", "10"
+        )
+        assert code == 0
+        assert event_file.with_name("ev.timeline.json").exists()
+
+    def test_stdout_output(self, capsys, event_file):
+        code, out, _ = run_cli(
+            capsys, "timeline", str(event_file), "--window", "10", "-o", "-"
+        )
+        assert code == 0
+        assert isinstance(json.loads(out), list)
+
+    def test_curves_out_writes_schema_artifact(self, capsys, event_file):
+        from repro.analysis.windowed import WINDOWED_SCHEMA, WindowedCurves
+
+        curves_path = event_file.with_name("curves.json")
+        code, _, _ = run_cli(
+            capsys, "timeline", str(event_file), "--window", "10",
+            "--curves-out", str(curves_path), "-o", "-",
+        )
+        assert code == 0
+        payload = json.loads(curves_path.read_text())
+        assert payload["schema"] == WINDOWED_SCHEMA
+        curves = WindowedCurves.from_dict(payload)
+        assert curves.n_windows == 6
+        assert curves.total_comm_bytes == 80
+
+    def test_empty_log(self, capsys, tmp_path):
+        from repro.core.segments import EventLog
+        from repro.io import dump_events_bin
+
+        events = tmp_path / "empty.bin"
+        dump_events_bin(EventLog(), events)
+        code, out, _ = run_cli(capsys, "timeline", str(events), "-o", "-")
+        assert code == 0
+        assert json.loads(out) == []
+
+    def test_missing_file(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "timeline", str(tmp_path / "nope.bin")
+        )
+        assert code == 2
+        assert "cannot analyse" in err
+
+    def test_window_must_be_positive(self, capsys, event_file):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "timeline", str(event_file), "--window", "0"
+            )
+
 
 class TestRun:
     def test_assembly_program(self, capsys, tmp_path):
