@@ -1,11 +1,11 @@
 # Convenience targets for the Sigil reproduction.
 
-.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke serve-smoke timeline-smoke bench-throughput bench-event-io bench-windowed regen-golden clean
+.PHONY: install test property benches figures examples telemetry-smoke campaign-smoke serve-smoke timeline-smoke dist-smoke bench-throughput bench-event-io bench-windowed bench-dist regen-golden clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test: telemetry-smoke campaign-smoke serve-smoke timeline-smoke
+test: telemetry-smoke campaign-smoke serve-smoke timeline-smoke dist-smoke
 	pytest tests/
 
 # Prove the self-telemetry loop end to end: profile a small workload with a
@@ -84,6 +84,39 @@ timeline-smoke:
 		assert all(e['args'] is not None for e in t)"; \
 	echo "timeline-smoke: 1M-segment log renders valid counter tracks"
 
+# Prove the distributed executor end to end: a cold 8-job campaign sharded
+# over 2 local workers with one worker killed mid-run -- the coordinator
+# must detect the dead worker, steal its jobs, and still complete the whole
+# matrix -- then a warm rerun (must be 100% cache hits, no workers
+# launched) and a store integrity check.  Jobs are sleep-bound (the
+# dist_runner bench module) so the smoke exercises sharding and stealing,
+# not this machine's cores.  The trap drops the scratch store either way.
+dist-smoke:
+	@set -e; \
+	trap 'rm -rf .dist-smoke .dist-smoke.summary' EXIT; \
+	rm -rf .dist-smoke .dist-smoke.summary; \
+	REPRO_DIST_SLEEP_S=0.5 PYTHONPATH=src python -m repro campaign run \
+		--name dist-smoke --workloads vips,dedup \
+		--sizes simsmall,simmedium --tools dist-sleep \
+		--runner benchmarks.dist_runner \
+		--config '{"batch_size": 1024}' --config '{"batch_size": 2048}' \
+		--local-workers 2 --chaos-kill w0:1.0 --store .dist-smoke \
+		2>/dev/null | tee .dist-smoke.summary \
+		| grep -q "8 done (0 cached, 8 executed, 0 failed, 0 timeout)"; \
+	grep -q "2 workers" .dist-smoke.summary; \
+	! grep -q "0 stolen" .dist-smoke.summary; \
+	REPRO_DIST_SLEEP_S=0.5 PYTHONPATH=src python -m repro campaign run \
+		--name dist-smoke --workloads vips,dedup \
+		--sizes simsmall,simmedium --tools dist-sleep \
+		--runner benchmarks.dist_runner \
+		--config '{"batch_size": 1024}' --config '{"batch_size": 2048}' \
+		--local-workers 2 --store .dist-smoke 2>/dev/null \
+		| grep -q "8 done (8 cached, 0 executed, 0 failed, 0 timeout)"; \
+	PYTHONPATH=src python -m repro campaign verify --store .dist-smoke \
+		| grep -q "all ok"; \
+	echo "dist-smoke: worker kill was stolen, warm rerun 100% cached," \
+		"merged store verified"
+
 property:
 	pytest tests/property/ -q
 
@@ -106,6 +139,13 @@ bench-event-io:
 # not below what materialising the tables would cost.
 bench-windowed:
 	PYTHONPATH=src python benchmarks/bench_windowed.py --check
+
+# Publish distributed-campaign scaling (a cold 200-job sleep-bound matrix:
+# 4 local workers vs the single-host executor) into the dist section of
+# BENCH_throughput.json, and fail unless the sharded run is at least 3x
+# faster and the merged store passes verification.
+bench-dist:
+	PYTHONPATH=src python benchmarks/bench_dist.py --check
 
 # Rewrite the golden-profile fixtures in tests/golden/.  Run this ONLY when
 # a change to the profiler's observable output is intentional, and commit
@@ -130,5 +170,6 @@ examples:
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks
 	rm -rf .campaign-smoke .serve-smoke .repro-campaigns
+	rm -rf .dist-smoke .dist-smoke.summary
 	rm -f .telemetry-smoke.manifest.json *.trace.json *.collapsed
 	find . -name __pycache__ -type d -exec rm -rf {} +

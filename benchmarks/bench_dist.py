@@ -1,0 +1,196 @@
+"""Distributed-campaign scaling: N local workers vs the single-host executor.
+
+Not a paper artifact -- the performance gate for
+:mod:`repro.campaign.dist`.  Expands a cold matrix of sleep-bound jobs
+(:mod:`dist_runner`'s ``dist-sleep`` tool, so throughput scales with
+worker count rather than this machine's core count), runs it once through
+the single-host executor with one worker and once through the distributed
+coordinator with N :class:`LocalBackend` workers, and reports wall times,
+jobs/s and the speedup.  Both runs are cold (fresh stores) and end with a
+``verify_all`` pass over the merged store, so the number also certifies
+that N-way sharding plus merge-back loses and corrupts nothing.
+
+Run directly to publish machine-readable numbers::
+
+    PYTHONPATH=src:. python benchmarks/bench_dist.py
+
+merges a ``dist`` section into ``BENCH_throughput.json`` at the repo
+root.  ``--check`` exits non-zero unless the distributed run beats the
+single-host baseline by ``MIN_SPEEDUP`` and the merged store verifies
+clean (the CI scaling smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import dist_runner  # noqa: F401  -- import registers the dist-sleep tool
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.dist import LocalBackend, run_distributed
+
+N_JOBS = 200
+N_WORKERS = 4
+SLEEP_SECONDS = 0.15
+MIN_SPEEDUP = 3.0
+
+
+def _spec(n_jobs: int) -> CampaignSpec:
+    """A cold ``n_jobs``-cell matrix: one sleep job per config variant."""
+    return CampaignSpec.from_lists(
+        name="bench-dist",
+        workloads=["vips"],
+        sizes=["simsmall"],
+        tools=[dist_runner.TOOL],
+        configs=[{"batch_size": 1024 + i} for i in range(n_jobs)],
+    )
+
+
+def measure(
+    n_jobs: int = N_JOBS,
+    n_workers: int = N_WORKERS,
+    sleep_seconds: float = SLEEP_SECONDS,
+) -> dict:
+    """Cold single-host-1-worker vs cold distributed-N-workers wall time."""
+    os.environ[dist_runner.SLEEP_ENV] = str(sleep_seconds)
+    # Worker subprocesses resolve ``benchmarks.dist_runner`` through the
+    # repo root, wherever this bench was invoked from.
+    repo_root = str(Path(__file__).resolve().parent.parent)
+    extra = os.environ.get("PYTHONPATH", "")
+    if repo_root not in extra.split(os.pathsep):
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            p for p in (repo_root, extra) if p
+        )
+    jobs = _spec(n_jobs).jobs()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-dist-"))
+    try:
+        baseline_store = ResultStore(workdir / "baseline")
+        t0 = time.perf_counter()
+        baseline = run_campaign(jobs, baseline_store, workers=1)
+        baseline_s = time.perf_counter() - t0
+        if not baseline.ok:
+            raise RuntimeError(f"baseline run failed: {baseline.summary('')}")
+
+        dist_store = ResultStore(workdir / "dist")
+        t0 = time.perf_counter()
+        dist = run_distributed(
+            jobs,
+            dist_store,
+            backends=[LocalBackend() for _ in range(n_workers)],
+            runner="benchmarks.dist_runner",
+        )
+        dist_s = time.perf_counter() - t0
+        if not dist.ok:
+            raise RuntimeError(f"distributed run failed: {dist.summary('')}")
+
+        verify = dist_store.verify_all()
+        return {
+            "n_jobs": n_jobs,
+            "n_workers": n_workers,
+            "sleep_seconds": sleep_seconds,
+            "single_host_seconds": round(baseline_s, 3),
+            "single_host_jobs_per_sec": round(n_jobs / baseline_s, 2),
+            "dist_seconds": round(dist_s, 3),
+            "dist_jobs_per_sec": round(n_jobs / dist_s, 2),
+            "speedup": round(baseline_s / dist_s, 2),
+            "per_worker_jobs": {
+                wid: stats.get("jobs", 0)
+                for wid, stats in sorted(dist.workers.items())
+            },
+            "bytes_merged": dist.bytes_merged,
+            "store_entries_verified": verify.checked,
+            "store_corrupt": len(verify.corrupt),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="publish distributed-campaign scaling numbers"
+    )
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "-o", "--out",
+        default=str(root / "BENCH_throughput.json"),
+        help="JSON file to merge the dist section into",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=N_JOBS,
+        help=f"matrix size in jobs (default {N_JOBS})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=N_WORKERS,
+        help=f"local workers for the distributed run (default {N_WORKERS})",
+    )
+    parser.add_argument(
+        "--sleep", type=float, default=SLEEP_SECONDS,
+        help=f"seconds each job sleeps (default {SLEEP_SECONDS})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"exit non-zero unless speedup >= {MIN_SPEEDUP} and the "
+             "merged store verifies clean (the CI scaling smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    report = measure(args.jobs, args.workers, args.sleep)
+
+    merged = {}
+    if out.exists():
+        merged = json.loads(out.read_text())
+    merged["dist"] = dict(report, generated_by="benchmarks/bench_dist.py")
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+
+    print(
+        f"single    {report['n_jobs']} jobs in "
+        f"{report['single_host_seconds']:.2f}s "
+        f"({report['single_host_jobs_per_sec']:.1f} jobs/s, 1 worker)"
+    )
+    print(
+        f"dist      {report['n_jobs']} jobs in {report['dist_seconds']:.2f}s "
+        f"({report['dist_jobs_per_sec']:.1f} jobs/s, "
+        f"{report['n_workers']} workers) -> x{report['speedup']}"
+    )
+    print(
+        f"merge     {report['store_entries_verified']} entries verified, "
+        f"{report['store_corrupt']} corrupt, "
+        f"{report['bytes_merged']:,} B ingested"
+    )
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = []
+        if report["speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"speedup x{report['speedup']} < x{MIN_SPEEDUP} required"
+            )
+        if report["store_corrupt"]:
+            failures.append(
+                f"{report['store_corrupt']} corrupt entries after merge"
+            )
+        if report["store_entries_verified"] < report["n_jobs"]:
+            failures.append(
+                f"only {report['store_entries_verified']} of "
+                f"{report['n_jobs']} results in the merged store"
+            )
+        if failures:
+            print("--check: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(
+            f"--check: x{report['speedup']} >= x{MIN_SPEEDUP}, "
+            f"{report['store_entries_verified']} entries clean OK"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""A sleep-bound tool runner for distributed-campaign benchmarks and smokes.
+
+Importing this module registers the ``dist-sleep`` tool: each job sleeps
+``REPRO_DIST_SLEEP_S`` seconds (default 0.05) and publishes a meta-only
+store entry.  Sleeping instead of computing makes campaign throughput
+scale with *worker count* rather than core count, which is what
+``bench_dist.py`` and ``make dist-smoke`` need to demonstrate: the
+coordinator/worker machinery itself -- sharding, merging, stealing --
+not the host's parallel arithmetic.
+
+Reached via ``--runner benchmarks.dist_runner`` (or ``dist_runner`` when
+``benchmarks/`` is on ``sys.path``): the coordinator imports it for spec
+validation, and every worker imports it before forking job children.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.campaign.executor import register_runner
+from repro.harness import ProfiledRun
+from repro.workloads.registry import get_workload
+
+#: Tool name jobs must use to reach this runner.
+TOOL = "dist-sleep"
+
+#: Seconds each job sleeps; override to tune bench duration.
+SLEEP_ENV = "REPRO_DIST_SLEEP_S"
+
+
+def _sleep_seconds() -> float:
+    try:
+        return float(os.environ.get(SLEEP_ENV, "0.05"))
+    except ValueError:
+        return 0.05
+
+
+def run_sleep_job(job, telemetry) -> ProfiledRun:
+    """Sleep for the configured duration; publish a meta-only result."""
+    seconds = _sleep_seconds()
+    started = time.monotonic()
+    time.sleep(seconds)
+    return ProfiledRun(
+        workload=get_workload(job.workload, job.size),
+        sigil=None,
+        callgrind=None,
+        execute_seconds=time.monotonic() - started,
+    )
+
+
+register_runner(TOOL, run_sleep_job)

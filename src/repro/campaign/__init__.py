@@ -16,6 +16,9 @@ from a serial loop into an engine:
   transition to JSONL, making interrupted campaigns resumable.
 * :mod:`repro.campaign.report` aggregates per-job telemetry manifests into
   a campaign-level manifest and renders status tables.
+* :mod:`repro.campaign.dist` shards a campaign across many hosts: worker
+  backends (local subprocesses, ssh), verified store merges, work
+  stealing, and cross-host resume.
 
 Quick start::
 
@@ -29,9 +32,11 @@ Quick start::
 """
 
 from repro.campaign.executor import (
+    DEFAULT_JITTER,
     RUNNERS,
     CampaignResult,
     register_runner,
+    retry_delay,
     run_campaign,
 )
 from repro.campaign.report import (
@@ -41,11 +46,13 @@ from repro.campaign.report import (
     write_campaign_manifest,
 )
 from repro.campaign.spec import CampaignSpec, Job, canonical_config
-from repro.campaign.state import CampaignState, JobRecord
+from repro.campaign.state import CampaignState, JobRecord, fold_events
 from repro.campaign.store import (
     DEFAULT_STORE_ENV,
+    IngestReport,
     ResultStore,
     StoredResult,
+    VerifyReport,
     default_store_root,
 )
 
@@ -54,17 +61,22 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CampaignState",
+    "DEFAULT_JITTER",
     "DEFAULT_STORE_ENV",
+    "IngestReport",
     "Job",
     "JobRecord",
     "RUNNERS",
     "ResultStore",
     "StoredResult",
+    "VerifyReport",
     "build_campaign_manifest",
     "canonical_config",
     "default_store_root",
+    "fold_events",
     "register_runner",
     "render_status",
+    "retry_delay",
     "run_campaign",
     "write_campaign_manifest",
 ]

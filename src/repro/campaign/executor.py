@@ -25,6 +25,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import random
 import sys
 import tempfile
 import time
@@ -32,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.campaign.identity import identity_suffix
 from repro.campaign.spec import Job
 from repro.campaign.state import CampaignState, JobRecord
 from repro.campaign.store import ResultStore
@@ -42,6 +44,8 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "register_runner",
+    "retry_delay",
+    "DEFAULT_JITTER",
     "RUNNERS",
 ]
 
@@ -50,6 +54,34 @@ log = logging.getLogger("repro.campaign.executor")
 #: Seconds between scheduler polls; small enough that short jobs do not
 #: serialise on the poll, large enough to stay invisible in `top`.
 _POLL_SECONDS = 0.02
+
+#: Default jitter fraction on retry backoff.  A failed shared resource (a
+#: full disk, a saturated store host) fails many workers in the same
+#: instant; pure exponential backoff would have them all retry in the same
+#: instant too.  Each delay is therefore stretched by a uniform factor in
+#: ``[1, 1 + jitter)`` so a fleet's retries decorrelate.
+DEFAULT_JITTER = 0.5
+
+
+def retry_delay(
+    attempt: int,
+    backoff: float,
+    *,
+    jitter: float = DEFAULT_JITTER,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Seconds to wait before re-running attempt ``attempt + 1``.
+
+    The base is exponential -- ``backoff * 2**(attempt-1)`` for the first,
+    second, ... retry -- and the jitter multiplies it by a uniform draw
+    from ``[1, 1 + jitter)``.  The result is therefore always bounded:
+    ``base <= delay < base * (1 + jitter)``.
+    """
+    base = backoff * (2 ** (max(1, attempt) - 1))
+    if jitter <= 0:
+        return base
+    draw = (rng if rng is not None else random).random()
+    return base * (1.0 + jitter * draw)
 
 
 def _stack_runner(job: Job, telemetry: Telemetry) -> ProfiledRun:
@@ -217,6 +249,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     backoff: float = 0.5,
+    jitter: float = DEFAULT_JITTER,
     heartbeat_seconds: Optional[float] = None,
     heartbeat: Optional[Callable[[str], None]] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -290,7 +323,7 @@ def run_campaign(
         att = slot.attempt
         _finish(slot, kind, error=error)
         if att.attempt <= retries:
-            delay = backoff * (2 ** (att.attempt - 1))
+            delay = retry_delay(att.attempt, backoff, jitter=jitter)
             pending.append(
                 _Attempt(att.job, att.attempt + 1,
                          time.monotonic() + delay)
@@ -365,7 +398,8 @@ def run_campaign(
                 last_beat = now
                 done = result.done
                 beat(
-                    f"campaign: {done}/{result.total} done "
+                    f"campaign{identity_suffix()}: "
+                    f"{done}/{result.total} done "
                     f"({result.cached} cached) · {len(running)} running · "
                     f"{len(pending)} pending · {now - t0:.1f}s"
                 )

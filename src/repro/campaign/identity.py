@@ -1,0 +1,47 @@
+"""Who is writing this record: hostname + worker id for multi-host journals.
+
+A single-host campaign has one writer and its journal needs no
+attribution.  A distributed campaign has many -- the coordinator plus one
+worker per backend, possibly on different machines -- and their journals
+are merged on replay, so every record (and every stderr heartbeat) carries
+``host`` and ``worker`` fields naming its writer.
+
+The worker id comes from the :data:`WORKER_ID_ENV` environment variable,
+which the distributed worker process sets from its ``--id`` flag before
+doing anything else; outside a worker the id is ``"local"``.  Old journals
+without the fields keep parsing (replay defaults them to empty strings),
+and journals with the fields are ignored cleanly by older readers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+__all__ = ["WORKER_ID_ENV", "hostname", "worker_id", "identity_suffix"]
+
+#: Environment variable naming the current process's campaign worker id.
+WORKER_ID_ENV = "REPRO_WORKER_ID"
+
+_HOSTNAME: str = ""
+
+
+def hostname() -> str:
+    """The local hostname, resolved once per process."""
+    global _HOSTNAME
+    if not _HOSTNAME:
+        try:
+            _HOSTNAME = socket.gethostname() or "unknown-host"
+        except OSError:  # pragma: no cover - no hostname syscall
+            _HOSTNAME = "unknown-host"
+    return _HOSTNAME
+
+
+def worker_id() -> str:
+    """This process's campaign worker id (``"local"`` outside a worker)."""
+    return os.environ.get(WORKER_ID_ENV) or "local"
+
+
+def identity_suffix() -> str:
+    """The ``[host/worker]`` tag stamped on stderr heartbeat lines."""
+    return f"[{hostname()}/{worker_id()}]"

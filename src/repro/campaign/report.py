@@ -73,13 +73,19 @@ def build_campaign_manifest(
     store: ResultStore,
     *,
     wall_seconds: float = 0.0,
+    workers: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
-    """Aggregate per-job manifests + journal state into one document."""
+    """Aggregate per-job manifests + journal state into one document.
+
+    ``workers`` is the distributed coordinator's per-worker stat map
+    (jobs/retries/steals/bytes merged, keyed by worker id); single-host
+    campaigns leave it out and the manifest shape is unchanged.
+    """
     import repro
 
     entries = [_job_entry(job, records.get(job.key), store) for job in jobs]
     states = [e["state"] for e in entries]
-    return {
+    manifest: Dict[str, Any] = {
         "schema": CAMPAIGN_SCHEMA,
         "name": name,
         "version": repro.__version__,
@@ -101,6 +107,11 @@ def build_campaign_manifest(
         },
         "jobs": entries,
     }
+    if workers:
+        manifest["workers"] = {
+            worker: dict(stats) for worker, stats in sorted(workers.items())
+        }
+    return manifest
 
 
 def write_campaign_manifest(
@@ -110,10 +121,12 @@ def write_campaign_manifest(
     store: ResultStore,
     *,
     wall_seconds: float = 0.0,
+    workers: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Path:
     """Build and write ``campaign.manifest.json`` next to the journal."""
     manifest = build_campaign_manifest(
-        state.name, jobs, records, store, wall_seconds=wall_seconds
+        state.name, jobs, records, store,
+        wall_seconds=wall_seconds, workers=workers,
     )
     target = state.directory / "campaign.manifest.json"
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -126,6 +139,8 @@ def render_status(
     jobs: Sequence[Job],
     records: Dict[str, JobRecord],
     store: ResultStore,
+    *,
+    workers: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> str:
     """The human-facing status table for ``repro campaign status``."""
     rows: List[tuple] = []
@@ -156,4 +171,23 @@ def render_status(
         f"timeout {totals['timeout']} · pending {totals['pending']} · "
         f"store {totals['store_bytes'] // 1024} KB"
     )
+    if workers:
+        worker_rows = [
+            (
+                worker,
+                stats.get("host", "?"),
+                stats.get("jobs", 0),
+                stats.get("failed", 0),
+                stats.get("retries", 0),
+                stats.get("steals", 0),
+                f"{stats.get('bytes_merged', 0) // 1024}",
+            )
+            for worker, stats in sorted(workers.items())
+        ]
+        footer += "\n\n" + render_table(
+            ["worker", "host", "jobs", "failed", "retries", "steals",
+             "merged KB"],
+            worker_rows,
+            title=f"workers ({len(worker_rows)})",
+        )
     return table + footer

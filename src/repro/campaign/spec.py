@@ -47,6 +47,21 @@ def canonical_config(config: Union[Mapping[str, Any], SigilConfig, None]) -> Dic
     return dataclasses.asdict(cfg)
 
 
+def _registered_runner_tools() -> frozenset:
+    """Tools with a registered custom runner (beyond the built-in stacks).
+
+    A benchmark or test can register a runner (see
+    :func:`repro.campaign.executor.register_runner`, or the worker CLI's
+    ``--runner`` module hook) and then sweep it through a spec like any
+    built-in stack.  Imported lazily: the executor imports this module.
+    """
+    try:
+        from repro.campaign.executor import RUNNERS
+    except ImportError:  # pragma: no cover - circular import during init
+        return frozenset()
+    return frozenset(RUNNERS)
+
+
 def _package_version() -> str:
     # Imported lazily: repro/__init__ imports harness, which must not pull
     # the campaign package back in at import time.
@@ -139,7 +154,8 @@ class CampaignSpec:
             )
         for size in self.sizes:
             InputSize(size)  # raises ValueError on junk
-        bad_tools = [t for t in self.tools if t not in TOOL_STACKS]
+        bad_tools = [t for t in self.tools if t not in TOOL_STACKS
+                     and t not in _registered_runner_tools()]
         if bad_tools:
             raise ValueError(
                 f"unknown tool stacks: {', '.join(bad_tools)}; "

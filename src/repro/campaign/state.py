@@ -4,14 +4,23 @@ A campaign's ground truth lives in ``<store>/campaigns/<name>/``:
 
 * ``spec.json``    -- the spec as submitted (so ``resume`` needs no flags)
 * ``journal.jsonl``-- append-only job lifecycle events
+* ``workers/``     -- one ``<worker>.jsonl`` journal per distributed worker
 
 Journal records carry ``event`` (``planned`` / ``started`` / ``done`` /
-``failed`` / ``timeout`` / ``interrupted``), the job ``key`` and ``label``,
-an ``attempt`` ordinal, and event-specific detail (``cached`` on done,
-``error`` on failed).  Replaying the journal -- last event per key wins --
+``failed`` / ``timeout`` / ``stolen`` / ``interrupted``), the job ``key``
+and ``label``, an ``attempt`` ordinal, event-specific detail (``cached`` on
+done, ``error`` on failed), and the writer's identity (``host`` and
+``worker``, see :mod:`repro.campaign.identity`) so multi-host journals stay
+attributable.  Replaying the journal -- last event per key wins --
 reconstructs exactly where an interrupted campaign stood, which is all
 ``repro campaign resume`` needs: jobs whose final state is ``done`` are
 skipped, everything else is re-planned.
+
+A **distributed** campaign has several journals: the coordinator's plus one
+per worker (written on the worker's own host and synced back with its
+store).  :meth:`CampaignState.replay_all` merges them all in timestamp
+order before folding, so a killed coordinator resumes from the union of
+what every worker durably recorded -- zero lost, zero duplicated work.
 
 Appends go through :func:`repro.telemetry.append_jsonl`, whose exclusive
 file lock keeps lines whole when several workers' completions are recorded
@@ -23,12 +32,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.campaign.identity import hostname, worker_id
 from repro.campaign.spec import CampaignSpec, Job
 from repro.telemetry import append_jsonl, read_jsonl
 
-__all__ = ["CampaignState", "JobRecord", "TERMINAL_STATES"]
+__all__ = [
+    "CampaignState",
+    "JobRecord",
+    "TERMINAL_STATES",
+    "fold_events",
+]
 
 #: Job states that need no further work on resume.
 TERMINAL_STATES = frozenset({"done"})
@@ -45,10 +60,57 @@ class JobRecord:
     cached: bool = False
     seconds: float = 0.0
     error: str = ""
+    host: str = ""
+    worker: str = ""
 
     @property
     def is_done(self) -> bool:
         return self.state in TERMINAL_STATES
+
+
+def fold_events(events: Iterable[Dict[str, Any]]) -> Dict[str, JobRecord]:
+    """Fold journal records into per-job state (last event per key wins).
+
+    Records from journals written before the identity fields existed fold
+    identically (``host``/``worker`` default to empty strings), and unknown
+    event kinds are skipped, so old and new journals replay through the
+    same code.
+    """
+    records: Dict[str, JobRecord] = {}
+    for event in events:
+        key = event.get("key")
+        if not key:
+            continue  # campaign-level marker (e.g. interrupted)
+        rec = records.setdefault(
+            key, JobRecord(key=key, label=str(event.get("label", "")))
+        )
+        kind = event.get("event", "")
+        if kind == "planned":
+            # A re-plan of an unfinished job resets nothing; the record
+            # already reflects history.
+            rec.state = rec.state if rec.is_done else "planned"
+        elif kind == "started":
+            # Never downgrade done: in a multi-journal merge a worker's
+            # `started` can carry a later clock than the coordinator's
+            # authoritative `done` for the same attempt.
+            if not rec.is_done:
+                rec.state = "running"
+                rec.host = str(event.get("host", rec.host))
+                rec.worker = str(event.get("worker", rec.worker))
+            rec.attempts = max(rec.attempts, int(event.get("attempt", 1)))
+        elif kind == "stolen":
+            # The assigned worker went silent and the job was reassigned;
+            # it is in flight again unless some journal already has it done.
+            if not rec.is_done:
+                rec.state = "planned"
+        elif kind in ("done", "failed", "timeout"):
+            rec.state = kind
+            rec.cached = bool(event.get("cached", False))
+            rec.seconds = float(event.get("seconds", 0.0))
+            rec.error = str(event.get("error", ""))
+            rec.host = str(event.get("host", rec.host))
+            rec.worker = str(event.get("worker", rec.worker))
+    return records
 
 
 class CampaignState:
@@ -79,11 +141,45 @@ class CampaignState:
             )
         return CampaignSpec.load(self.spec_path)
 
+    # -- runner module ----------------------------------------------------
+
+    @property
+    def runner_path(self) -> Path:
+        return self.directory / "runner.txt"
+
+    def save_runner(self, module: str) -> None:
+        """Persist the ``--runner`` module so later commands can reload it.
+
+        A spec whose tools come from a runner module only validates after
+        that module is imported; remembering it here lets ``resume``,
+        ``status`` and ``verify`` work without the flag being repeated.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.runner_path.write_text(module + "\n")
+
+    def runner_module(self) -> Optional[str]:
+        """The persisted runner module name, or None."""
+        if not self.runner_path.exists():
+            return None
+        return self.runner_path.read_text().strip() or None
+
     # -- journal ----------------------------------------------------------
 
     def append(self, event: str, job: Optional[Job] = None, **detail: Any) -> None:
-        """Record one lifecycle event (lock-guarded, crash-safe)."""
-        record: Dict[str, Any] = {"event": event, "t": time.time()}
+        """Record one lifecycle event (lock-guarded, crash-safe).
+
+        Every record is stamped with the writing process's ``host`` and
+        ``worker`` identity so merged multi-host journals stay
+        attributable; explicit ``host=``/``worker=`` detail (e.g. the
+        coordinator recording *which worker* finished a job) wins over the
+        writer's own identity.
+        """
+        record: Dict[str, Any] = {
+            "event": event,
+            "t": time.time(),
+            "host": hostname(),
+            "worker": worker_id(),
+        }
         if job is not None:
             record["key"] = job.key
             record["label"] = job.label
@@ -95,35 +191,76 @@ class CampaignState:
         return read_jsonl(self.journal_path)
 
     def replay(self) -> Dict[str, JobRecord]:
-        """Fold the journal into per-job records (last event wins)."""
-        records: Dict[str, JobRecord] = {}
-        for event in self.events():
-            key = event.get("key")
-            if not key:
-                continue  # campaign-level marker (e.g. interrupted)
-            rec = records.setdefault(
-                key, JobRecord(key=key, label=str(event.get("label", "")))
-            )
-            kind = event.get("event", "")
-            if kind == "planned":
-                # A re-plan of an unfinished job resets nothing; the record
-                # already reflects history.
-                rec.state = rec.state if rec.is_done else "planned"
-            elif kind == "started":
-                rec.state = "running"
-                rec.attempts = max(rec.attempts, int(event.get("attempt", 1)))
-            elif kind in ("done", "failed", "timeout"):
-                rec.state = kind
-                rec.cached = bool(event.get("cached", False))
-                rec.seconds = float(event.get("seconds", 0.0))
-                rec.error = str(event.get("error", ""))
-        return records
+        """Fold this journal (only) into per-job records."""
+        return fold_events(self.events())
+
+    # -- worker journals (distributed campaigns) --------------------------
+
+    @property
+    def workers_dir(self) -> Path:
+        """Where per-worker journals live: ``<campaign>/workers/``."""
+        return self.directory / "workers"
+
+    def worker_journal_path(self, worker: str) -> Path:
+        return self.workers_dir / f"{worker}.jsonl"
+
+    def journal_paths(self) -> List[Path]:
+        """Every journal of this campaign: the coordinator's, then workers'."""
+        paths: List[Path] = []
+        if self.journal_path.exists():
+            paths.append(self.journal_path)
+        if self.workers_dir.exists():
+            paths.extend(sorted(self.workers_dir.glob("*.jsonl")))
+        return paths
+
+    def all_events(self) -> List[Dict[str, Any]]:
+        """Records from every journal, merged in timestamp order.
+
+        The sort is stable, so same-timestamp records keep their journal
+        order; cross-host clock skew cannot un-finish a job because
+        :func:`fold_events` never downgrades ``done``.
+        """
+        merged: List[Dict[str, Any]] = []
+        for path in self.journal_paths():
+            merged.extend(read_jsonl(path))
+        merged.sort(key=lambda record: float(record.get("t", 0.0)))
+        return merged
+
+    def replay_all(self) -> Dict[str, JobRecord]:
+        """Fold the coordinator's and every worker's journal together."""
+        return fold_events(self.all_events())
 
     def completed_keys(self) -> frozenset:
-        """Keys whose final journal state needs no further work."""
+        """Keys whose final state -- across every journal -- is terminal.
+
+        A job a worker durably published and journaled counts as complete
+        even when the coordinator died before recording the merge; resume
+        ingests the artifact from the worker's store instead of re-running.
+        """
         return frozenset(
-            key for key, rec in self.replay().items() if rec.is_done
+            key for key, rec in self.replay_all().items() if rec.is_done
         )
+
+    def worker_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker telemetry from ``worker-stats`` events (last wins).
+
+        The distributed coordinator appends one summary record per worker
+        at the end of a run (jobs, failures, steals, retries, bytes
+        merged); ``repro campaign status`` renders them as the workers
+        table.  Single-host journals simply have none.
+        """
+        stats: Dict[str, Dict[str, Any]] = {}
+        for event in self.events():
+            if event.get("event") != "worker-stats":
+                continue
+            name = str(event.get("worker", ""))
+            if not name:
+                continue
+            stats[name] = {
+                k: v for k, v in event.items()
+                if k not in ("event", "t")
+            }
+        return stats
 
     # -- maintenance ------------------------------------------------------
 

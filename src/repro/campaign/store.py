@@ -28,9 +28,9 @@ import logging
 import os
 import shutil
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.campaign.spec import Job
 from repro.harness import ProfiledRun
@@ -41,7 +41,14 @@ from repro.io.profilefile import dump_profile, load_profile, profile_digest
 from repro.telemetry import Manifest
 from repro.workloads import get_workload
 
-__all__ = ["ResultStore", "StoredResult", "DEFAULT_STORE_ENV", "default_store_root"]
+__all__ = [
+    "ResultStore",
+    "StoredResult",
+    "IngestReport",
+    "VerifyReport",
+    "DEFAULT_STORE_ENV",
+    "default_store_root",
+]
 
 log = logging.getLogger("repro.campaign.store")
 
@@ -147,6 +154,41 @@ class StoredResult:
         import hashlib
 
         return hashlib.sha256(path.read_bytes()).hexdigest() == recorded
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ResultStore.ingest` call did."""
+
+    examined: int = 0
+    merged: int = 0
+    skipped: int = 0  # already present (or lost a benign publish race)
+    bytes_merged: int = 0
+    corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
+
+    def merge(self, other: "IngestReport") -> None:
+        """Accumulate another report into this one (fleet-wide totals)."""
+        self.examined += other.examined
+        self.merged += other.merged
+        self.skipped += other.skipped
+        self.bytes_merged += other.bytes_merged
+        self.corrupt.extend(other.corrupt)
+
+
+@dataclass
+class VerifyReport:
+    """Result of verifying every entry in a store."""
+
+    checked: int = 0
+    corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
 
 
 class ResultStore:
@@ -278,6 +320,91 @@ class ResultStore:
         finally:
             shutil.rmtree(staging, ignore_errors=True)
         return self.get(key)  # type: ignore[return-value]
+
+    def ingest(
+        self,
+        other: "ResultStore",
+        keys: Optional[Iterable[str]] = None,
+        *,
+        verify: bool = True,
+    ) -> IngestReport:
+        """Merge entries from ``other`` into this store, atomically.
+
+        This is the coordinator side of a distributed campaign: each worker
+        publishes into its own store, and the coordinator folds those
+        stores back into the shared one.  Every entry is staged into this
+        store's ``tmp`` area, verified (digest check, unless ``verify=False``)
+        *before* publication, and published with the same atomic rename as
+        a local ``put_run`` -- so a half-copied or corrupted worker entry
+        can never become visible.  Entries already present are skipped (the
+        content is identical by construction -- same key, same pipeline).
+        """
+        report = IngestReport()
+        wanted = list(keys) if keys is not None else other.keys()
+        for key in wanted:
+            report.examined += 1
+            if self.has(key):
+                report.skipped += 1
+                continue
+            source = other.object_dir(key)
+            if not (source / _META).exists():
+                continue  # not (yet) published on the worker side
+            staging = self.root / "tmp" / f"ingest-{key}.{os.getpid()}"
+            if staging.exists():
+                shutil.rmtree(staging)
+            staging.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                shutil.copytree(source, staging)
+                entry_bytes = sum(
+                    f.stat().st_size for f in staging.rglob("*") if f.is_file()
+                )
+                if verify:
+                    try:
+                        meta = json.loads((staging / _META).read_text())
+                        staged = StoredResult(key=key, path=staging, meta=meta)
+                        ok = staged.verify()
+                    except (OSError, ValueError):
+                        ok = False
+                    if not ok:
+                        report.corrupt.append(key)
+                        log.warning(
+                            "store: refusing to ingest corrupt entry %s "
+                            "from %s", key[:12], other.root,
+                        )
+                        continue
+                final = self.object_dir(key)
+                final.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.rename(staging, final)
+                except OSError:
+                    if self.has(key):  # lost a benign publish race
+                        report.skipped += 1
+                        continue
+                    raise
+                report.merged += 1
+                report.bytes_merged += entry_bytes
+            finally:
+                shutil.rmtree(staging, ignore_errors=True)
+        return report
+
+    def verify_all(self) -> VerifyReport:
+        """Verify every entry's recorded digest; unreadable meta is corrupt.
+
+        This is what ``repro campaign verify`` runs from CI and cron
+        against merged stores: a non-empty ``corrupt`` list means an entry
+        whose bytes no longer match what its producer recorded.
+        """
+        report = VerifyReport()
+        for key in self.keys():
+            report.checked += 1
+            try:
+                stored = self.get(key)
+                ok = stored is not None and stored.verify()
+            except (OSError, ValueError):
+                ok = False
+            if not ok:
+                report.corrupt.append(key)
+        return report
 
     # -- maintenance ------------------------------------------------------
 

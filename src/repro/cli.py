@@ -49,6 +49,7 @@ import argparse
 import json
 import logging
 import math
+import shlex
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -875,6 +876,13 @@ def _campaign_spec_from(args):
     from repro.campaign import CampaignSpec
     from repro.workloads import ALL_NAMES as _ALL
 
+    runner = getattr(args, "runner", None)
+    if runner:
+        # Importing registers the runner's tools, so specs naming them
+        # validate here exactly as they will inside each worker.
+        import importlib
+
+        importlib.import_module(runner)
     if getattr(args, "spec", None):
         spec = CampaignSpec.load(args.spec)
         if getattr(args, "name", None):
@@ -896,6 +904,19 @@ def _campaign_spec_from(args):
     )
 
 
+def _dist_backends(args):
+    """Backend list from ``--workers`` / ``--local-workers`` (or None)."""
+    from repro.campaign.dist import make_backends
+
+    hosts = [h for h in (getattr(args, "workers", None) or "").split(",") if h]
+    local = getattr(args, "local_workers", 0) or 0
+    if not hosts and not local:
+        return None
+    ssh_cmd = getattr(args, "ssh_cmd", None)
+    ssh_argv = shlex.split(ssh_cmd) if ssh_cmd else None
+    return make_backends(hosts=hosts, local_workers=local, ssh_argv=ssh_argv)
+
+
 def _campaign_execute(args, spec, store, state, *, skip_keys=frozenset()) -> int:
     """Shared body of ``campaign run`` and ``campaign resume``."""
     from repro.campaign import run_campaign, write_campaign_manifest
@@ -910,21 +931,46 @@ def _campaign_execute(args, spec, store, state, *, skip_keys=frozenset()) -> int
             print(f"{verb:7s} {job.key[:12]}  {job.label}")
         print(result.summary(spec.name))
         return 0
-    result = run_campaign(
-        jobs,
-        store,
-        state,
-        workers=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        backoff=args.backoff,
-        heartbeat_seconds=getattr(args, "heartbeat_secs", None),
-        progress=lambda line: log.info("%s", line),
-        skip_keys=skip_keys,
-    )
+    backends = _dist_backends(args)
+    workers_section = None
+    if backends is not None:
+        from repro.campaign.dist import parse_chaos_kill, run_distributed
+
+        chaos = getattr(args, "chaos_kill", None)
+        result = run_distributed(
+            jobs,
+            store,
+            state,
+            backends=backends,
+            slots=getattr(args, "slots", 1),
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            heartbeat_seconds=getattr(args, "heartbeat_secs", None) or 2.0,
+            stale_after=getattr(args, "stale_after", None),
+            runner=getattr(args, "runner", None),
+            skip_keys=skip_keys,
+            progress=lambda line: log.info("%s", line),
+            chaos_kill=parse_chaos_kill(chaos) if chaos else None,
+        )
+        workers_section = result.workers
+    else:
+        result = run_campaign(
+            jobs,
+            store,
+            state,
+            workers=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            heartbeat_seconds=getattr(args, "heartbeat_secs", None),
+            progress=lambda line: log.info("%s", line),
+            skip_keys=skip_keys,
+        )
     manifest_path = write_campaign_manifest(
         state, jobs, result.records, store,
         wall_seconds=result.wall_seconds,
+        workers=workers_section,
     )
     print(result.summary(spec.name))
     print(f"campaign manifest written to {manifest_path}")
@@ -937,6 +983,22 @@ def _campaign_execute(args, spec, store, state, *, skip_keys=frozenset()) -> int
     return 0
 
 
+def _ensure_runner(args, state) -> None:
+    """Import the campaign's runner module: the flag wins, else the saved one.
+
+    ``resume``/``status`` reload a spec whose tools may come from a runner
+    module; importing it first makes validation see the same tool set
+    ``run`` did.  The resolved name is written back to ``args.runner`` so
+    the distributed path forwards it to every worker.
+    """
+    module = getattr(args, "runner", None) or state.runner_module()
+    if module:
+        import importlib
+
+        importlib.import_module(module)
+        args.runner = module
+
+
 def cmd_campaign_run(args) -> int:
     from repro.campaign import CampaignState
 
@@ -945,6 +1007,8 @@ def cmd_campaign_run(args) -> int:
     state = CampaignState(store.campaign_dir(spec.name))
     if not args.dry_run:
         state.save_spec(spec)
+        if getattr(args, "runner", None):
+            state.save_runner(args.runner)
     return _campaign_execute(args, spec, store, state)
 
 
@@ -953,6 +1017,7 @@ def cmd_campaign_resume(args) -> int:
 
     store = _campaign_store(args)
     state = CampaignState(store.campaign_dir(args.name))
+    _ensure_runner(args, state)
     spec = state.load_spec()
     completed = state.completed_keys()
     log.info("resume: %d of %d jobs already complete",
@@ -970,16 +1035,19 @@ def cmd_campaign_status(args) -> int:
 
     store = _campaign_store(args)
     state = CampaignState(store.campaign_dir(args.name))
+    _ensure_runner(args, state)
     spec = state.load_spec()
     jobs = spec.jobs()
-    records = state.replay()
+    records = state.replay_all()
+    workers = state.worker_stats() or None
     if getattr(args, "json", False):
         print(json.dumps(
-            build_campaign_manifest(spec.name, jobs, records, store),
+            build_campaign_manifest(spec.name, jobs, records, store,
+                                    workers=workers),
             indent=2, sort_keys=True,
         ))
         return 0
-    print(render_status(spec.name, jobs, records, store))
+    print(render_status(spec.name, jobs, records, store, workers=workers))
     return 0
 
 
@@ -1010,6 +1078,35 @@ def cmd_campaign_clean(args) -> int:
         return 0
     log.error("no campaign named %r under %s", args.name, store.root)
     return 2
+
+
+def cmd_campaign_verify(args) -> int:
+    """Integrity-check every stored result; non-zero exit on corruption."""
+    store = _campaign_store(args)
+    report = store.verify_all()
+    if report.corrupt:
+        for key in report.corrupt:
+            log.error("corrupt store entry: %s", key)
+        print(f"store {store.root}: {report.checked} entries checked, "
+              f"{len(report.corrupt)} CORRUPT")
+        return 1
+    print(f"store {store.root}: {report.checked} entries checked, all ok")
+    return 0
+
+
+def cmd_campaign_worker(args) -> int:
+    """Protocol worker endpoint; launched by a backend, not by humans."""
+    from repro.campaign.dist import run_worker
+
+    return run_worker(
+        worker=args.id,
+        store_root=args.store,
+        journal=getattr(args, "journal", None),
+        slots=args.slots,
+        heartbeat_seconds=getattr(args, "heartbeat_secs", None) or 2.0,
+        timeout=getattr(args, "timeout", None),
+        runner=getattr(args, "runner", None),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -1466,6 +1563,35 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--dry-run", action="store_true",
                         help="plan and classify jobs without running any")
 
+    def _dist_args(cp: argparse.ArgumentParser) -> None:
+        group = cp.add_argument_group(
+            "distributed execution (see docs/distributed.md)")
+        group.add_argument(
+            "--workers", metavar="HOSTS", default=None,
+            help="comma-separated ssh hosts to shard the campaign across")
+        group.add_argument(
+            "--local-workers", type=_positive_int, default=0, metavar="N",
+            help="also launch N worker subprocesses on this host")
+        group.add_argument(
+            "--slots", type=_positive_int, default=1, metavar="N",
+            help="concurrent jobs per worker (default 1)")
+        group.add_argument(
+            "--stale-after", type=_positive_float, default=None, metavar="S",
+            help="steal a worker's jobs after S seconds of silence "
+                 "(default 4x heartbeat interval, min 10s)")
+        group.add_argument(
+            "--runner", metavar="MODULE", default=None,
+            help="importable module whose import registers extra tool "
+                 "runners (imported here and inside every worker)")
+        group.add_argument(
+            "--ssh-cmd", metavar="CMD", default=None,
+            help="ssh command prefix for --workers hosts "
+                 "(default 'ssh -o BatchMode=yes')")
+        group.add_argument(
+            "--chaos-kill", metavar="WORKER:SECONDS", default=None,
+            help="failure injection: kill WORKER that many seconds into "
+                 "the run (exercises work stealing; used by dist-smoke)")
+
     cp = csub.add_parser("run", help="plan and execute a campaign",
                          parents=[common])
     cp.add_argument("--spec", metavar="FILE",
@@ -1484,6 +1610,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "adds one matrix axis entry")
     _store_arg(cp)
     _exec_args(cp)
+    _dist_args(cp)
     cp.set_defaults(func=cmd_campaign_run)
 
     cp = csub.add_parser("resume", help="finish an interrupted campaign",
@@ -1491,6 +1618,7 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("name", help="campaign name (as given to run)")
     _store_arg(cp)
     _exec_args(cp)
+    _dist_args(cp)
     cp.set_defaults(func=cmd_campaign_resume)
 
     cp = csub.add_parser("status", help="show a campaign's job states")
@@ -1509,6 +1637,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="remove the entire store root")
     _store_arg(cp)
     cp.set_defaults(func=cmd_campaign_clean)
+
+    cp = csub.add_parser(
+        "verify",
+        help="integrity-check every stored result (exit 1 on corruption)")
+    _store_arg(cp)
+    cp.set_defaults(func=cmd_campaign_verify)
+
+    cp = csub.add_parser(
+        "worker",
+        parents=[common],
+        help="protocol worker endpoint (launched by backends, not humans)")
+    cp.add_argument("--id", required=True, metavar="NAME",
+                    help="worker id stamped on journals and heartbeats")
+    cp.add_argument("--store", required=True, metavar="DIR",
+                    help="this worker's own result store root")
+    cp.add_argument("--journal", metavar="FILE", default=None,
+                    help="journal path (default <store>/journal.jsonl)")
+    cp.add_argument("--slots", type=_positive_int, default=1, metavar="N",
+                    help="concurrent job children (default 1)")
+    cp.add_argument("--timeout", type=_positive_float, metavar="S",
+                    default=None,
+                    help="kill any job running longer than S seconds")
+    cp.add_argument("--runner", metavar="MODULE", default=None,
+                    help="module imported for tool-runner registration")
+    cp.set_defaults(func=cmd_campaign_worker)
 
     default_url = "http://127.0.0.1:8787"
 

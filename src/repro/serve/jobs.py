@@ -54,9 +54,23 @@ TERMINAL_EVENTS = frozenset({"completed", "error"})
 _ID_RE = re.compile(r"^job-(\d{6,})$")
 
 #: Campaign-spec keys accepted in a batch-style submission body.
-_SPEC_KEYS = frozenset({"name", "workloads", "sizes", "tools", "configs"})
+#: ``local_workers`` is execution placement, not matrix shape: it selects
+#: the distributed executor with that many local worker subprocesses.
+_SPEC_KEYS = frozenset({"name", "workloads", "sizes", "tools", "configs",
+                        "local_workers"})
 #: Keys accepted in a single-cell submission body.
 _CELL_KEYS = frozenset({"workload", "size", "tool", "config"})
+
+
+def local_workers_from_body(body: Mapping[str, Any]) -> int:
+    """The submission's ``local_workers`` count (0 = single-host executor)."""
+    try:
+        count = int(body.get("local_workers", 0) or 0)
+    except (TypeError, ValueError):
+        raise ValueError("'local_workers' must be a non-negative integer")
+    if count < 0:
+        raise ValueError("'local_workers' must be a non-negative integer")
+    return count
 
 
 def spec_from_body(body: Mapping[str, Any]) -> CampaignSpec:
@@ -100,7 +114,10 @@ def spec_from_body(body: Mapping[str, Any]) -> CampaignSpec:
                 f"unknown campaign keys: {', '.join(sorted(unknown))}; "
                 f"accepted: {', '.join(sorted(_SPEC_KEYS))}"
             )
-        spec = CampaignSpec.from_dict(dict(body))
+        local_workers_from_body(body)  # validate early: the 400 path
+        spec = CampaignSpec.from_dict(
+            {k: v for k, v in body.items() if k != "local_workers"}
+        )
         if not len(spec):
             raise ValueError("job expands to zero cells")
         return spec
@@ -117,6 +134,7 @@ class ServeJob:
     state: str = "queued"  # queued | running | done | failed | error
     submitted_unix: float = field(default_factory=time.time)
     n_cells: int = 0
+    local_workers: int = 0  # >0: distributed executor, N local workers
     result: Optional[Dict[str, Any]] = None
     error: str = ""
     finished: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -135,6 +153,8 @@ class ServeJob:
             "cells": self.n_cells,
             "name": self.spec.name,
         }
+        if self.local_workers:
+            entry["local_workers"] = self.local_workers
         if self.result is not None:
             entry["result"] = self.result
         if self.error:
@@ -246,7 +266,8 @@ class JobManager:
             raise KeyError(job_id)
         state = CampaignState(self.job_dir(job_id) / "campaign")
         manifest = build_campaign_manifest(
-            job_id, job.spec.jobs(), state.replay(), self.store
+            job_id, job.spec.jobs(), state.replay_all(), self.store,
+            workers=state.worker_stats() or None,
         )
         doc = job.to_dict()
         doc["campaign"] = manifest
@@ -302,7 +323,8 @@ class JobManager:
             job_id = f"job-{self._next_index:06d}"
             self._next_index += 1
         job = ServeJob(id=job_id, spec=spec, body=dict(body),
-                       n_cells=len(spec))
+                       n_cells=len(spec),
+                       local_workers=local_workers_from_body(body))
         job_dir = self.job_dir(job_id)
         job_dir.mkdir(parents=True, exist_ok=True)
         (job_dir / "request.json").write_text(json.dumps(
@@ -346,6 +368,7 @@ class JobManager:
             job = ServeJob(
                 id=job_id, spec=spec, body=dict(body), n_cells=len(spec),
                 submitted_unix=float(request.get("submitted_unix", 0.0)),
+                local_workers=local_workers_from_body(body),
             )
             terminal = [r for r in channel.events()
                         if r.get("event") in TERMINAL_EVENTS]
@@ -398,19 +421,44 @@ class JobManager:
                               job.id)
         state.save_spec(job.spec)
         skip = state.completed_keys()
-        result = run_campaign(
-            job.spec.jobs(),
-            self.store,
-            state,
-            workers=self.workers,
-            timeout=self.timeout,
-            retries=self.retries,
-            heartbeat_seconds=self.heartbeat_seconds,
-            heartbeat=lambda line: channel.emit(
-                "heartbeat", job=job.id, message=line
-            ),
-            skip_keys=skip,
+        beat = lambda line: channel.emit(  # noqa: E731
+            "heartbeat", job=job.id, message=line
         )
+        if job.local_workers > 0:
+            from repro.campaign.dist import LocalBackend, run_distributed
+
+            result = run_distributed(
+                job.spec.jobs(),
+                self.store,
+                state,
+                backends=[LocalBackend() for _ in range(job.local_workers)],
+                timeout=self.timeout,
+                retries=self.retries,
+                heartbeat_seconds=self.heartbeat_seconds or 2.0,
+                heartbeat=beat,
+                skip_keys=skip,
+            )
+            for wid, stats in result.workers.items():
+                self.metrics.record_dist_worker(
+                    wid, str(stats.get("host", "?")),
+                    jobs=int(stats.get("jobs", 0)),
+                    failed=int(stats.get("failed", 0)),
+                    retries=int(stats.get("retries", 0)),
+                    steals=int(stats.get("steals", 0)),
+                    bytes_merged=int(stats.get("bytes_merged", 0)),
+                )
+        else:
+            result = run_campaign(
+                job.spec.jobs(),
+                self.store,
+                state,
+                workers=self.workers,
+                timeout=self.timeout,
+                retries=self.retries,
+                heartbeat_seconds=self.heartbeat_seconds,
+                heartbeat=beat,
+                skip_keys=skip,
+            )
         # Executed cells carry fresh phase timings in their stored meta;
         # surface them on the stream so watchers see where the time went.
         for key, rec in result.records.items():
@@ -436,6 +484,9 @@ class JobManager:
             "wall_seconds": result.wall_seconds,
             "ok": result.ok,
         }
+        if job.local_workers > 0:
+            summary["workers"] = len(getattr(result, "workers", {}) or {})
+            summary["steals"] = getattr(result, "steals", 0)
         self._finish(job, "done" if result.ok else "failed", result=summary)
 
     def _finish(

@@ -19,6 +19,12 @@ Catalog:
 * ``repro_store_objects`` / ``repro_store_bytes`` /
   ``repro_store_campaigns`` -- store gauges refreshed at scrape time
 * ``repro_serve_sse_clients`` -- live SSE subscriber queues
+* ``repro_dist_jobs_total{worker=,host=}`` /
+  ``repro_dist_failures_total`` / ``repro_dist_retries_total`` /
+  ``repro_dist_steals_total`` / ``repro_dist_bytes_merged_total`` --
+  distributed-campaign per-worker telemetry (jobs merged back, failed
+  attempts observed, coordinator-scheduled retries, jobs stolen from the
+  worker, artifact bytes ingested from its store)
 """
 
 from __future__ import annotations
@@ -69,6 +75,47 @@ class ServeMetrics:
                   help_text="Campaign journals under the store root.")
         reg.gauge("repro_serve_sse_clients",
                   help_text="Live SSE subscriber connections.")
+
+    def record_dist_worker(
+        self,
+        worker: str,
+        host: str,
+        *,
+        jobs: int = 0,
+        failed: int = 0,
+        retries: int = 0,
+        steals: int = 0,
+        bytes_merged: int = 0,
+    ) -> None:
+        """Fold one distributed worker's end-of-run stats into the counters.
+
+        Called once per worker when a distributed serve job finishes, with
+        the coordinator's :class:`~repro.campaign.dist.DistResult` per-worker
+        stat block; counters accumulate across jobs, labelled by worker id
+        and host.
+        """
+        labels = {"worker": worker, "host": host}
+        reg = self.registry
+        reg.counter(
+            "repro_dist_jobs_total", labels,
+            help_text="Jobs executed by distributed workers and merged "
+                      "back, by worker.").inc(jobs)
+        reg.counter(
+            "repro_dist_failures_total", labels,
+            help_text="Failed/timed-out attempts observed per distributed "
+                      "worker.").inc(failed)
+        reg.counter(
+            "repro_dist_retries_total", labels,
+            help_text="Attempts the coordinator re-scheduled after a "
+                      "failure on this worker.").inc(retries)
+        reg.counter(
+            "repro_dist_steals_total", labels,
+            help_text="Jobs stolen from this worker after it went "
+                      "silent.").inc(steals)
+        reg.counter(
+            "repro_dist_bytes_merged_total", labels,
+            help_text="Artifact bytes ingested from this worker's "
+                      "store.").inc(bytes_merged)
 
     def job_completed(self, status: str) -> None:
         """Count one terminal serve-job outcome (``done``/``failed``/``error``)."""

@@ -203,3 +203,77 @@ class TestOneLineErrors:
         assert code == 1
         assert "Traceback" not in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestCampaignVerify:
+    def test_clean_store_exits_zero(self, capsys, store_root):
+        _run_small(capsys, store_root, name="v")
+        code, out, _ = run_cli(capsys, "campaign", "verify",
+                               "--store", store_root)
+        assert code == 0
+        assert "1 entries checked, all ok" in out
+
+    def test_corruption_is_nonzero_and_named(self, capsys, store_root):
+        _run_small(capsys, store_root, name="v")
+        store = ResultStore(store_root)
+        (key,) = store.keys()
+        (store.object_dir(key) / "meta.json").write_text("{broken")
+        code, out, err = run_cli(capsys, "campaign", "verify",
+                                 "--store", store_root)
+        assert code == 1
+        assert "1 CORRUPT" in out
+        assert key[:12] in err
+        assert "Traceback" not in err
+
+    def test_empty_store_is_clean(self, capsys, store_root):
+        code, out, _ = run_cli(capsys, "campaign", "verify",
+                               "--store", store_root)
+        assert code == 0
+        assert "0 entries checked, all ok" in out
+
+
+class TestCampaignDistCLI:
+    """`--local-workers` routes the same flags through run_distributed."""
+
+    @pytest.fixture(autouse=True)
+    def _sleep_runner(self, monkeypatch):
+        import os
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parents[2]
+        monkeypatch.setenv("REPRO_DIST_SLEEP_S", "0.01")
+        monkeypatch.syspath_prepend(str(repo_root))
+        extra = os.environ.get("PYTHONPATH", "")
+        if str(repo_root) not in extra.split(os.pathsep):
+            monkeypatch.setenv("PYTHONPATH", os.pathsep.join(
+                p for p in (str(repo_root), extra) if p))
+
+    def _run_dist(self, capsys, store_root, name="dcli"):
+        return run_cli(
+            capsys, "campaign", "run", "--name", name,
+            "--workloads", "vips,dedup", "--sizes", "simsmall",
+            "--tools", "dist-sleep", "--runner", "benchmarks.dist_runner",
+            "--local-workers", "1", "--store", store_root,
+        )
+
+    def test_cold_dist_run_then_status_and_verify(self, capsys, store_root):
+        code, out, _ = self._run_dist(capsys, store_root)
+        assert code == 0
+        assert "2 done (0 cached, 2 executed, 0 failed, 0 timeout)" in out
+        assert "1 workers" in out
+
+        # status revalidates the spec via the persisted runner module and
+        # renders the per-worker table
+        code, out, _ = run_cli(capsys, "campaign", "status", "dcli",
+                               "--store", store_root)
+        assert code == 0
+        assert "workers (1)" in out and "w0" in out
+
+        code, out, _ = run_cli(capsys, "campaign", "verify",
+                               "--store", store_root)
+        assert code == 0 and "all ok" in out
+
+    def test_warm_dist_run_is_cached(self, capsys, store_root):
+        self._run_dist(capsys, store_root)
+        code, out, _ = self._run_dist(capsys, store_root)
+        assert code == 0
+        assert "2 done (2 cached, 0 executed, 0 failed, 0 timeout)" in out

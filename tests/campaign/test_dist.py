@@ -1,0 +1,184 @@
+"""The distributed coordinator end to end over local worker subprocesses.
+
+Every test here runs real ``repro campaign worker`` processes through
+:class:`LocalBackend` -- the protocol, the executor fork path, the merge,
+and the journals are all live.  Jobs are sleep-bound (the bench
+``dist-sleep`` tool) so wall time stays small and deterministic on one
+core.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignState, ResultStore
+from repro.campaign.dist import LocalBackend, run_distributed
+from repro.telemetry import Telemetry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _dist_runner(monkeypatch):
+    """Register dist-sleep here and in worker subprocesses, sleeping 10ms."""
+    monkeypatch.setenv("REPRO_DIST_SLEEP_S", "0.01")
+    monkeypatch.syspath_prepend(str(REPO_ROOT))
+    extra = os.environ.get("PYTHONPATH", "")
+    if str(REPO_ROOT) not in extra.split(os.pathsep):
+        monkeypatch.setenv("PYTHONPATH", os.pathsep.join(
+            p for p in (str(REPO_ROOT), extra) if p))
+    return importlib.import_module("benchmarks.dist_runner")
+
+
+def _jobs(n, name="dist-e2e"):
+    return CampaignSpec.from_lists(
+        name=name, workloads=["vips"], sizes=["simsmall"],
+        tools=["dist-sleep"],
+        configs=[{"batch_size": 1024 + i} for i in range(n)],
+    ).jobs()
+
+
+RUNNER = "benchmarks.dist_runner"
+
+
+class TestColdAndWarm:
+    def test_cold_run_executes_and_merges(self, tmp_path):
+        jobs = _jobs(4)
+        store = ResultStore(tmp_path / "store")
+        result = run_distributed(
+            jobs, store,
+            backends=[LocalBackend(), LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+        )
+        assert result.ok, result.summary()
+        assert result.done == 4 and result.cached == 0
+        assert result.bytes_merged > 0
+        # both workers reported in, with placement
+        assert set(result.workers) == {"w0", "w1"}
+        assert all(s["host"] for s in result.workers.values())
+        assert sum(s["jobs"] for s in result.workers.values()) == 4
+        verify = store.verify_all()
+        assert verify.checked == 4 and not verify.corrupt
+        assert "2 workers" in result.summary()
+
+    def test_warm_run_is_pure_cache(self, tmp_path):
+        jobs = _jobs(3)
+        store = ResultStore(tmp_path / "store")
+        cold = run_distributed(jobs, store, backends=[LocalBackend()],
+                               heartbeat_seconds=0.2, runner=RUNNER)
+        assert cold.ok and cold.executed == 3
+        warm = run_distributed(jobs, store, backends=[LocalBackend()],
+                               heartbeat_seconds=0.2, runner=RUNNER)
+        assert warm.ok
+        assert warm.cached == 3 and warm.executed == 0
+        # nothing pending -> the fleet is never launched
+        assert warm.workers == {}
+
+    def test_duplicate_jobs_collapse(self, tmp_path):
+        jobs = _jobs(2)
+        result = run_distributed(
+            list(jobs) + list(jobs), ResultStore(tmp_path / "store"),
+            backends=[LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+        )
+        assert result.ok and result.total == 2
+
+
+class TestStealing:
+    def test_killed_worker_loses_no_jobs(self, tmp_path, monkeypatch):
+        """Chaos-kill one of two workers mid-job: stolen, still complete."""
+        monkeypatch.setenv("REPRO_DIST_SLEEP_S", "0.4")
+        jobs = _jobs(4)
+        store = ResultStore(tmp_path / "store")
+        state = CampaignState(tmp_path / "campaign")
+        result = run_distributed(
+            jobs, store, state,
+            backends=[LocalBackend(), LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+            chaos_kill=("w0", 0.15),  # w0 dies inside its first sleep
+        )
+        assert result.ok, result.summary()
+        assert result.done == 4
+        assert result.steals >= 1
+        assert result.workers["w0"]["steals"] >= 1
+        verify = store.verify_all()
+        assert verify.checked == 4 and not verify.corrupt
+        # the theft is durable: the journal replays to all-done anyway
+        stolen = [e for e in state.all_events() if e["event"] == "stolen"]
+        assert stolen and stolen[0]["worker"] == "w0"
+        assert len(state.completed_keys()) == 4
+
+
+class TestSalvageAndResume:
+    def test_unmerged_worker_store_is_salvaged(self, tmp_path, _dist_runner):
+        """Results a dead coordinator never merged are ingested, not re-run."""
+        jobs = _jobs(3, name="salvage")
+        store = ResultStore(tmp_path / "store")
+        state = CampaignState(tmp_path / "salvage")
+        # A previous run's worker published one result into its mirror and
+        # journaled it -- then the coordinator died before merging.
+        mirror = ResultStore(store.root / "workers" / "salvage" / "w9"
+                             / "store")
+        done_job = jobs[0]
+        mirror.put_run(done_job, _dist_runner.run_sleep_job(
+            done_job, Telemetry()))
+        state.append("planned", done_job)
+        progress = []
+        result = run_distributed(
+            jobs, store, state,
+            backends=[LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+            progress=progress.append,
+        )
+        assert result.ok
+        # the salvaged job was a cache hit, only the other two executed
+        assert result.cached == 1 and result.executed == 2
+        assert result.records[done_job.key].cached is True
+        assert any(line.startswith("salvaged 1 results") for line in progress)
+        verify = store.verify_all()
+        assert verify.checked == 3 and not verify.corrupt
+
+    def test_worker_journals_fold_into_resume_state(self, tmp_path):
+        """completed_keys() sees work only a worker's journal recorded."""
+        jobs = _jobs(2, name="resume")
+        state = CampaignState(tmp_path / "resume")
+        store = ResultStore(tmp_path / "store")
+        result = run_distributed(
+            jobs, store, state, backends=[LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+        )
+        assert result.ok
+        assert state.completed_keys() == frozenset(j.key for j in jobs)
+        # wipe the coordinator journal; the workers' copies still carry it
+        state.journal_path.unlink()
+        assert state.completed_keys() == frozenset(j.key for j in jobs)
+
+
+class TestJournalIdentity:
+    def test_records_carry_worker_and_host(self, tmp_path):
+        jobs = _jobs(2, name="ident")
+        state = CampaignState(tmp_path / "ident")
+        result = run_distributed(
+            jobs, ResultStore(tmp_path / "store"), state,
+            backends=[LocalBackend()],
+            heartbeat_seconds=0.2, runner=RUNNER,
+        )
+        assert result.ok
+        done = [e for e in state.events() if e["event"] == "done"]
+        assert done and all(e["worker"] == "w0" for e in done)
+        assert all(e["host"] for e in done)
+        # the worker-side journal stamps its own identity on every record
+        worker_journal = state.worker_journal_path("w0")
+        records = [json.loads(line) for line in
+                   worker_journal.read_text().splitlines()]
+        assert records
+        assert all(r.get("worker") == "w0" for r in records)
+        assert all(r.get("host") for r in records)
+        # per-worker telemetry was journaled for `campaign status`
+        stats = state.worker_stats()
+        assert stats["w0"]["jobs"] == 2

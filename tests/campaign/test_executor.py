@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 
 import pytest
@@ -19,9 +20,11 @@ from repro.campaign import (
     Job,
     ResultStore,
     register_runner,
+    retry_delay,
     run_campaign,
 )
 from repro.campaign.executor import RUNNERS
+from repro.campaign.identity import WORKER_ID_ENV, hostname
 from repro.harness import ProfiledRun
 from repro.telemetry import append_jsonl, read_jsonl
 from repro.workloads import get_workload
@@ -247,3 +250,58 @@ class TestResume:
         assert sum(1 for r in result.records.values()
                    if r.state == "planned") == 3
         assert len(read_jsonl(counts)) == 1  # only the warm-up ran
+
+
+class TestRetryJitter:
+    """The backoff schedule: exponential base, bounded uniform jitter."""
+
+    def test_delay_is_bounded_by_the_jitter_window(self):
+        rng = random.Random(1234)
+        for attempt in (1, 2, 3, 4):
+            base = 0.5 * 2 ** (attempt - 1)
+            for _ in range(200):
+                delay = retry_delay(attempt, 0.5, jitter=0.5, rng=rng)
+                assert base <= delay < base * 1.5
+
+    def test_zero_jitter_is_exact_exponential(self):
+        assert retry_delay(1, 0.5, jitter=0.0) == 0.5
+        assert retry_delay(2, 0.5, jitter=0.0) == 1.0
+        assert retry_delay(3, 0.5, jitter=0.0) == 2.0
+        # attempt floors at 1, so a 0th attempt cannot shrink the base
+        assert retry_delay(0, 0.5, jitter=0.0) == 0.5
+
+    def test_seeded_rng_is_deterministic(self):
+        a = [retry_delay(2, 0.25, jitter=0.5, rng=random.Random(7))
+             for _ in range(3)]
+        b = [retry_delay(2, 0.25, jitter=0.5, rng=random.Random(7))
+             for _ in range(3)]
+        assert a == b
+
+    def test_jitter_actually_spreads_a_fleet(self):
+        """Many concurrent retries must not collapse onto one instant."""
+        rng = random.Random(99)
+        delays = {round(retry_delay(1, 1.0, rng=rng), 6) for _ in range(50)}
+        assert len(delays) > 40
+
+
+class TestHeartbeatIdentity:
+    def test_heartbeat_lines_carry_host_and_worker(
+        self, tmp_path, runners, monkeypatch
+    ):
+        monkeypatch.setenv(WORKER_ID_ENV, "w5")
+
+        def slow(job, telemetry):
+            time.sleep(0.15)
+            return _cheap_run(job)
+
+        runners("slow-beat", slow)
+        lines = []
+        result = run_campaign(
+            _jobs("slow-beat")[:2], ResultStore(tmp_path / "store"),
+            workers=1, heartbeat_seconds=0.05, heartbeat=lines.append,
+        )
+        assert result.ok
+        assert lines, "no heartbeat emitted"
+        prefix = f"campaign[{hostname()}/w5]: "
+        assert all(line.startswith(prefix) for line in lines)
+        assert "running" in lines[0] and "pending" in lines[0]

@@ -1,0 +1,116 @@
+"""The dist wire protocol: framing, validation, noise tolerance."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign.dist import protocol
+from repro.campaign.dist.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    iter_messages,
+    msg_assign,
+    msg_heartbeat,
+    msg_hello,
+    msg_result,
+    msg_shutdown,
+    msg_started,
+    parse_message,
+    send_message,
+)
+from repro.campaign.spec import Job
+
+
+class TestParse:
+    def test_blank_lines_are_noise(self):
+        assert parse_message("") is None
+        assert parse_message("   \n") is None
+
+    def test_non_json_noise_is_skipped(self):
+        # An ssh login banner or a stray print must not kill the fleet.
+        assert parse_message("Welcome to host42 (Ubuntu)") is None
+        assert parse_message("warning: locale not set") is None
+
+    def test_unframed_json_is_noise(self):
+        assert parse_message('["a", "b"]') is None
+        assert parse_message('{"no_type_field": 1}') is None
+
+    def test_unknown_type_is_loud(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            parse_message('{"type": "frobnicate"}')
+
+    def test_missing_fields_are_loud(self):
+        with pytest.raises(ProtocolError, match="missing fields"):
+            parse_message('{"type": "result", "key": "k"}')
+
+    def test_bad_result_status_is_loud(self):
+        bad = json.dumps({"type": "result", "key": "k", "status": "maybe",
+                          "attempt": 1})
+        with pytest.raises(ProtocolError, match="maybe"):
+            parse_message(bad)
+
+    def test_valid_message_parses(self):
+        line = json.dumps(msg_shutdown())
+        assert parse_message(line) == {"type": "shutdown"}
+
+
+class TestRoundTrip:
+    def _round_trip(self, message):
+        stream = io.StringIO()
+        send_message(stream, message)
+        text = stream.getvalue()
+        assert text.endswith("\n") and text.count("\n") == 1
+        return parse_message(text)
+
+    def test_hello(self):
+        got = self._round_trip(msg_hello("w0", "hostA", 123, 2, "/s"))
+        assert got["worker"] == "w0"
+        assert got["protocol"] == PROTOCOL_VERSION
+        assert got["slots"] == 2
+
+    def test_assign_carries_full_job(self):
+        job = Job(workload="vips", size="simsmall", tool="native")
+        got = self._round_trip(msg_assign(job, attempt=2))
+        assert got["key"] == job.key
+        assert Job.from_dict(got["job"]).key == job.key
+        assert got["attempt"] == 2
+
+    def test_started_result_heartbeat(self):
+        assert self._round_trip(msg_started("k", "lbl", 1))["key"] == "k"
+        result = self._round_trip(
+            msg_result("k", "lbl", "timeout", 3, 1.23456, "too slow"))
+        assert result["status"] == "timeout"
+        assert result["seconds"] == pytest.approx(1.2346)
+        beat = self._round_trip(msg_heartbeat(["k1", "k2"], 7))
+        assert beat["running"] == ["k1", "k2"] and beat["done"] == 7
+
+
+class TestIterMessages:
+    def test_skips_noise_and_stops_at_eof(self):
+        job = Job(workload="vips")
+        stream = io.StringIO(
+            "login banner\n"
+            + json.dumps(msg_assign(job, 1)) + "\n"
+            + "\n"
+            + json.dumps(msg_shutdown()) + "\n"
+        )
+        kinds = [m["type"] for m in iter_messages(stream)]
+        assert kinds == ["assign", "shutdown"]
+
+    def test_every_declared_type_has_constructor_coverage(self):
+        # The constructors and the validator must agree on required fields.
+        job = Job(workload="vips")
+        samples = [
+            msg_hello("w", "h", 1, 1, "/s"),
+            msg_assign(job, 1),
+            msg_shutdown(),
+            msg_started("k", "l", 1),
+            msg_result("k", "l", "done", 1, 0.5),
+            msg_heartbeat([], 0),
+        ]
+        assert {m["type"] for m in samples} == set(protocol.MESSAGE_TYPES)
+        for message in samples:
+            assert parse_message(json.dumps(message)) is not None

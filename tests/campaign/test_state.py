@@ -5,7 +5,13 @@ from __future__ import annotations
 import multiprocessing
 import threading
 
-from repro.campaign import CampaignSpec, CampaignState, Job
+from repro.campaign import CampaignSpec, CampaignState, Job, fold_events
+from repro.campaign.identity import (
+    WORKER_ID_ENV,
+    hostname,
+    identity_suffix,
+    worker_id,
+)
 from repro.telemetry import append_jsonl, read_jsonl
 
 
@@ -63,6 +69,94 @@ class TestJournalReplay:
         state = CampaignState(tmp_path / "nothing")
         assert state.replay() == {}
         assert state.completed_keys() == frozenset()
+
+
+class TestIdentityStamping:
+    def test_append_stamps_writer_identity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(WORKER_ID_ENV, "w7")
+        state = CampaignState(tmp_path / "c")
+        state.append("planned", Job(workload="vips"))
+        (record,) = state.events()
+        assert record["host"] == hostname()
+        assert record["worker"] == "w7"
+        assert identity_suffix() == f"[{hostname()}/w7]"
+
+    def test_explicit_identity_detail_wins(self, tmp_path, monkeypatch):
+        """The coordinator records *which worker* finished, not itself."""
+        monkeypatch.delenv(WORKER_ID_ENV, raising=False)
+        assert worker_id() == "local"
+        state = CampaignState(tmp_path / "c")
+        state.append("done", Job(workload="vips"), worker="w3", host="far")
+        (record,) = state.events()
+        assert record["worker"] == "w3" and record["host"] == "far"
+
+    def test_pre_identity_journals_keep_parsing(self, tmp_path):
+        """Records written before host/worker existed fold unchanged."""
+        state = CampaignState(tmp_path / "c")
+        job = Job(workload="vips")
+        append_jsonl(state.journal_path,
+                     {"event": "planned", "t": 1.0,
+                      "key": job.key, "label": job.label})
+        append_jsonl(state.journal_path,
+                     {"event": "done", "t": 2.0, "seconds": 0.5,
+                      "key": job.key, "label": job.label})
+        rec = state.replay()[job.key]
+        assert rec.is_done and rec.seconds == 0.5
+        assert rec.host == "" and rec.worker == ""
+
+
+class TestMultiJournalReplay:
+    """Distributed campaigns fold N journals; none may un-finish work."""
+
+    def _worker_record(self, state, worker, event, job, t, **detail):
+        record = {"event": event, "t": t, "key": job.key,
+                  "label": job.label, "host": "hostB", "worker": worker}
+        record.update(detail)
+        state.workers_dir.mkdir(parents=True, exist_ok=True)
+        append_jsonl(state.worker_journal_path(worker), record)
+
+    def test_worker_journal_completions_count(self, tmp_path):
+        """A job only a worker's journal finished is complete on resume."""
+        state = CampaignState(tmp_path / "c")
+        job = Job(workload="vips")
+        state.append("planned", job)
+        self._worker_record(state, "w0", "done", job, t=2.0, seconds=1.0)
+        assert state.replay()[job.key].state == "planned"  # coord view
+        merged = state.replay_all()[job.key]               # fleet view
+        assert merged.is_done and merged.worker == "w0"
+        assert state.completed_keys() == {job.key}
+
+    def test_clock_skew_cannot_unfinish_done(self, tmp_path):
+        """A worker `started` stamped after the `done` must not downgrade."""
+        state = CampaignState(tmp_path / "c")
+        job = Job(workload="vips")
+        state.append("planned", job)
+        state.append("done", job, seconds=1.0, worker="w0", host="hostB")
+        self._worker_record(state, "w0", "started", job, t=9e9, attempt=1)
+        assert state.replay_all()[job.key].is_done
+
+    def test_stolen_refolds_to_planned_unless_done(self, tmp_path):
+        job, done_job = Job(workload="vips"), Job(workload="dedup")
+        events = [
+            {"event": "started", "t": 1.0, "key": job.key, "attempt": 1},
+            {"event": "stolen", "t": 2.0, "key": job.key, "worker": "w0"},
+            {"event": "started", "t": 1.0, "key": done_job.key, "attempt": 1},
+            {"event": "done", "t": 2.0, "key": done_job.key},
+            {"event": "stolen", "t": 3.0, "key": done_job.key},
+        ]
+        records = fold_events(events)
+        assert records[job.key].state == "planned"   # back in flight
+        assert records[done_job.key].is_done         # theft after done: no-op
+
+    def test_worker_stats_last_record_wins(self, tmp_path):
+        state = CampaignState(tmp_path / "c")
+        state.append("worker-stats", None, worker="w0", host="a", jobs=1)
+        state.append("worker-stats", None, worker="w0", host="a", jobs=5)
+        state.append("worker-stats", None, worker="w1", host="b", jobs=2)
+        stats = state.worker_stats()
+        assert stats["w0"]["jobs"] == 5
+        assert stats["w1"]["host"] == "b"
+        assert set(stats) == {"w0", "w1"}
 
 
 def _hammer(path, writer_id, n):

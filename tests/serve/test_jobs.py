@@ -11,6 +11,7 @@ from repro.campaign import ResultStore
 from repro.serve.jobs import (
     JobManager,
     TERMINAL_EVENTS,
+    local_workers_from_body,
     spec_from_body,
 )
 
@@ -196,3 +197,51 @@ class TestRestartResume:
             assert job.result["executed"] == 0
         finally:
             reborn.shutdown(wait=True)
+
+
+class TestLocalWorkersBody:
+    def test_campaign_body_accepts_local_workers(self):
+        spec = spec_from_body({
+            "workloads": ["vips"], "tools": ["native"], "local_workers": 2,
+        })
+        # placement, not matrix shape: the spec is unchanged by it
+        assert len(spec) == 1
+        assert local_workers_from_body({"local_workers": 2}) == 2
+
+    def test_local_workers_defaults_to_single_host(self):
+        assert local_workers_from_body({}) == 0
+        assert local_workers_from_body({"local_workers": None}) == 0
+
+    @pytest.mark.parametrize("bad", [-1, "three", [2], {"n": 2}])
+    def test_bad_local_workers_is_a_400_shaped_error(self, bad):
+        with pytest.raises(ValueError, match="non-negative integer"):
+            local_workers_from_body({"local_workers": bad})
+
+    def test_single_cell_form_rejects_local_workers(self):
+        with pytest.raises(ValueError, match="unknown job keys"):
+            spec_from_body({"workload": "vips", "local_workers": 1})
+
+
+@needs_fork
+class TestDistLifecycle:
+    def test_dist_job_runs_and_feeds_worker_metrics(self, manager):
+        job = manager.submit({
+            "name": "dist-serve",
+            "workloads": ["blackscholes"],
+            "sizes": ["simsmall"],
+            "tools": ["native"],
+            "local_workers": 1,
+        })
+        assert job.local_workers == 1
+        assert manager.wait(job.id, timeout=120)
+        assert job.state == "done", job.error
+        assert job.result["executed"] == 1
+        assert job.result["workers"] == 1 and job.result["steals"] == 0
+        entry = job.to_dict()
+        assert entry["local_workers"] == 1
+        # the job document carries the per-worker table, like CLI status
+        doc = manager.detail(job.id)
+        assert doc["campaign"]["workers"]["w0"]["jobs"] == 1
+        text = manager.metrics.render()
+        assert 'repro_dist_jobs_total{host="' in text
+        assert 'worker="w0"} 1' in text

@@ -155,3 +155,26 @@ class TestServeMetrics:
         text = metrics.render(store)
         assert "repro_store_objects 0" in text
         assert "repro_store_campaigns 0" in text
+
+
+class TestDistWorkerMetrics:
+    def test_record_dist_worker_renders_labelled_families(self):
+        metrics = ServeMetrics()
+        metrics.record_dist_worker("w0", "hostA", jobs=4, failed=1,
+                                   retries=1, steals=2, bytes_merged=4096)
+        metrics.record_dist_worker("w1", "hostB", jobs=3)
+        text = metrics.render()
+        assert 'repro_dist_jobs_total{host="hostA",worker="w0"} 4' in text
+        assert 'repro_dist_jobs_total{host="hostB",worker="w1"} 3' in text
+        assert 'repro_dist_steals_total{host="hostA",worker="w0"} 2' in text
+        assert ('repro_dist_bytes_merged_total{host="hostA",worker="w0"} '
+                '4096') in text
+        assert_valid_exposition(text)
+
+    def test_counters_accumulate_across_jobs(self):
+        metrics = ServeMetrics()
+        metrics.record_dist_worker("w0", "hostA", jobs=2)
+        metrics.record_dist_worker("w0", "hostA", jobs=3, steals=1)
+        text = metrics.render()
+        assert 'repro_dist_jobs_total{host="hostA",worker="w0"} 5' in text
+        assert 'repro_dist_steals_total{host="hostA",worker="w0"} 1' in text
