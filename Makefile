@@ -121,11 +121,13 @@ property:
 	pytest tests/property/ -q
 
 # Publish observer throughput (scalar vs batched trace transport) into
-# BENCH_throughput.json at the repo root, and fail if the batched transport
-# has regressed below the scalar path on the core Sigil configuration.
+# BENCH_throughput.json at the repo root, and fail if any tool's batched
+# speedup drops below its floor (>= 1x everywhere; >= 5x for the rewritten
+# sigil-reuse and callgrind batch kernels).
 bench-throughput:
 	PYTHONPATH=src python benchmarks/bench_tool_throughput.py \
-		--check sigil-baseline
+		--check sigil-baseline --check sigil-reuse --check sigil-events \
+		--check callgrind --check line-reuse
 
 # Publish event-log I/O throughput (text v1 vs binary v2 on a 1M-segment
 # log) into the event_io section of BENCH_throughput.json, and fail if the

@@ -6,6 +6,13 @@ uses for the software-runtime side of the partitioning study.  We model a
 data hierarchy (D1 backed by LL) with true-LRU sets, write-allocate, and
 accesses that may straddle line boundaries.
 
+LRU is kept as a per-set dict mapping resident line number to the tick of
+its last touch; the victim is the minimum-tick entry.  Within one set the
+tag <-> line mapping is a bijection, so this is exactly the classic
+recency-list LRU, but a hit costs one dict store instead of a
+``list.remove`` scan, and the batched walk in :meth:`CacheHierarchy.
+access_lines` can share the same structures with the scalar path.
+
 The instruction side of Callgrind's model (I1) has no analogue here because
 the substrates do not fetch encoded instructions from memory; the cycle
 formula accounts for instruction count directly.
@@ -14,7 +21,9 @@ formula accounts for instruction count directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 __all__ = ["CacheConfig", "Cache", "CacheHierarchy", "AccessResult"]
 
@@ -32,6 +41,13 @@ class CacheConfig:
             raise ValueError("line_size must be a positive power of two")
         if self.size % (self.assoc * self.line_size):
             raise ValueError("size must be a multiple of assoc * line_size")
+        n_sets = self.size // (self.assoc * self.line_size)
+        if n_sets <= 0 or n_sets & (n_sets - 1):
+            raise ValueError(
+                "set count must be a positive power of two (size / (assoc * "
+                f"line_size) = {n_sets}); indexing masks with n_sets - 1, so "
+                "a non-power-of-two geometry would silently alias sets"
+            )
 
     @property
     def n_sets(self) -> int:
@@ -54,25 +70,25 @@ class Cache:
         self._line_shift = config.line_size.bit_length() - 1
         self._n_sets = config.n_sets
         self._set_mask = self._n_sets - 1
-        # Per set: list of tags, most-recently-used last.
-        self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+        # Per set: resident line number -> tick of last touch.  The victim
+        # is the minimum-tick entry (identical to recency-list LRU).
+        self._sets: List[Dict[int, int]] = [{} for _ in range(self._n_sets)]
+        self._tick = 0
         self.accesses = 0
         self.misses = 0
 
     def access_line(self, line_no: int) -> bool:
         """Touch one line; returns True on miss."""
         self.accesses += 1
-        idx = line_no & self._set_mask
-        tag = line_no >> (self._n_sets.bit_length() - 1)
-        ways = self._sets[idx]
-        if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
+        self._tick += 1
+        ways = self._sets[line_no & self._set_mask]
+        if line_no in ways:
+            ways[line_no] = self._tick
             return False
         self.misses += 1
-        ways.append(tag)
-        if len(ways) > self.config.assoc:
-            ways.pop(0)
+        if len(ways) >= self.config.assoc:
+            del ways[min(ways, key=ways.get)]
+        ways[line_no] = self._tick
         return True
 
     def lines_of(self, addr: int, size: int) -> range:
@@ -107,3 +123,69 @@ class CacheHierarchy:
                 if self.ll.access_line(line):
                     ll_misses += 1
         return AccessResult(l1_misses, ll_misses)
+
+    def access_lines(self, lines: np.ndarray) -> Tuple[int, int]:
+        """Run an in-order line-touch stream through the hierarchy in bulk.
+
+        ``lines`` is the concatenated per-access line expansion of a batch
+        (one entry per line touch, program order); returns ``(l1_misses,
+        ll_misses)`` and folds all counters into the member caches, exactly
+        as the equivalent sequence of :meth:`Cache.access_line` calls would.
+
+        Consecutive touches of the same line are deduplicated first: after
+        the first touch the line is resident and most-recently-used, so the
+        repeats are guaranteed D1 hits that change neither LRU order nor
+        miss counts (they still count as D1 accesses).  Real streams are
+        dominated by these MRU repeats, so the residual sequential walk --
+        one fused D1+LL pass over plain Python ints -- runs over far fewer
+        entries than the batch touched.
+        """
+        n_touches = len(lines)
+        if not n_touches:
+            return (0, 0)
+        if n_touches > 1:
+            keep = np.empty(n_touches, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            if not keep.all():
+                lines = lines[keep]
+        d1 = self.d1
+        ll = self.ll
+        d1_sets = d1._sets
+        d1_mask = d1._set_mask
+        d1_assoc = d1.config.assoc
+        ll_sets = ll._sets
+        ll_mask = ll._set_mask
+        ll_assoc = ll.config.assoc
+        t1 = d1._tick
+        t2 = ll._tick
+        l1_misses = 0
+        ll_accesses = 0
+        ll_misses = 0
+        for line in lines.tolist():
+            ways = d1_sets[line & d1_mask]
+            t1 += 1
+            if line in ways:
+                ways[line] = t1
+                continue
+            l1_misses += 1
+            if len(ways) >= d1_assoc:
+                del ways[min(ways, key=ways.get)]
+            ways[line] = t1
+            ll_accesses += 1
+            w2 = ll_sets[line & ll_mask]
+            t2 += 1
+            if line in w2:
+                w2[line] = t2
+            else:
+                ll_misses += 1
+                if len(w2) >= ll_assoc:
+                    del w2[min(w2, key=w2.get)]
+                w2[line] = t2
+        d1._tick = t1
+        ll._tick = t2
+        d1.accesses += n_touches
+        d1.misses += l1_misses
+        ll.accesses += ll_accesses
+        ll.misses += ll_misses
+        return (l1_misses, ll_misses)

@@ -128,6 +128,11 @@ class CallgrindCollector(BaseObserver):
     miss counts).
     """
 
+    #: Consume the transport's run-length batches directly: the counters
+    #: fall out of the run descriptors (plain Python ints, no NumPy), and
+    #: only the line expansion touches arrays.
+    batch_accepts_runs = True
+
     def __init__(
         self,
         *,
@@ -141,10 +146,6 @@ class CallgrindCollector(BaseObserver):
         self.profile = CallgrindProfile(self.tree, cycle_model=cycle_model)
         self.caches = CacheHierarchy(d1, ll) if simulate_cache else None
         self.predictor = BimodalPredictor() if simulate_branch else None
-        # The cache simulator replays batches sequentially, so buffering for
-        # this collector alone buys nothing; without it the counters
-        # vectorise and batches do help.
-        self.batch_beneficial = self.caches is None
         self._cur: ContextNode = self.tree.root
         self._cur_costs: CallgrindCosts = self.profile.costs_of(self.tree.root.id)
         self._stack: List[ContextNode] = []
@@ -207,52 +208,104 @@ class CallgrindCollector(BaseObserver):
             costs.l1_misses += result.l1_misses
             costs.ll_misses += result.ll_misses
 
+    def _expand_lines(self, addrs, sizes) -> np.ndarray:
+        """Per-access line expansion of a batch, concatenated in order.
+
+        One entry per line touch, exactly what the scalar path's
+        ``lines_of`` loop would visit (size-0 accesses touch one line).
+        """
+        shift = self.caches.d1._line_shift
+        lo = addrs >> shift
+        hi = (addrs + np.maximum(sizes, 1) - 1) >> shift
+        if (lo == hi).all():  # no access straddles a line (the common case)
+            return lo
+        cnt = hi - lo + 1
+        total = int(cnt.sum())
+        start = np.cumsum(cnt) - cnt
+        idx = np.arange(total, dtype=np.int64)
+        return np.repeat(lo, cnt) + (idx - np.repeat(start, cnt))
+
     def on_mem_batch(self, addrs, sizes, kinds) -> None:
         """Account a batch of accesses at once.
 
-        The aggregate counters collapse into array reductions; the cache
-        simulation is inherently sequential state, so it replays the batch
-        in order (producing miss counts identical to the scalar path --
-        cache state depends only on the access stream, which the transport
-        preserves).
+        The aggregate counters collapse into array reductions, and the
+        cache simulation runs over the batch's concatenated line expansion
+        via :meth:`CacheHierarchy.access_lines` -- miss counts identical to
+        the scalar path, since cache state depends only on the line-touch
+        stream, which both expansion and the transport preserve.
         """
         n = len(addrs)
         if n == 0:
             return
         costs = self._cur_costs
         costs.instructions += n
-        caches = self.caches
-        if caches is None:
-            sizes_arr = np.asarray(sizes, dtype=np.int64)
-            is_read = np.asarray(kinds, dtype=np.uint8) == MEM_READ
-            reads = int(is_read.sum())
-            read_bytes = int(sizes_arr[is_read].sum()) if reads else 0
-            costs.reads += reads
-            costs.read_bytes += read_bytes
-            costs.writes += n - reads
-            costs.write_bytes += int(sizes_arr.sum()) - read_bytes
-            return
-        # With the cache simulator on, its sequential replay dominates:
-        # fold the counter work into the same pass instead of paying for
-        # array conversions on top of it.
-        addr_list = addrs.tolist() if hasattr(addrs, "tolist") else addrs
-        size_list = sizes.tolist() if hasattr(sizes, "tolist") else sizes
-        kind_list = kinds.tolist() if hasattr(kinds, "tolist") else kinds
-        access = caches.access
-        reads = read_bytes = write_bytes = l1 = ll = 0
-        for addr, size, kind in zip(addr_list, size_list, kind_list):
-            if kind == MEM_READ:
-                reads += 1
-                read_bytes += size
-            else:
-                write_bytes += size
-            result = access(addr, size)
-            l1 += result.l1_misses
-            ll += result.ll_misses
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        is_read = np.asarray(kinds, dtype=np.uint8) == MEM_READ
+        reads = int(is_read.sum())
+        read_bytes = int(sizes_arr[is_read].sum()) if reads else 0
         costs.reads += reads
         costs.read_bytes += read_bytes
         costs.writes += n - reads
+        costs.write_bytes += int(sizes_arr.sum()) - read_bytes
+        caches = self.caches
+        if caches is None:
+            return
+        lines = self._expand_lines(np.asarray(addrs, dtype=np.int64), sizes_arr)
+        l1, ll = caches.access_lines(lines)
+        costs.l1_misses += l1
+        costs.ll_misses += ll
+
+    def on_mem_batch_runs(self, addrs, rkeys, rends) -> None:
+        """Run-length variant of :meth:`on_mem_batch` (see the transport).
+
+        ``addrs`` is the int64 address array; run ``i`` covers
+        ``addrs[rends[i-1]:rends[i]]`` with key ``rkeys[i] == (size << 1) |
+        kind``.  The counter sums come straight from the descriptors, so a
+        typical batch (a handful of runs) does no array work at all beyond
+        the line expansion.
+        """
+        n = len(addrs)
+        if n == 0:
+            return
+        costs = self._cur_costs
+        costs.instructions += n
+        reads = read_bytes = writes = write_bytes = 0
+        prev = 0
+        for key, end in zip(rkeys, rends):
+            cnt = end - prev
+            prev = end
+            size = key >> 1
+            if key & 1:
+                writes += cnt
+                write_bytes += cnt * size
+            else:
+                reads += cnt
+                read_bytes += cnt * size
+        costs.reads += reads
+        costs.read_bytes += read_bytes
+        costs.writes += writes
         costs.write_bytes += write_bytes
+        caches = self.caches
+        if caches is None:
+            return
+        if len(rkeys) == 1:
+            size = rkeys[0] >> 1
+            shift = caches.d1._line_shift
+            if size <= 1:
+                lines = addrs >> shift
+            else:
+                lo = addrs >> shift
+                hi = (addrs + (size - 1)) >> shift
+                if (lo == hi).all():
+                    lines = lo
+                else:
+                    sizes_arr = np.full(n, size, dtype=np.int64)
+                    lines = self._expand_lines(addrs, sizes_arr)
+        else:
+            rk = np.asarray(rkeys, dtype=np.int64)
+            lens = np.diff(np.asarray(rends, dtype=np.int64), prepend=0)
+            lines = self._expand_lines(addrs, np.repeat(rk >> 1, lens))
+        l1, ll = caches.access_lines(lines)
         costs.l1_misses += l1
         costs.ll_misses += ll
 
@@ -262,6 +315,17 @@ class CallgrindCollector(BaseObserver):
         costs.branches += 1
         if self.predictor is not None and self.predictor.record(site, taken):
             costs.branch_misses += 1
+
+    def on_branch_batch(self, sites, takens) -> None:
+        """Account a batch of branches; predictor state updates in order."""
+        n = len(sites)
+        if n == 0:
+            return
+        costs = self._cur_costs
+        costs.instructions += n
+        costs.branches += n
+        if self.predictor is not None:
+            costs.branch_misses += self.predictor.record_batch(sites, takens)
 
     def on_syscall_enter(self, name: str, input_bytes: int) -> None:
         self._cur_costs.syscalls += 1

@@ -111,16 +111,27 @@ class ReuseStats:
         lifetimes = (win_last[reused] - win_first[reused]).astype(np.int64)
         bins = lifetimes // self.bin_size
         # Group (ctx, bin) pairs to update per-function histograms in bulk.
-        keys = (ctxs << 24) | bins  # bins < 2**24 given realistic run lengths
-        uniq, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
-        lifetime_sums = np.zeros(len(uniq), dtype=np.int64)
-        np.add.at(lifetime_sums, inverse, lifetimes)
-        for key, count, lt_sum in zip(
-            uniq.tolist(), counts.tolist(), lifetime_sums.tolist()
+        # Lexsort keeps the two columns separate: packing them into one key
+        # would need an a-priori bound on the bin number, and a long run
+        # with a small bin_size overflows any fixed split.
+        order = np.lexsort((bins, ctxs))
+        sc = ctxs[order]
+        sb = bins[order]
+        slt = lifetimes[order]
+        n = len(sc)
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            sc[1:] != sc[:-1], sb[1:] != sb[:-1], out=boundary[1:]
+        )
+        starts = np.flatnonzero(boundary)
+        counts = np.diff(np.append(starts, n))
+        lifetime_sums = np.add.reduceat(slt, starts)
+        for i, count, lt_sum in zip(
+            starts.tolist(), counts.tolist(), lifetime_sums.tolist()
         ):
-            ctx = key >> 24
-            bin_no = key & ((1 << 24) - 1)
-            stats = self.fn(ctx)
+            stats = self.fn(int(sc[i]))
+            bin_no = int(sb[i])
             stats.reused_windows += count
             stats.lifetime_sum += lt_sum
             stats.histogram[bin_no] = stats.histogram.get(bin_no, 0) + count

@@ -189,12 +189,12 @@ def profile_workload(
     observer, counter = _assemble_observer(
         tools, tel, f"{workload.name}/{workload.size.value}"
     )
-    # Batched transport (default on): accumulate memory accesses in ring
-    # buffers and hand the tools whole batches.  batch_size=0 keeps the
-    # legacy one-call-per-access path; profiles are identical either way.
-    # Skipped when no attached tool has a vectorised batch kernel (e.g. a
-    # lone cache-simulating Callgrind run) -- buffering would be pure
-    # overhead there.
+    # Batched transport (default on): accumulate memory accesses (and, for
+    # lenient tools, branches) and hand the tools whole batches.
+    # batch_size=0 keeps the legacy one-call-per-access path; profiles are
+    # identical either way.  Skipped when no attached tool has a vectorised
+    # batch kernel (e.g. a Sigil run under the FIFO shadow-page cap, whose
+    # batches replay scalar) -- buffering would be pure overhead there.
     transport = None
     if (
         tools

@@ -8,33 +8,41 @@ batched cross-flow interception; Kercher's per-epoch working-set
 aggregation), and that is what this module does for the transport layer:
 
 :class:`BatchingTransport` sits between a substrate and its observer.  It
-accumulates memory accesses into preallocated NumPy ring buffers
-(``addr``/``size``/``kind``) and hands the downstream observer whole batches
-through :meth:`~repro.trace.observer.TraceObserver.on_mem_batch`.
+accumulates memory accesses into a flat ``array('q')`` address buffer plus a
+run-length side table (real access streams are long same-size, same-kind
+runs), and hands the downstream observer whole batches through
+:meth:`~repro.trace.observer.TraceObserver.on_mem_batch` -- or, for
+downstreams that advertise ``batch_accepts_runs``, through
+``on_mem_batch_runs`` without ever materialising per-access size/kind
+arrays.  Branches are buffered the same way for lenient downstreams and
+delivered through ``on_branch_batch``.
 
 Flush boundaries
 ----------------
-The buffer is flushed -- i.e. all pending accesses are delivered, in program
-order, *before* the boundary event is forwarded -- at:
+The buffers are flushed -- i.e. all pending accesses, then all pending
+branches, are delivered in program order *before* the boundary event is
+forwarded -- at:
 
 * function enter and exit (the attributing context must not change
   mid-batch),
 * syscall enter and exit,
 * thread switches,
-* branches,
 * run end, and
 * buffer full.
 
-Plain op events (``on_op``) do **not** flush by default: the instruction
-clock is a sum, so deferring accesses past ops leaves every aggregate --
-edges, byte classification, segment start times, totals -- byte-identical.
-The one thing it would skew is *per-access timestamps* (re-use lifetime
-windows, line-touch times).  Observers whose output depends on those declare
-``batch_time_strict = True`` and the transport then flushes before ops too,
-trading batch occupancy for scalar-exact clocks.  Order among memory
-accesses is always preserved.
+Plain op events (``on_op``) and branches do **not** flush by default: the
+instruction clock is a sum and predictor state depends only on the branch
+stream's own order, so deferring accesses past ops/branches (and branches
+past interleaved accesses) leaves every aggregate -- edges, byte
+classification, misprediction counts, segment start times, totals --
+byte-identical.  The one thing it would skew is *per-access timestamps*
+(re-use lifetime windows, exact event interleaving).  Observers whose output
+depends on those declare ``batch_time_strict = True`` and the transport then
+flushes pending accesses before every op and forwards every branch scalar,
+in exact stream order, trading batch occupancy for scalar-exact clocks.
+Order among memory accesses, and among branches, is always preserved.
 
-Flushes that collected only a handful of accesses (below
+Flushes that collected only a handful of events (below
 :data:`SCALAR_FLUSH_CUTOFF`) are replayed downstream as scalar calls:
 vectorisation below that occupancy costs more than it saves, and
 control-dense workloads spend most of their flushes there.
@@ -42,19 +50,25 @@ control-dense workloads spend most of their flushes there.
 
 from __future__ import annotations
 
+from array import array
+
 import numpy as np
 
 from repro.trace.events import OpKind
-from repro.trace.observer import MEM_READ, MEM_WRITE, BaseObserver, TraceObserver
+from repro.trace.observer import (
+    BaseObserver,
+    TraceObserver,
+    _expand_batch,
+)
 
 __all__ = ["DEFAULT_BATCH_SIZE", "SCALAR_FLUSH_CUTOFF", "BatchingTransport"]
 
-#: Default ring-buffer capacity (accesses); matches ``SigilConfig.batch_size``.
+#: Default buffer capacity (accesses); matches ``SigilConfig.batch_size``.
 DEFAULT_BATCH_SIZE = 4096
 
 #: Flushes holding fewer accesses than this are delivered as plain scalar
 #: calls instead of ``on_mem_batch``.  Control-dense workloads flush at
-#: every function/branch boundary, so most batches hold only a handful of
+#: every function boundary, so most batches hold only a handful of
 #: accesses -- below this occupancy the array kernels' fixed per-batch cost
 #: exceeds the whole scalar path, and batching them would *slow the run
 #: down*.  Aggregates are identical either way; only the delivery mechanism
@@ -71,15 +85,19 @@ class BatchingTransport(BaseObserver):
         The observer (or :class:`~repro.trace.observer.ObserverPipe`) that
         receives the batches plus all non-memory events.
     batch_size:
-        Ring-buffer capacity; the buffer flushes when full and at the
-        boundaries documented in the module docstring.
+        Buffer capacity; the buffers flush when full and at the boundaries
+        documented in the module docstring.
     scalar_cutoff:
-        Flushes holding fewer accesses than this are replayed as scalar
+        Flushes holding fewer events than this are replayed as scalar
         calls (see :data:`SCALAR_FLUSH_CUTOFF`); ``0`` forces every flush
-        through ``on_mem_batch``, which the kernel-semantics tests use.
+        through the batch hooks, which the kernel-semantics tests use.
 
-    The arrays passed to ``on_mem_batch`` are views into the ring buffer;
-    downstream observers must consume them during the call, not retain them.
+    The hot-path handlers (``on_mem_read``/``on_mem_write``/``on_branch``)
+    are installed as per-instance closures so each buffered access costs a
+    couple of list appends and one size compare -- subclasses overriding
+    them must rebuild the instance attributes, not just the class methods.
+    The arrays passed downstream are freshly decoded per flush; downstream
+    observers may retain them.
     """
 
     def __init__(
@@ -95,33 +113,93 @@ class BatchingTransport(BaseObserver):
         self.batch_size = batch_size
         self.scalar_cutoff = scalar_cutoff
         self.strict_time = bool(getattr(downstream, "batch_time_strict", False))
-        self._addrs = np.empty(batch_size, dtype=np.int64)
-        self._sizes = np.empty(batch_size, dtype=np.int64)
-        self._kinds = np.empty(batch_size, dtype=np.uint8)
-        self._n = 0
+        # -- downstream delivery hooks (resolved once) ---------------------
+        self._mem_batch_hook = getattr(downstream, "on_mem_batch", None)
+        runs_hook = getattr(downstream, "on_mem_batch_runs", None)
+        self._runs_hook = (
+            runs_hook
+            if runs_hook is not None
+            and getattr(downstream, "batch_accepts_runs", False)
+            else None
+        )
+        self._branch_hook = getattr(downstream, "on_branch_batch", None)
+        # -- access buffer: flat addresses + run-length side table ---------
+        self._abuf = array("q")
+        self._rkeys: list = []  # (size << 1) | kind per run
+        self._rends: list = []  # exclusive end index per *completed* run
+        # _cell[kind] holds the active run's size for that kind; the other
+        # slot is forced to -1, so a single compare per access detects both
+        # a size change and a kind flip.
+        self._cell = [-1, -1]
+        # -- branch buffer (lenient downstreams only) ----------------------
+        self._bsites: list = []
+        self._btakens: list = []
         # -- transport telemetry (read by record_telemetry) ---------------
         self.flushes = 0
         self.batched_accesses = 0
+        self.batched_branches = 0
+        self._install_hot_handlers()
+
+    def _install_hot_handlers(self) -> None:
+        """Bind the per-access closures as instance attributes."""
+        cap = self.batch_size
+        abuf = self._abuf
+        cell = self._cell
+        brk = self._run_break
+        flush_mem = self._flush_mem
+
+        def on_mem_read(addr, size, _append=abuf.append, _cell=cell,
+                        _buf=abuf, _cap=cap, _brk=brk, _flush=flush_mem):
+            _append(addr)
+            if size != _cell[0]:
+                _brk(size, 0)
+            if len(_buf) >= _cap:
+                _flush()
+
+        def on_mem_write(addr, size, _append=abuf.append, _cell=cell,
+                         _buf=abuf, _cap=cap, _brk=brk, _flush=flush_mem):
+            _append(addr)
+            if size != _cell[1]:
+                _brk(size, 1)
+            if len(_buf) >= _cap:
+                _flush()
+
+        self.on_mem_read = on_mem_read
+        self.on_mem_write = on_mem_write
+
+        if self.strict_time:
+            down_branch = self.downstream.on_branch
+
+            def on_branch(site, taken, _flush=flush_mem, _down=down_branch):
+                _flush()
+                _down(site, taken)
+
+        else:
+            bsites = self._bsites
+            btakens = self._btakens
+            flush_branches = self._flush_branches
+
+            def on_branch(site, taken, _s=bsites.append, _t=btakens.append,
+                          _b=bsites, _cap=cap, _flush=flush_branches):
+                _s(site)
+                _t(taken)
+                if len(_b) >= _cap:
+                    _flush()
+
+        self.on_branch = on_branch
 
     # -- buffering ---------------------------------------------------------
 
-    def on_mem_read(self, addr: int, size: int) -> None:
-        i = self._n
-        self._addrs[i] = addr
-        self._sizes[i] = size
-        self._kinds[i] = MEM_READ
-        self._n = i + 1
-        if self._n == self.batch_size:
-            self.flush()
-
-    def on_mem_write(self, addr: int, size: int) -> None:
-        i = self._n
-        self._addrs[i] = addr
-        self._sizes[i] = size
-        self._kinds[i] = MEM_WRITE
-        self._n = i + 1
-        if self._n == self.batch_size:
-            self.flush()
+    def _run_break(self, size: int, kind: int) -> None:
+        """Close the active run (if any) and open one for (size, kind)."""
+        cell = self._cell
+        cell[1 - kind] = -1
+        cell[kind] = size
+        if self._rkeys:
+            # The triggering address is already appended; the previous run
+            # ends just before it.
+            self._rends.append(len(self._abuf) - 1)
+        self._rkeys.append((size << 1) | kind)
 
     def on_mem_batch(self, addrs, sizes, kinds) -> None:
         # Already-batched input (e.g. a chained transport): flush what we
@@ -130,34 +208,98 @@ class BatchingTransport(BaseObserver):
         n = len(addrs)
         self.flushes += 1
         self.batched_accesses += n
-        self.downstream.on_mem_batch(addrs, sizes, kinds)
+        if self._mem_batch_hook is not None:
+            self._mem_batch_hook(addrs, sizes, kinds)
+        else:  # bare downstream without the batching mixin
+            _expand_batch(self.downstream, addrs, sizes, kinds)
 
     def flush(self) -> None:
-        """Deliver all pending accesses downstream, preserving order.
+        """Deliver all pending events downstream, preserving order.
 
-        Short batches (< :data:`SCALAR_FLUSH_CUTOFF`) are replayed as
-        scalar ``on_mem_read``/``on_mem_write`` calls -- identical
-        semantics, none of the per-batch kernel overhead.
+        Pending memory accesses go first (they precede any buffered branch
+        in every state the buffers can reach), then pending branches.
+        Short flushes (< :data:`SCALAR_FLUSH_CUTOFF`) are replayed as
+        scalar calls -- identical semantics, none of the per-batch kernel
+        overhead.
         """
-        n = self._n
+        self._flush_mem()
+        self._flush_branches()
+
+    def _flush_mem(self) -> None:
+        buf = self._abuf
+        n = len(buf)
         if not n:
             return
-        self._n = 0
         self.flushes += 1
         self.batched_accesses += n
+        rkeys = self._rkeys
+        rends = self._rends
+        rends.append(n)
+        cell = self._cell
+        cell[0] = -1
+        cell[1] = -1
+        down = self.downstream
         if n < self.scalar_cutoff:
-            down = self.downstream
-            addrs = self._addrs[:n].tolist()
-            sizes = self._sizes[:n].tolist()
-            for i, kind in enumerate(self._kinds[:n].tolist()):
-                if kind == MEM_READ:
-                    down.on_mem_read(addrs[i], sizes[i])
+            addrs = buf.tolist()
+            del buf[:]
+            self._rkeys = []
+            self._rends = []
+            read = down.on_mem_read
+            write = down.on_mem_write
+            i = 0
+            for key, end in zip(rkeys, rends):
+                size = key >> 1
+                if key & 1:
+                    for j in range(i, end):
+                        write(addrs[j], size)
                 else:
-                    down.on_mem_write(addrs[i], sizes[i])
+                    for j in range(i, end):
+                        read(addrs[j], size)
+                i = end
             return
-        self.downstream.on_mem_batch(
-            self._addrs[:n], self._sizes[:n], self._kinds[:n]
-        )
+        addrs = np.frombuffer(buf, dtype=np.int64).copy()
+        del buf[:]
+        self._rkeys = []
+        self._rends = []
+        if self._runs_hook is not None:
+            self._runs_hook(addrs, rkeys, rends)
+            return
+        if len(rkeys) == 1:
+            key = rkeys[0]
+            sizes = np.full(n, key >> 1, dtype=np.int64)
+            kinds = np.full(n, key & 1, dtype=np.uint8)
+        else:
+            rk = np.asarray(rkeys, dtype=np.int64)
+            ends = np.asarray(rends, dtype=np.int64)
+            lens = np.diff(ends, prepend=0)
+            sizes = np.repeat(rk >> 1, lens)
+            kinds = np.repeat((rk & 1).astype(np.uint8), lens)
+        if self._mem_batch_hook is not None:
+            self._mem_batch_hook(addrs, sizes, kinds)
+        else:
+            _expand_batch(down, addrs, sizes, kinds)
+
+    def _flush_branches(self) -> None:
+        sites = self._bsites
+        n = len(sites)
+        if not n:
+            return
+        takens = self._btakens
+        self.batched_branches += n
+        if n < self.scalar_cutoff or self._branch_hook is None:
+            site_list = sites[:]
+            taken_list = takens[:]
+            del sites[:]
+            del takens[:]
+            branch = self.downstream.on_branch
+            for site, taken in zip(site_list, taken_list):
+                branch(site, taken)
+            return
+        site_arr = np.asarray(sites, dtype=np.int64)
+        taken_arr = np.asarray(takens, dtype=bool)
+        del sites[:]
+        del takens[:]
+        self._branch_hook(site_arr, taken_arr)
 
     # -- boundary events (flush, then forward) -----------------------------
 
@@ -171,12 +313,8 @@ class BatchingTransport(BaseObserver):
 
     def on_op(self, kind: OpKind, count: int) -> None:
         if self.strict_time:
-            self.flush()
+            self._flush_mem()
         self.downstream.on_op(kind, count)
-
-    def on_branch(self, site: int, taken: bool) -> None:
-        self.flush()
-        self.downstream.on_branch(site, taken)
 
     def on_syscall_enter(self, name: str, input_bytes: int) -> None:
         self.flush()
@@ -211,5 +349,6 @@ class BatchingTransport(BaseObserver):
         telemetry.gauge("batch.size").set(self.batch_size)
         telemetry.gauge("batch.flushes").set(self.flushes)
         telemetry.gauge("batch.accesses").set(self.batched_accesses)
+        telemetry.gauge("batch.branches").set(self.batched_branches)
         telemetry.gauge("batch.mean_occupancy").set(self.mean_occupancy)
         telemetry.gauge("batch.strict_time").set(int(self.strict_time))

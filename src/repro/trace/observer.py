@@ -55,6 +55,15 @@ def _expand_batch(observer, addrs, sizes, kinds) -> None:
             write(addr, size)
 
 
+def _expand_branch_batch(observer, sites, takens) -> None:
+    """Replay a branch batch into scalar ``on_branch`` calls, in order."""
+    sites = sites.tolist() if hasattr(sites, "tolist") else sites
+    takens = takens.tolist() if hasattr(takens, "tolist") else takens
+    branch = observer.on_branch
+    for site, taken in zip(sites, takens):
+        branch(site, bool(taken))
+
+
 @runtime_checkable
 class TraceObserver(Protocol):
     """Anything that can watch a program execute.
@@ -77,6 +86,8 @@ class TraceObserver(Protocol):
     def on_op(self, kind: OpKind, count: int) -> None: ...
 
     def on_branch(self, site: int, taken: bool) -> None: ...
+
+    def on_branch_batch(self, sites, takens) -> None: ...
 
     def on_syscall_enter(self, name: str, input_bytes: int) -> None: ...
 
@@ -102,12 +113,22 @@ class BaseObserver:
     batch_time_strict: bool = False
 
     #: Whether batch delivery actually speeds this observer up.  Observers
-    #: whose per-access work is inherently sequential (e.g. a cache
-    #: simulator) process batches by scalar expansion anyway, so buffering
-    #: for them alone is pure overhead; the harness skips the transport
-    #: when nothing downstream benefits.  Output is byte-identical either
-    #: way -- this is purely a performance hint.
+    #: that can only process batches by scalar expansion (e.g. a shadow
+    #: profiler running under a page-eviction cap, where in-batch eviction
+    #: order matters) gain nothing from buffering, so the harness skips the
+    #: transport when nothing downstream benefits.  Output is byte-identical
+    #: either way -- this is purely a performance hint.
     batch_beneficial: bool = True
+
+    #: Opt-in for the transport's run-length side channel.  When true the
+    #: transport delivers memory batches through ``on_mem_batch_runs(addrs,
+    #: rkeys, rends)`` instead of materialising per-access ``sizes``/``kinds``
+    #: arrays: ``addrs`` is the int64 address array, and run ``i`` covers
+    #: ``addrs[rends[i-1]:rends[i]]`` with packed key ``rkeys[i] ==
+    #: (size << 1) | kind``.  Real access streams are long same-size,
+    #: same-kind runs, so the descriptor lists are tiny and the downstream
+    #: kernel can derive its counters without touching NumPy at all.
+    batch_accepts_runs: bool = False
 
     def on_fn_enter(self, name: str) -> None:
         pass
@@ -139,6 +160,18 @@ class BaseObserver:
 
     def on_branch(self, site: int, taken: bool) -> None:
         pass
+
+    def on_branch_batch(self, sites, takens) -> None:
+        """A batch of branch events, in program order.
+
+        ``sites``/``takens`` are parallel sequences (int64 sites, bool
+        outcomes).  The default implementation expands back into scalar
+        ``on_branch`` calls; observers with a vectorised predictor override
+        it.  Only lenient (``batch_time_strict = False``) observers ever see
+        branch batches -- the transport forwards branches scalar, in exact
+        stream order, to strict ones.
+        """
+        _expand_branch_batch(self, sites, takens)
 
     def on_syscall_enter(self, name: str, input_bytes: int) -> None:
         pass
@@ -198,6 +231,14 @@ class ObserverPipe(BaseObserver):
                 hook(addrs, sizes, kinds)
             else:  # bare TraceObserver without the batching mixin
                 _expand_batch(obs, addrs, sizes, kinds)
+
+    def on_branch_batch(self, sites, takens) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_branch_batch", None)
+            if hook is not None:
+                hook(sites, takens)
+            else:  # bare TraceObserver without the batching mixin
+                _expand_branch_batch(obs, sites, takens)
 
     def on_fn_enter(self, name: str) -> None:
         for obs in self.observers:

@@ -20,6 +20,23 @@ class TestConfig:
         with pytest.raises(ValueError):
             CacheConfig(size=1000, assoc=8, line_size=64)
 
+    def test_non_power_of_two_set_count_rejected(self):
+        """96 KiB / 8-way / 64 B lines gives 192 sets; indexing masks with
+        n_sets - 1, so such a geometry would silently alias sets."""
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(size=96 * 1024, assoc=8, line_size=64)
+
+    def test_near_miss_power_of_two_geometries_accepted(self):
+        # The neighbouring valid geometries of the rejected 96 KiB one.
+        assert CacheConfig(size=64 * 1024, assoc=8, line_size=64).n_sets == 128
+        assert CacheConfig(size=128 * 1024, assoc=8, line_size=64).n_sets == 256
+        # Non-power-of-two *associativity* is fine as long as sets are 2^k.
+        assert CacheConfig(size=96 * 1024, assoc=12, line_size=64).n_sets == 128
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=0, assoc=8, line_size=64)
+
 
 class TestLRU:
     def make(self, assoc=2, sets=2):

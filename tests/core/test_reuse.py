@@ -171,6 +171,37 @@ class TestReuseStatsUnit:
         assert stats.per_fn[3].lifetime_sum == (1490 + 2490)
         assert 5 not in stats.per_fn  # lifetime 0 -> not reused
 
+    def test_close_windows_bins_beyond_24_bits(self):
+        """Regression: grouping once packed keys as (ctx << 24) | bin, so a
+        lifetime bin >= 2**24 (a long run with a small bin_size) bled into
+        the context part and corrupted a *different* function's histogram.
+        Boundary bins must land in the right function at the right bin."""
+        stats = ReuseStats(histogram_bin_size=1)
+        big = 1 << 24  # first colliding bin under the old packing
+        readers = np.array([1, 1, 2], dtype=np.int32)
+        first = np.array([0, 0, 0], dtype=np.int64)
+        last = np.array([big - 1, big + 1, big], dtype=np.int64)
+        stats.close_windows(readers, first, last)
+        assert stats.per_fn[1].reused_windows == 2
+        assert stats.per_fn[1].lifetime_sum == (big - 1) + (big + 1)
+        assert stats.per_fn[1].histogram == {big - 1: 1, big + 1: 1}
+        assert stats.per_fn[2].reused_windows == 1
+        assert stats.per_fn[2].histogram == {big: 1}
+        # Under the old packing, ctx=1 with bin=2**24 aliased to ctx=2 bin=0.
+        assert 0 not in stats.per_fn[2].histogram
+        assert 3 not in stats.per_fn
+
+    def test_close_windows_cross_context_no_collision(self):
+        """(ctx=0, bin=2**24) and (ctx=1, bin=0) were one key under the old
+        packing; they must stay distinct groups."""
+        stats = ReuseStats(histogram_bin_size=1)
+        readers = np.array([0, 1], dtype=np.int32)
+        first = np.array([0, 5], dtype=np.int64)
+        last = np.array([1 << 24, 5 + 3], dtype=np.int64)
+        stats.close_windows(readers, first, last)
+        assert stats.per_fn[0].histogram == {1 << 24: 1}
+        assert stats.per_fn[1].histogram == {3: 1}
+
     def test_fifo_eviction_preserves_reuse_totals(self):
         """Evicting shadow pages must not lose already-observed re-use:
         only producer tracking degrades (paper: negligible loss)."""

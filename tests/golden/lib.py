@@ -18,7 +18,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict
 
+from repro.callgrind import CallgrindCollector
 from repro.core import SigilConfig, SigilProfiler
+from repro.io.callgrindfile import dumps_callgrind
 from repro.io.profilefile import dumps_profile, profile_digest
 from repro.trace.batch import BatchingTransport
 from repro.workloads.fluidanimate_parallel import ParallelFluidanimate
@@ -31,12 +33,18 @@ FIXTURE_FORMAT = 1
 
 @dataclass(frozen=True)
 class GoldenSpec:
-    """One pinned run: how to build the workload and the profiler config."""
+    """One pinned run: how to build the workload and the tool observing it.
+
+    ``tool`` selects the profiler: ``"sigil"`` (SigilProfiler under
+    ``config``) or ``"callgrind"`` (CallgrindCollector with default cache
+    geometry and branch predictor).
+    """
 
     key: str
     workload: str
     size: str
     make_workload: Callable[[], object]
+    tool: str = "sigil"
     config: SigilConfig = SigilConfig()
 
 
@@ -66,6 +74,25 @@ SPECS: Dict[str, GoldenSpec] = {
             # of the paper's 14 benchmarks); drive the class directly.
             make_workload=lambda: ParallelFluidanimate("simsmall"),
         ),
+        GoldenSpec(
+            key="sigil-reuse",
+            workload="blackscholes",
+            size="simsmall",
+            make_workload=lambda: get_workload("blackscholes", "simsmall"),
+            # Pins the grouped re-use batch kernel on a second workload
+            # (dedup above covers re-use on the memory-limit case study);
+            # event mode additionally pins the producer-segment tracking.
+            config=SigilConfig(reuse_mode=True, event_mode=True),
+        ),
+        GoldenSpec(
+            key="callgrind",
+            workload="blackscholes",
+            size="simsmall",
+            make_workload=lambda: get_workload("blackscholes", "simsmall"),
+            # Pins the vectorised cache-simulation and branch-predictor
+            # batch kernels end to end, including the cycle model.
+            tool="callgrind",
+        ),
     )
 }
 
@@ -74,31 +101,32 @@ def fixture_path(key: str) -> Path:
     return GOLDEN_DIR / f"{key}.json"
 
 
-def compute_profile(spec: GoldenSpec, batch_size: int):
-    """Run the spec's workload and return its profile."""
-    profiler = SigilProfiler(spec.config)
-    observer = (
-        BatchingTransport(profiler, batch_size) if batch_size else profiler
-    )
-    spec.make_workload().run(observer)
-    return profiler.profile()
-
-
 def compute_text(spec: GoldenSpec, batch_size: int = 0) -> str:
-    return dumps_profile(compute_profile(spec, batch_size))
+    """Run the spec's workload and return its canonical profile text."""
+    if spec.tool == "callgrind":
+        tool = CallgrindCollector()
+    else:
+        tool = SigilProfiler(spec.config)
+    observer = BatchingTransport(tool, batch_size) if batch_size else tool
+    spec.make_workload().run(observer)
+    if spec.tool == "callgrind":
+        return dumps_callgrind(tool.profile)
+    return dumps_profile(tool.profile())
 
 
 def render_fixture(spec: GoldenSpec, text: str) -> str:
     """The on-disk JSON for one fixture (newline-terminated, stable keys)."""
     profile = {
         "format": FIXTURE_FORMAT,
+        "tool": spec.tool,
         "workload": spec.workload,
         "size": spec.size,
-        "reuse_mode": spec.config.reuse_mode,
-        "line_size": spec.config.line_size,
         "digest": "sha256:" + _digest_of(text),
         "profile": text.splitlines(),
     }
+    if spec.tool == "sigil":
+        profile["reuse_mode"] = spec.config.reuse_mode
+        profile["line_size"] = spec.config.line_size
     return json.dumps(profile, indent=2, sort_keys=True) + "\n"
 
 

@@ -327,6 +327,7 @@ _BATCH_CONFIGS = {
     "baseline": SigilConfig(),
     "reuse": SigilConfig(reuse_mode=True),
     "events": SigilConfig(event_mode=True),
+    "reuse-events": SigilConfig(reuse_mode=True, event_mode=True),
     "line4": SigilConfig(line_size=4),
     "reuse-line8": SigilConfig(reuse_mode=True, line_size=8),
     "paged": SigilConfig(max_shadow_pages=1),
@@ -338,8 +339,9 @@ def rich_traces(draw):
     """Traces mixing accesses (including zero-byte), ops, and branches.
 
     Ops and branches advance the profiler's clock, so they exercise the
-    transport's flush policy: branches always flush, ops flush only for
-    time-strict downstreams (re-use mode).
+    transport's flush policy: ops and branches flush (respectively: are
+    forwarded scalar) only for time-strict downstreams such as re-use
+    mode, and are deferred past buffered accesses otherwise.
     """
     n_steps = draw(st.integers(min_value=1, max_value=60))
     steps = []
@@ -425,6 +427,24 @@ def test_batched_profile_identical_to_scalar(config_name, steps):
     config = _BATCH_CONFIGS[config_name]
     scalar = _run_config(steps, config, 0)
     for batch_size in BATCH_SIZES:
+        assert _run_config(steps, config, batch_size) == scalar, (
+            f"batch_size={batch_size} diverged from scalar for {config_name}"
+        )
+
+
+@pytest.mark.parametrize("config_name", sorted(_BATCH_CONFIGS))
+@given(steps=page_boundary_traces())
+@settings(max_examples=30, deadline=None)
+def test_batched_page_straddling_identical_to_scalar(config_name, steps):
+    """Batches whose accesses cross shadow-page boundaries stay identical.
+
+    The grouped kernels gather/scatter shadow state one page span at a
+    time; page-straddling accesses (and, for ``paged``, FIFO eviction)
+    are the paths a single-page address range never exercises.
+    """
+    config = _BATCH_CONFIGS[config_name]
+    scalar = _run_config(steps, config, 0)
+    for batch_size in (3, 64):
         assert _run_config(steps, config, batch_size) == scalar, (
             f"batch_size={batch_size} diverged from scalar for {config_name}"
         )

@@ -231,6 +231,109 @@ class TestFlushBoundaries:
             BatchingTransport(RecordingObserver(), -1)
 
 
+class _LenientBranchObserver(BaseObserver):
+    """Lenient downstream that accepts both mem and branch batches."""
+
+    batch_time_strict = False
+
+    def __init__(self):
+        self.order = []
+
+    def on_op(self, kind, count):
+        self.order.append("op")
+
+    def on_branch(self, site, taken):
+        self.order.append(("branch", site, taken))
+
+    def on_branch_batch(self, sites, takens):
+        self.order.append(("branches", sites.tolist(), takens.tolist()))
+
+    def on_mem_batch(self, addrs, sizes, kinds):
+        self.order.append(("mem", len(addrs)))
+
+
+class TestLenientBranchBuffering:
+    def test_branches_buffered_and_delivered_after_mem(self):
+        """For lenient downstreams branches do not flush the access buffer;
+        at a boundary the mem batch lands first, then one branch batch."""
+        obs = _LenientBranchObserver()
+        transport = BatchingTransport(obs, 64, scalar_cutoff=0)
+        transport.on_mem_write(1, 1)
+        transport.on_branch(7, True)
+        transport.on_mem_read(1, 1)
+        transport.on_branch(7, False)
+        transport.on_fn_exit("f")  # boundary: drains both buffers
+        assert obs.order == [
+            ("mem", 2),
+            ("branches", [7, 7], [True, False]),
+        ]
+        assert transport.batched_branches == 2
+
+    def test_ops_overtake_buffered_branches(self):
+        """Ops forward immediately; deferred branches are sums for lenient
+        tools, so the reordering is observable only as batching."""
+        obs = _LenientBranchObserver()
+        transport = BatchingTransport(obs, 64, scalar_cutoff=0)
+        transport.on_branch(3, True)
+        transport.on_op(OpKind.INT, 1)
+        transport.flush()
+        assert obs.order == ["op", ("branches", [3], [True])]
+
+    def test_branch_buffer_full_flushes(self):
+        obs = _LenientBranchObserver()
+        transport = BatchingTransport(obs, 2, scalar_cutoff=0)
+        for i in range(5):
+            transport.on_branch(i, bool(i % 2))
+        assert obs.order == [
+            ("branches", [0, 1], [False, True]),
+            ("branches", [2, 3], [False, True]),
+        ]
+        transport.flush()
+        assert obs.order[-1] == ("branches", [4], [False])
+
+    def test_short_branch_flushes_replay_as_scalar(self):
+        """Below the cutoff branches replay as scalar on_branch calls with
+        plain bools, preserving intra-stream order."""
+        obs = _LenientBranchObserver()
+        transport = BatchingTransport(obs, 64)  # default cutoff
+        transport.on_branch(1, True)
+        transport.on_branch(2, False)
+        transport.flush()
+        assert obs.order == [("branch", 1, True), ("branch", 2, False)]
+
+    def test_default_expansion_for_hookless_lenient_observer(self):
+        """A lenient observer without its own on_branch_batch gets the
+        BaseObserver expansion: scalar on_branch calls, plain bools."""
+
+        class NoHook(BaseObserver):
+            batch_time_strict = False
+
+            def __init__(self):
+                self.calls = []
+
+            def on_branch(self, site, taken):
+                assert isinstance(taken, bool)
+                self.calls.append((site, taken))
+
+        obs = NoHook()
+        transport = BatchingTransport(obs, 64, scalar_cutoff=0)
+        for site, taken in [(0, True), (1, False), (0, True)]:
+            transport.on_branch(site, taken)
+        transport.flush()
+        assert obs.calls == [(0, True), (1, False), (0, True)]
+
+    def test_strict_downstream_never_sees_branch_batches(self):
+        """Strict downstreams (the ordering oracle) keep exact scalar
+        interleaving: branch arrives after the flushed accesses."""
+        rec = RecordingObserver()
+        transport = BatchingTransport(rec, 64, scalar_cutoff=0)
+        transport.on_mem_write(1, 1)
+        transport.on_branch(9, True)
+        kinds = [type(e).__name__ for e in rec.events]
+        assert kinds == ["MemWrite", "Branch"]
+        assert transport.batched_branches == 0
+
+
 class TestObserverPipeMixing:
     def test_pipe_mixes_batch_aware_and_scalar_observers(self):
         """A scalar-only observer in a pipe sees the batch expanded in the
@@ -284,14 +387,14 @@ class TestObserverPipeMixing:
         """Configs that expand batches to scalar calls anyway say so, and a
         pipe benefits if any member does."""
         assert SigilProfiler(SigilConfig()).batch_beneficial
-        assert not SigilProfiler(SigilConfig(reuse_mode=True)).batch_beneficial
-        assert not SigilProfiler(
-            SigilConfig(max_shadow_pages=1)
-        ).batch_beneficial
-        reuse = SigilProfiler(SigilConfig(reuse_mode=True))
-        assert not ObserverPipe([reuse]).batch_beneficial
+        # Re-use mode has its own grouped kernel; only the FIFO page cap
+        # (in-batch eviction order) still forces scalar expansion.
+        assert SigilProfiler(SigilConfig(reuse_mode=True)).batch_beneficial
+        capped = SigilProfiler(SigilConfig(max_shadow_pages=1))
+        assert not capped.batch_beneficial
+        assert not ObserverPipe([capped]).batch_beneficial
         assert ObserverPipe(
-            [reuse, SigilProfiler(SigilConfig())]
+            [capped, SigilProfiler(SigilConfig())]
         ).batch_beneficial
 
     def test_pipe_is_strict_if_any_member_is(self):
